@@ -1,0 +1,1 @@
+bench/e10_ablation.ml: List Printf Rcons Util

@@ -1,0 +1,1 @@
+bench/e11_critical.ml: Array List Option Rcons Sim Util

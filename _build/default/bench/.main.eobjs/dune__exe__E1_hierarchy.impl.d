@@ -1,0 +1,1 @@
+bench/e1_hierarchy.ml: List Rcons Util

@@ -1,0 +1,1 @@
+bench/e2_team_consensus.ml: Array Drivers Explore List Option Random Rcons Sim Util

@@ -1,0 +1,1 @@
+bench/e3_necessity.ml: Array Drivers Explore List Option Random Rcons Sim Util

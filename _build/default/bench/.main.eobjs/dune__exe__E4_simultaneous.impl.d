@@ -1,0 +1,1 @@
+bench/e4_simultaneous.ml: Array Drivers List One_shot Outputs Random Rcons Sim Simultaneous_rc Util

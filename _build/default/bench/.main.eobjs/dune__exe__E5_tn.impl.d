@@ -1,0 +1,1 @@
+bench/e5_tn.ml: List Rcons Util

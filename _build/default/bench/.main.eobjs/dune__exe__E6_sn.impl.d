@@ -1,0 +1,1 @@
+bench/e6_sn.ml: Array Drivers List Option Random Rcons Sim Util

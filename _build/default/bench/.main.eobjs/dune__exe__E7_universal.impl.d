@@ -1,0 +1,1 @@
+bench/e7_universal.ml: Array Derived Drivers List Option Random Rcons Runiversal Script Sim Util

@@ -1,0 +1,1 @@
+bench/e8_stack.ml: List Rcons Util

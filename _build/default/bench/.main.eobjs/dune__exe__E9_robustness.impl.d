@@ -1,0 +1,1 @@
+bench/e9_robustness.ml: Array Drivers Format List Printf Random Rcons Sim String Util

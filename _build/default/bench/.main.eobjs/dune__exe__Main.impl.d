@@ -1,0 +1,1 @@
+bench/main.ml: Array E10_ablation E11_critical E1_hierarchy E2_team_consensus E3_necessity E4_simultaneous E5_tn E6_sn E7_universal E8_stack E9_robustness Format List String Sys Timing

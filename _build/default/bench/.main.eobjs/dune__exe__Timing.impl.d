@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Array Bechamel Bechamel_notty Benchmark Instance Lazy List Measure Notty_unix Option Rcons Staged Test Time Toolkit Unix Util

@@ -1,0 +1,1 @@
+bench/util.ml: Format Rcons String Unix

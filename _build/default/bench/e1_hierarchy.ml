@@ -1,0 +1,44 @@
+(* E1 -- Figure 1: the hierarchy table.
+
+   For every catalogue type plus T_n and S_n, the maximum levels of the
+   n-discerning and n-recording properties and the implied cons / rcons
+   intervals.  The paper's claims visible in the table:
+   - recording <= discerning (Observation 5),
+   - discerning - 2 <= recording (Theorem 16 / Proposition 18),
+   - rcons within [recording, recording + 1] and <= cons (Thms 8, 14,
+     Corollary 17),
+   - T_n: rcons < cons = n (Corollary 20); S_n: rcons = cons = n
+     (Proposition 21). *)
+
+let run () =
+  Util.section "E1 (Figure 1): discerning/recording levels and cons/rcons bounds";
+  Util.row "%-20s %-9s %-11s %-10s %-8s %-8s %s@." "type" "readable" "discerning" "recording"
+    "cons" "rcons" "check-time";
+  let print ot limit =
+    let r, dt = Util.time_it (fun () -> Rcons.classify ~limit ot) in
+    Util.row "%-20s %-9b %-11s %-10s %-8s %-8s %.3fs@." r.Rcons.Check.Classify.type_name
+      r.Rcons.Check.Classify.is_readable
+      (Util.level_str r.Rcons.Check.Classify.discerning)
+      (Util.level_str r.Rcons.Check.Classify.recording)
+      (Util.bounds_str r.Rcons.Check.Classify.cons)
+      (Util.bounds_str r.Rcons.Check.Classify.rcons)
+      dt;
+    r
+  in
+  let reports =
+    List.map (fun e -> print e.Rcons.Spec.Catalogue.ot 5) Rcons.Spec.Catalogue.all
+    @ List.map (fun n -> print (Rcons.Spec.Tn.make n) (n + 1)) [ 4; 5; 6 ]
+    @ List.map (fun n -> print (Rcons.Spec.Sn.make n) (n + 1)) [ 2; 3; 4; 5; 6 ]
+  in
+  (* Figure 1's implications, checked on every reported type. *)
+  let to_int = function Rcons.Check.Classify.Finite n -> n | Rcons.Check.Classify.At_least n -> n in
+  let violations =
+    List.filter
+      (fun r ->
+        let d = to_int r.Rcons.Check.Classify.discerning
+        and rec_ = to_int r.Rcons.Check.Classify.recording in
+        not (rec_ <= d && d - 2 <= rec_))
+      reports
+  in
+  Util.row "@.Figure 1 implications (recording <= discerning <= recording + 2): %s@."
+    (if violations = [] then "hold for all types above" else "VIOLATED")

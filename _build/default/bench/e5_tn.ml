@@ -1,0 +1,29 @@
+(* E5 -- Figure 5 / Proposition 19 / Corollary 20: the separating type
+   T_n is n-discerning but not (n-1)-recording, so rcons(T_n) < cons(T_n).
+
+   Each row decides the four relevant properties from scratch and times
+   the decision procedure (the checker's cost is the "benchmark" here --
+   this is a theory paper, and these decisions are the computation its
+   evaluation calls for). *)
+
+let run () =
+  Util.section "E5 (Figure 5): T_n is n-discerning but not (n-1)-recording";
+  Util.row "%-6s %-14s %-18s %-18s %-14s %-7s %-8s %s@." "n" "n-discerning"
+    "(n+1)-discerning" "(n-1)-recording" "(n-2)-recording" "cons" "rcons" "time";
+  List.iter
+    (fun n ->
+      let t = Rcons.Spec.Tn.make n in
+      let (d_n, d_n1, r_n1, r_n2), dt =
+        Util.time_it (fun () ->
+            ( Rcons.Check.Discerning.is_discerning t n,
+              Rcons.Check.Discerning.is_discerning t (n + 1),
+              Rcons.Check.Recording.is_recording t (n - 1),
+              Rcons.Check.Recording.is_recording t (n - 2) ))
+      in
+      let report = Rcons.classify ~limit:(n + 1) t in
+      Util.row "%-6d %-14b %-18b %-18b %-14b %-7s %-8s %.2fs@." n d_n d_n1 r_n1 r_n2
+        (Util.bounds_str report.Rcons.Check.Classify.cons)
+        (Util.bounds_str report.Rcons.Check.Classify.rcons)
+        dt)
+    [ 4; 5; 6; 7 ];
+  Util.row "@.paper: yes / no / no / yes on each row; cons = n and rcons in [n-2, n-1] < cons.@."

@@ -1,0 +1,45 @@
+(* E6 -- Figure 6 / Proposition 21: S_n is n-recording and not
+   (n+1)-discerning, hence rcons(S_n) = cons(S_n) = n: every level of the
+   RC hierarchy is populated.  Additionally the derived certificate is
+   exercised end-to-end: the Figure 2 + tournament algorithm from S_n's
+   witness solves n-process RC under a random crash adversary. *)
+
+open Rcons.Runtime
+
+let dynamic_check n cert =
+  let iters = 200 in
+  let rng = Random.State.make [| n |] in
+  let ok = ref 0 in
+  for _ = 1 to iters do
+    let inputs = Array.init n (fun i -> 100 + i) in
+    let outputs = Rcons.Algo.Outputs.make ~inputs in
+    let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n in
+    let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
+    let sim = Sim.create ~n body in
+    ignore (Drivers.random ~crash_prob:0.2 ~max_crashes:(2 * n) ~rng sim);
+    if Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs then
+      incr ok
+  done;
+  (!ok, iters)
+
+let run () =
+  Util.section "E6 (Figure 6): S_n populates level n of both hierarchies";
+  Util.row "%-6s %-14s %-18s %-7s %-8s %-18s %s@." "n" "n-recording" "(n+1)-discerning" "cons"
+    "rcons" "n-process RC runs" "time";
+  List.iter
+    (fun n ->
+      let t = Rcons.Spec.Sn.make n in
+      let (rec_n, disc_n1, cert), dt =
+        Util.time_it (fun () ->
+            ( Rcons.Check.Recording.is_recording t n,
+              Rcons.Check.Discerning.is_discerning t (n + 1),
+              Rcons.Check.Recording.witness t n ))
+      in
+      let report = Rcons.classify ~limit:(n + 1) t in
+      let ok, iters = dynamic_check n (Option.get cert) in
+      Util.row "%-6d %-14b %-18b %-7s %-8s %8d/%-9d %.2fs@." n rec_n disc_n1
+        (Util.bounds_str report.Rcons.Check.Classify.cons)
+        (Util.bounds_str report.Rcons.Check.Classify.rcons)
+        ok iters dt)
+    [ 2; 3; 4; 5; 6 ];
+  Util.row "@.paper: yes / no on each row; cons = rcons = n; all runs correct.@."

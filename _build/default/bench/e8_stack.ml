@@ -1,0 +1,46 @@
+(* E8 -- Figure 8 / Appendix H: rcons(stack) = rcons(queue) = 1.
+
+   The sweep classifies every reachable critical configuration (state,
+   op1, op2); when every configuration forces v1 = v2, no critical
+   execution of a 2-process RC algorithm can exist.  The summary rows
+   reproduce the paper's case analysis; soundness witnesses (types that
+   DO solve 2-process RC staying inconclusive) are printed alongside.
+   For contrast, cons(stack) = 2 is confirmed by the discerning checker. *)
+
+let run () =
+  Util.section "E8 (Figure 8 / Appendix H): two-process impossibility sweeps";
+  let reports =
+    [
+      Rcons.Valency.Impossibility.analyse_stack ();
+      Rcons.Valency.Impossibility.analyse_queue ();
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Test_and_set.t;
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Register.default;
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Fetch_add.default;
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Swap.default;
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Sticky_bit.t;
+      Rcons.Valency.Impossibility.analyse Rcons.Spec.Cas.default;
+      Rcons.Valency.Impossibility.analyse (Rcons.Spec.Sn.make 2);
+    ]
+  in
+  List.iter (fun r -> Util.row "%a@." Rcons.Valency.Impossibility.summary r) reports;
+  Util.row "@.contrast: stack is 2-discerning (cons = 2): %b; queue: %b@."
+    (Rcons.Check.Discerning.is_discerning Rcons.Spec.Stack.default 2)
+    (Rcons.Check.Discerning.is_discerning Rcons.Spec.Queue.default 2);
+  (* the detailed Figure 8 case table for the stack, one row per case *)
+  Util.row "@.Figure 8 cases on the stack (q = [1; 0] means 1 on top):@.";
+  let (module T) = Rcons.Spec.Stack.spec ~domain:2 ~readable:false in
+  let classify q o1 o2 =
+    Rcons.Valency.Pair_class.classify (module T)
+      ~canon:Rcons.Valency.Impossibility.strip_common_affixes q o1 o2
+  in
+  List.iter
+    (fun (label, q, o1, o2) ->
+      Util.row "  %-34s %a@." label Rcons.Valency.Pair_class.pp_kind (classify q o1 o2))
+    [
+      ("(a) pop / pop", [ 0; 1 ], Rcons.Spec.Stack.Pop, Rcons.Spec.Stack.Pop);
+      ("(b) push / pop, empty", [], Rcons.Spec.Stack.Push 0, Rcons.Spec.Stack.Pop);
+      ("(c) push / pop, non-empty", [ 1 ], Rcons.Spec.Stack.Push 0, Rcons.Spec.Stack.Pop);
+      ("(d) pop / push, empty", [], Rcons.Spec.Stack.Pop, Rcons.Spec.Stack.Push 1);
+      ("(e) pop / push, non-empty", [ 0 ], Rcons.Spec.Stack.Pop, Rcons.Spec.Stack.Push 1);
+      ("(f) push / push", [ 0 ], Rcons.Spec.Stack.Push 0, Rcons.Spec.Stack.Push 1);
+    ]

@@ -1,0 +1,42 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's results (experiments E1-E9, see DESIGN.md and
+   EXPERIMENTS.md).
+
+     dune exec bench/main.exe              # all experiment tables
+     dune exec bench/main.exe -- E4 E8     # selected experiments
+     dune exec bench/main.exe -- --timing  # Bechamel micro-benchmarks *)
+
+let experiments =
+  [
+    ("E1", E1_hierarchy.run);
+    ("E2", E2_team_consensus.run);
+    ("E3", E3_necessity.run);
+    ("E4", E4_simultaneous.run);
+    ("E5", E5_tn.run);
+    ("E6", E6_sn.run);
+    ("E7", E7_universal.run);
+    ("E8", E8_stack.run);
+    ("E9", E9_robustness.run);
+    ("E10", E10_ablation.run);
+    ("E11", E11_critical.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      Format.printf
+        "Reproduction harness: When Is Recoverable Consensus Harder Than Consensus? (PODC 2022)@.";
+      List.iter (fun (_, run) -> run ()) experiments;
+      Format.printf "@.All experiment tables regenerated; compare against EXPERIMENTS.md.@."
+  | [ "--timing" ] -> Timing.run ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some run -> run ()
+          | None ->
+              Format.eprintf "unknown experiment %S (known: %s, --timing)@." name
+                (String.concat ", " (List.map fst experiments));
+              exit 2)
+        names

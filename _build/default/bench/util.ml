@@ -1,0 +1,15 @@
+(* Small shared helpers for the experiment harness. *)
+
+let section title =
+  Format.printf "@.=== %s ===@." title;
+  Format.printf "%s@." (String.make (String.length title + 8) '=')
+
+let row fmt = Format.printf fmt
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let level_str l = Format.asprintf "%a" Rcons.Check.Classify.pp_level l
+let bounds_str b = Format.asprintf "%a" Rcons.Check.Classify.pp_bounds_option b

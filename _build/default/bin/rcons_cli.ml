@@ -1,0 +1,217 @@
+(* Command-line interface to the library.
+
+     rcons classify [--limit N] [TYPE ...]   hierarchy table (E1)
+     rcons solve --type TYPE --n N [...]     run RC under a crash adversary
+     rcons impossible [TYPE ...]             Appendix H valency sweeps (E8)
+     rcons explore --type TYPE [...]         bounded exhaustive model check
+
+   TYPE names: register, tas, swap, faa, stack, queue, readable-stack,
+   readable-queue, sticky, cas, consensus, S<n>, T<n> (e.g. S4, T6). *)
+
+open Cmdliner
+
+let parse_type name =
+  let catalogue_alias =
+    [
+      ("register", "register(2)");
+      ("tas", "test-and-set");
+      ("swap", "swap(2)");
+      ("faa", "fetch&add(mod 8)");
+      ("stack", "stack(2)");
+      ("queue", "queue(2)");
+      ("readable-stack", "readable-stack(2)");
+      ("readable-queue", "readable-queue(2)");
+      ("sticky", "sticky-bit");
+      ("cas", "compare&swap(2)");
+      ("consensus", "consensus-object");
+    ]
+  in
+  match List.assoc_opt name catalogue_alias with
+  | Some canonical -> Ok (Rcons.Spec.Catalogue.find canonical).Rcons.Spec.Catalogue.ot
+  | None -> (
+      let parametric mk rest =
+        match int_of_string_opt rest with
+        | Some n when n >= 2 -> Ok (mk n)
+        | Some _ | None -> Error (`Msg (Printf.sprintf "bad parameter in %S" name))
+      in
+      match name.[0] with
+      | 'S' -> parametric Rcons.Spec.Sn.make (String.sub name 1 (String.length name - 1))
+      | 'T' -> parametric Rcons.Spec.Tn.make (String.sub name 1 (String.length name - 1))
+      | _ | (exception Invalid_argument _) ->
+          Error (`Msg (Printf.sprintf "unknown type %S" name)))
+
+let type_conv =
+  let printer ppf ot = Format.pp_print_string ppf (Rcons.Spec.Object_type.name ot) in
+  Arg.conv (parse_type, printer)
+
+let default_types () = List.map (fun e -> e.Rcons.Spec.Catalogue.ot) Rcons.Spec.Catalogue.all
+
+(* --- classify --- *)
+
+let classify_cmd =
+  let run limit types =
+    let types = if types = [] then default_types () else types in
+    List.iter
+      (fun ot -> Format.printf "%a@." Rcons.Check.Classify.pp_report (Rcons.classify ~limit ot))
+      types;
+    0
+  in
+  let limit = Arg.(value & opt int 5 & info [ "limit" ] ~doc:"Largest n to test.") in
+  let types = Arg.(value & pos_all type_conv [] & info [] ~docv:"TYPE") in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Discerning/recording levels and cons/rcons bounds (experiment E1)")
+    Term.(const run $ limit $ types)
+
+(* --- solve --- *)
+
+let solve_cmd =
+  let run ot n crash_prob seed =
+    match Rcons.solve_rc ot ~n with
+    | None ->
+        Format.eprintf "%s is not %d-recording: no certificate, cannot solve %d-process RC@."
+          (Rcons.Spec.Object_type.name ot) n n;
+        1
+    | Some decide ->
+        let inputs = Array.init n (fun i -> 100 + i) in
+        let outputs = Rcons.Algo.Outputs.make ~inputs in
+        let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
+        let sim = Rcons.Runtime.Sim.create ~n body in
+        let rng = Random.State.make [| seed |] in
+        let crashes =
+          Rcons.Runtime.Drivers.random ~crash_prob ~max_crashes:(4 * n) ~rng sim
+        in
+        Format.printf "%d processes, %d crashes:@." n crashes;
+        Array.iteri
+          (fun pid outs ->
+            Format.printf "  p%d -> %s@." pid (String.concat "," (List.map string_of_int outs)))
+          outputs.Rcons.Algo.Outputs.outputs;
+        Format.printf "agreement=%b validity=%b@."
+          (Rcons.Algo.Outputs.agreement_ok outputs)
+          (Rcons.Algo.Outputs.validity_ok outputs);
+        if Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
+        then 0
+        else 1
+  in
+  let ot = Arg.(required & opt (some type_conv) None & info [ "type" ] ~doc:"Object type.") in
+  let n = Arg.(value & opt int 3 & info [ "procs"; "n" ] ~doc:"Number of processes.") in
+  let crash_prob =
+    Arg.(value & opt float 0.2 & info [ "crash-prob" ] ~doc:"Per-step crash probability.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Adversary seed.") in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run recoverable consensus under a random crash adversary")
+    Term.(const run $ ot $ n $ crash_prob $ seed)
+
+(* --- impossible --- *)
+
+let impossible_cmd =
+  let run verbose =
+    let reports =
+      [
+        Rcons.Valency.Impossibility.analyse_stack ();
+        Rcons.Valency.Impossibility.analyse_queue ();
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Test_and_set.t;
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Register.default;
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Fetch_add.default;
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Swap.default;
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Sticky_bit.t;
+        Rcons.Valency.Impossibility.analyse Rcons.Spec.Cas.default;
+      ]
+    in
+    List.iter
+      (fun r ->
+        if verbose then Format.printf "%a@." Rcons.Valency.Impossibility.pp_report r
+        else Format.printf "%a@." Rcons.Valency.Impossibility.summary r)
+      reports;
+    0
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every configuration.") in
+  Cmd.v
+    (Cmd.info "impossible" ~doc:"Appendix H valency sweeps: which types have rcons = 1 (E8)")
+    Term.(const run $ verbose)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let run ot max_crashes =
+    match Rcons.Check.Recording.witness ot 2 with
+    | None ->
+        Format.eprintf "%s has no 2-recording witness@." (Rcons.Spec.Object_type.name ot);
+        1
+    | Some cert ->
+        let mk () =
+          let inputs = [| 111; 222 |] in
+          let outputs = Rcons.Algo.Outputs.make ~inputs in
+          let tc = Rcons.Algo.Team_consensus.create cert in
+          let body pid () =
+            let team, slot =
+              if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0)
+            in
+            Rcons.Algo.Outputs.record outputs pid
+              (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
+          in
+          ( Rcons.Runtime.Sim.create ~n:2 body,
+            fun () ->
+              Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
+        in
+        (match Rcons.Runtime.Explore.explore ~max_crashes ~mk () with
+        | stats ->
+            Format.printf
+              "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
+              stats.Rcons.Runtime.Explore.schedules stats.Rcons.Runtime.Explore.nodes
+              stats.Rcons.Runtime.Explore.max_depth
+        | exception Rcons.Runtime.Explore.Violation (msg, sched) ->
+            Format.printf "VIOLATION: %s at %a@." msg Rcons.Runtime.Explore.pp_schedule sched);
+        0
+  in
+  let ot = Arg.(required & opt (some type_conv) None & info [ "type" ] ~doc:"Object type.") in
+  let max_crashes =
+    Arg.(value & opt int 1 & info [ "max-crashes" ] ~doc:"Crash budget for the explorer.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Exhaustively model-check Figure 2 on the type's 2-recording certificate")
+    Term.(const run $ ot $ max_crashes)
+
+(* --- critical --- *)
+
+let critical_cmd =
+  let run ot =
+    match Rcons.Check.Recording.witness ot 2 with
+    | None ->
+        Format.eprintf "%s has no 2-recording witness@." (Rcons.Spec.Object_type.name ot);
+        1
+    | Some cert ->
+        let mk () =
+          let tc = Rcons.Algo.Team_consensus.create cert in
+          let outs = Array.make 2 None in
+          let body pid () =
+            let team, slot =
+              if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0)
+            in
+            outs.(pid) <- Some (tc.Rcons.Algo.Team_consensus.decide team slot pid)
+          in
+          (Rcons.Runtime.Sim.create ~n:2 body, fun () -> outs)
+        in
+        (match Rcons.Valency.Critical.find_critical ~mk () with
+        | report -> Format.printf "%a@." Rcons.Valency.Critical.pp_report report
+        | exception Rcons.Valency.Critical.Search_space_exhausted msg ->
+            Format.printf "no critical execution found: %s@." msg);
+        0
+  in
+  let ot = Arg.(required & opt (some type_conv) None & info [ "type" ] ~doc:"Object type.") in
+  Cmd.v
+    (Cmd.info "critical"
+       ~doc:
+         "Exhibit Theorem 14's critical execution for Figure 2 on the type's certificate \
+          (experiment E11)")
+    Term.(const run $ ot)
+
+let () =
+  let info =
+    Cmd.info "rcons" ~version:"1.0.0"
+      ~doc:"Recoverable consensus vs consensus: executable PODC 2022 reproduction"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; critical_cmd ]))

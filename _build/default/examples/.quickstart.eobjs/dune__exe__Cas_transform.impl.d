@@ -1,0 +1,1 @@
+examples/cas_transform.ml: Array Cell Drivers Format List Random Rcons Sim String

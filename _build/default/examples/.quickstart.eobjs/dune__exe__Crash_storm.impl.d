@@ -1,0 +1,1 @@
+examples/crash_storm.ml: Array Drivers Format List Random Rcons Sim String

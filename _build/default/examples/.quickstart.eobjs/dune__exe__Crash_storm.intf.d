@@ -1,0 +1,1 @@
+examples/crash_storm.mli:

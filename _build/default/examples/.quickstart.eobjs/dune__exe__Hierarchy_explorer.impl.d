@@ -1,0 +1,1 @@
+examples/hierarchy_explorer.ml: Format List Random Rcons String Sys

@@ -1,0 +1,1 @@
+examples/recoverable_kv.ml: Array Derived Format List Random Rcons Runiversal Script

@@ -1,0 +1,60 @@
+(* Hierarchy explorer: where does a type sit in the consensus hierarchy
+   vs the recoverable-consensus hierarchy?
+
+     dune exec examples/hierarchy_explorer.exe            # whole catalogue
+     dune exec examples/hierarchy_explorer.exe -- S 5     # one S_n
+     dune exec examples/hierarchy_explorer.exe -- T 6     # one T_n
+     dune exec examples/hierarchy_explorer.exe -- random 12  # random types
+
+   The table reproduces experiment E1 (Figure 1 of the paper): for each
+   type, the maximum n for which it is n-discerning / n-recording, and the
+   implied cons / rcons intervals.  The paper's separations are visible in
+   the output: T_n has rcons < cons (Proposition 19 / Corollary 20), S_n
+   has rcons = cons = n (Proposition 21), and the gap is never more than 2
+   for readable types (Corollary 17). *)
+
+let print_header () =
+  Format.printf "%-20s %-9s %-11s %-10s %-8s %s@." "type" "readable" "discerning" "recording"
+    "cons" "rcons";
+  Format.printf "%s@." (String.make 72 '-')
+
+let print_report ot limit =
+  let r = Rcons.classify ~limit ot in
+  let level = Format.asprintf "%a" Rcons.Check.Classify.pp_level in
+  let bounds b = Format.asprintf "%a" Rcons.Check.Classify.pp_bounds_option b in
+  Format.printf "%-20s %-9b %-11s %-10s %-8s %s@." r.Rcons.Check.Classify.type_name
+    r.Rcons.Check.Classify.is_readable
+    (level r.Rcons.Check.Classify.discerning)
+    (level r.Rcons.Check.Classify.recording)
+    (bounds r.Rcons.Check.Classify.cons)
+    (bounds r.Rcons.Check.Classify.rcons)
+
+let catalogue () =
+  print_header ();
+  List.iter (fun e -> print_report e.Rcons.Spec.Catalogue.ot 5) Rcons.Spec.Catalogue.all;
+  List.iter (fun n -> print_report (Rcons.Spec.Tn.make n) (n + 1)) [ 4; 5 ];
+  List.iter (fun n -> print_report (Rcons.Spec.Sn.make n) (n + 1)) [ 2; 3; 4; 5 ]
+
+let random_types count =
+  print_header ();
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to count do
+    let table = Rcons.Spec.Finite_type.random ~num_states:4 ~num_ops:2 rng in
+    print_report (Rcons.Spec.Finite_type.of_table table) 5
+  done
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> catalogue ()
+  | [| _; "S"; n |] ->
+      print_header ();
+      let n = int_of_string n in
+      print_report (Rcons.Spec.Sn.make n) (n + 1)
+  | [| _; "T"; n |] ->
+      print_header ();
+      let n = int_of_string n in
+      print_report (Rcons.Spec.Tn.make n) (n + 1)
+  | [| _; "random"; count |] -> random_types (int_of_string count)
+  | _ ->
+      prerr_endline "usage: hierarchy_explorer [S n | T n | random count]";
+      exit 2

@@ -1,0 +1,1 @@
+lib/algo/one_shot.ml: Cell Rcons_runtime Sim

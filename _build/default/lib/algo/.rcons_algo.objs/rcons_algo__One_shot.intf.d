@@ -1,0 +1,1 @@
+lib/algo/one_shot.mli:

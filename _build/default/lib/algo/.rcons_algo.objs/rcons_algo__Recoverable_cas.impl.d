@@ -1,0 +1,1 @@
+lib/algo/recoverable_cas.ml: Array Cell Rcons_runtime Sim

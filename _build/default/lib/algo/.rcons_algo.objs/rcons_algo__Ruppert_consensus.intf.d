@@ -1,0 +1,1 @@
+lib/algo/ruppert_consensus.mli: Rcons_check

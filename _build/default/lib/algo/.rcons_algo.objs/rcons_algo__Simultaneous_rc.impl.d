@@ -1,0 +1,1 @@
+lib/algo/simultaneous_rc.ml: Array Cell Growable Hashtbl Option Rcons_runtime

@@ -1,0 +1,1 @@
+lib/algo/simultaneous_rc.mli:

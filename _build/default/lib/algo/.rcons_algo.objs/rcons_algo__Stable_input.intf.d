@@ -1,0 +1,1 @@
+lib/algo/stable_input.mli:

@@ -1,0 +1,1 @@
+lib/algo/team_consensus.ml: Array Cell Certificate List Rcons_check Rcons_runtime Rcons_spec Sim_obj

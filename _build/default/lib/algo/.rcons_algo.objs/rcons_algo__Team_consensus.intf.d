@@ -1,0 +1,1 @@
+lib/algo/team_consensus.mli: Rcons_check Rcons_spec

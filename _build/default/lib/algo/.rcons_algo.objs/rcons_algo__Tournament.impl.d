@@ -1,0 +1,1 @@
+lib/algo/tournament.ml: Certificate Fun List Rcons_check Rcons_spec Ruppert_consensus Stable_input Team_consensus

@@ -1,0 +1,1 @@
+lib/algo/tournament.mli: Rcons_check Rcons_spec

@@ -1,0 +1,29 @@
+(* One-shot recoverable consensus from a single atomic consensus-style
+   primitive (a sticky cell: the first proposal wins and is recorded
+   forever).  This is the "hardware" RC instance used inside the universal
+   construction (Section 4) for the next-pointers of list nodes, and as
+   the consensus building block C_r of the simultaneous-crash algorithm.
+
+   Recoverability is immediate: the winning value persists in non-volatile
+   memory, and repeated proposals (by recovered processes) return the
+   recorded winner.  Such an object is n-recording for every n -- see the
+   [Consensus_obj] and [Cas] entries of the catalogue. *)
+
+open Rcons_runtime
+
+type 'v t = { cell : 'v option Cell.t }
+
+let create () = { cell = Cell.make None }
+
+(* Atomic propose: one step, like any other object operation. *)
+let decide t v =
+  Sim.step ~label:"one-shot-consensus" (fun () ->
+      match Cell.peek t.cell with
+      | Some w -> w
+      | None ->
+          Cell.poke t.cell (Some v);
+          v)
+
+(* Read the decision without proposing; None if undecided. *)
+let poll t = Cell.read t.cell
+let peek t = Cell.peek t.cell

@@ -1,0 +1,20 @@
+(** One-shot recoverable consensus from a single atomic consensus-style
+    primitive (a sticky cell: the first proposal is recorded forever).
+    The "hardware" RC instance used for the next-pointers of the
+    universal construction (Section 4) and as the default C_r of
+    Figure 4.  Recoverability is immediate: the winner persists in
+    non-volatile memory and repeated proposals return it. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val decide : 'v t -> 'v -> 'v
+(** Atomic propose (one step): returns the recorded winner, installing
+    [v] if none yet. *)
+
+val poll : 'v t -> 'v option
+(** Read the decision without proposing (one step). *)
+
+val peek : 'v t -> 'v option
+(** Out-of-simulation inspection. *)

@@ -1,0 +1,24 @@
+(* Output log for consensus executions.  Every value a process returns is
+   appended (a process may output several times across crash/recovery
+   cycles -- agreement must hold over all of them).  Recording an output
+   is a meta-observation of the simulation, not a shared-memory step. *)
+
+type 'v t = { inputs : 'v array; outputs : 'v list array }
+
+let make ~inputs = { inputs; outputs = Array.map (fun _ -> []) inputs }
+let record t i v = t.outputs.(i) <- v :: t.outputs.(i)
+let all t = Array.to_list t.outputs |> List.concat
+let decided t i = t.outputs.(i) <> []
+
+(* Agreement: no two output values produced (by any processes, in any
+   runs) are different. *)
+let agreement_ok t =
+  match all t with [] -> true | v :: rest -> List.for_all (( = ) v) rest
+
+(* Validity: each output value is the input value of some process. *)
+let validity_ok t =
+  List.for_all (fun v -> Array.exists (( = ) v) t.inputs) (all t)
+
+let check_exn ~fail t =
+  if not (agreement_ok t) then fail "agreement violated";
+  if not (validity_ok t) then fail "validity violated"

@@ -1,0 +1,21 @@
+(** Output log for consensus executions.  Every value a process returns
+    is appended -- a process may output several times across
+    crash/recovery cycles, and agreement must hold over {e all} outputs.
+    Recording is a meta-observation, not a shared-memory step. *)
+
+type 'v t = { inputs : 'v array; outputs : 'v list array }
+
+val make : inputs:'v array -> 'v t
+val record : 'v t -> int -> 'v -> unit
+val all : 'v t -> 'v list
+val decided : 'v t -> int -> bool
+
+val agreement_ok : 'v t -> bool
+(** No two output values produced (by any processes, in any runs) are
+    different. *)
+
+val validity_ok : 'v t -> bool
+(** Every output value is the input value of some process. *)
+
+val check_exn : fail:(string -> unit) -> 'v t -> unit
+(** Call [fail] on the first violated property. *)

@@ -1,0 +1,46 @@
+(* Standard (crash-free) team consensus from a readable n-discerning type:
+   the algorithm sketched before Theorem 3 in the paper, from Ruppert's
+   characterization.  Each process writes its input in its team's register,
+   performs its assigned operation on O, reads O, and decides from the
+   (response, read state) pair which team updated O first.
+
+   This is the baseline against which the recoverable algorithm is
+   compared: it is correct under halting failures but has no crash-recovery
+   guarantees (a process that crashes and re-runs may update O twice,
+   destroying the evidence of which team went first). *)
+
+open Rcons_runtime
+open Rcons_check
+
+type 'v t = {
+  decide : int -> 'v -> 'v; (* global process slot, as in the certificate *)
+  size_a : int;
+  size_b : int;
+}
+
+let create (Certificate.Discerning ((module T), d)) : 'v t =
+  let o = Sim_obj.make (module T) d.dq0 in
+  let r_a : 'v option Cell.t = Cell.make None in
+  let r_b : 'v option Cell.t = Cell.make None in
+  let pair_mem set (r, q) =
+    List.exists (fun (r', q') -> T.compare_resp r r' = 0 && T.compare_state q q' = 0) set
+  in
+  let decide j v =
+    let team, op = d.procs.(j) in
+    let my_reg = match team with Rcons_spec.Team.A -> r_a | Rcons_spec.Team.B -> r_b in
+    Cell.write my_reg (Some v);
+    let resp = Sim_obj.apply o op in
+    let q = Sim_obj.read o in
+    let winner_reg =
+      if pair_mem d.r_a.(j) (resp, q) then r_a
+      else if pair_mem d.r_b.(j) (resp, q) then r_b
+      else invalid_arg "Ruppert consensus: observation in neither R-set"
+    in
+    match Cell.read winner_reg with
+    | Some w -> w
+    | None -> invalid_arg "Ruppert consensus: winner register empty"
+  in
+  let count team =
+    Array.fold_left (fun acc (t, _) -> if t = team then acc + 1 else acc) 0 d.procs
+  in
+  { decide; size_a = count Rcons_spec.Team.A; size_b = count Rcons_spec.Team.B }

@@ -1,0 +1,21 @@
+(** Standard (crash-free) team consensus from a readable n-discerning
+    type: the algorithm behind Theorem 3.  Each process writes its input
+    in its team's register, performs its assigned operation on O, reads
+    O, and decides from the (response, state) pair which team updated O
+    first.
+
+    This is the baseline the recoverable algorithm is compared against:
+    correct under halting failures, but with {e no} crash-recovery
+    guarantees -- a recovered process updates O a second time and
+    destroys the evidence (see the crash-storm experiment).  Under
+    crashes it may violate agreement or fail internally
+    ([Invalid_argument]: an observation in neither R-set, or an unwritten
+    winner register). *)
+
+type 'v t = {
+  decide : int -> 'v -> 'v;  (** global process index, as in the certificate *)
+  size_a : int;
+  size_b : int;
+}
+
+val create : Rcons_check.Certificate.discerning -> 'v t

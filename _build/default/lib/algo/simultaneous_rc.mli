@@ -1,0 +1,31 @@
+(** Recoverable consensus under {e simultaneous} crashes from standard
+    consensus instances: the algorithm of Figure 4 (Theorem 1 /
+    Appendix A).
+
+    Round r uses a fresh consensus instance C_r and a register D[r]
+    recording its output; Round[j] remembers the largest round process j
+    entered, so a recovered process never accesses an instance twice
+    (Lemma 27) and catches its preference up from D[r-1] instead.  A
+    process returns after completing a round no process has moved
+    beyond.  The arrays are unbounded (footnote 2; Golab proved bounded
+    space impossible for this transformation).
+
+    Instances are pluggable: any standard consensus algorithm works,
+    because each process invokes each instance at most once and a
+    process crashed mid-invocation looks like a stalled process to a
+    wait-free algorithm. *)
+
+type 'v consensus = { propose : int -> 'v -> 'v }
+
+type 'v t
+
+val create : n:int -> make_consensus:(unit -> 'v consensus) -> 'v t
+
+val decide : 'v t -> int -> 'v -> 'v
+(** [decide t j v]: Figure 4's Decide(v) for process [j]; restarting
+    from the beginning after a crash is the model's recovery. *)
+
+val rounds_used : 'v t -> int
+(** Largest round entered so far: the number of consensus instances the
+    execution consumed (grows with the number of simultaneous-crash
+    events; see experiment E4). *)

@@ -1,0 +1,22 @@
+(* The input-register transformation described in the introduction of the
+   paper: RC algorithms assume a process's input value does not change
+   across its runs.  To lift that precondition, each process keeps a
+   non-volatile register holding its input; at the start of each run it
+   reads the register and writes its input only if the register is still
+   unwritten, then uses the register's value as its input.  The register
+   is single-writer, so the read-back below always succeeds. *)
+
+open Rcons_runtime
+
+type 'v t = 'v option Cell.t array
+
+let make n : 'v t = Array.init n (fun _ -> Cell.make None)
+
+let fix (t : 'v t) i v =
+  match Cell.read t.(i) with
+  | Some stable -> stable
+  | None -> (
+      Cell.write t.(i) (Some v);
+      match Cell.read t.(i) with
+      | Some stable -> stable
+      | None -> assert false (* single writer: our write is visible *))

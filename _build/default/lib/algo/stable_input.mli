@@ -1,0 +1,14 @@
+(** The input-register transformation from the introduction of the
+    paper: RC algorithms assume a process's input does not change across
+    its runs; a per-process non-volatile register makes that hold even
+    for callers that pass different values after a recovery. *)
+
+type 'v t
+
+val make : int -> 'v t
+(** One register per process, initially unwritten. *)
+
+val fix : 'v t -> int -> 'v -> 'v
+(** [fix t i v]: read process [i]'s register; if unwritten, write [v];
+    return the register's (now stable) value.  Must run inside the
+    simulated process [i]; single-writer. *)

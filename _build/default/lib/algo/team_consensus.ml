@@ -1,0 +1,87 @@
+(* Recoverable team consensus from a readable n-recording type: the
+   algorithm of Figure 2 of the paper, instantiated with a machine-derived
+   recording certificate (Theorem 8).
+
+   The code in the paper assumes q0 is not in Q_B; when the certificate has
+   q0 in Q_B (and hence, by condition 1, not in Q_A) the roles of the two
+   teams are swapped internally.  Processes on team A update O when they
+   find it in state q0.  Processes on team B do likewise, except that a
+   *lone* process on team B instead yields to team A when it sees that some
+   team-A process has already written its input (line 19-20 of Figure 2);
+   this is what makes the algorithm safe when q0 can recur in Q_A.
+
+   [faithful] (default true) keeps the |B| = 1 guard of line 19.  Setting
+   it to false reproduces the broken variant discussed after Lemma 7: with
+   two processes on team B the yield rule violates agreement, and the
+   bounded model checker finds the counterexample -- a negative control
+   showing the simulator can detect real bugs. *)
+
+open Rcons_runtime
+open Rcons_check
+
+type 'v t = {
+  decide : Rcons_spec.Team.t -> int -> 'v -> 'v;
+      (* [decide team slot v]: run DECIDE(v) as the [slot]-th process of
+         [team] (slots index the certificate's per-team operation lists).
+         Must be called from inside a simulated process; on crash the
+         caller's whole run restarts, which re-enters this code from the
+         beginning exactly as in the model. *)
+  size_a : int;
+  size_b : int;
+}
+
+let create ?(faithful = true) (Certificate.Recording ((module T), d)) : 'v t =
+  (* Orient the teams so that q0 is not in Q_(code team B). *)
+  let ops_a, ops_b, q_a, swap =
+    if d.q0_in_q_b then (d.ops_b, d.ops_a, d.q_b, true) else (d.ops_a, d.ops_b, d.q_a, false)
+  in
+  let ops_a = Array.of_list ops_a and ops_b = Array.of_list ops_b in
+  let o = Sim_obj.make (module T) d.q0 in
+  let r_a : 'v option Cell.t = Cell.make None in
+  let r_b : 'v option Cell.t = Cell.make None in
+  let in_q_a q = List.exists (fun q' -> T.compare_state q' q = 0) q_a in
+  let is_q0 q = T.compare_state q d.q0 = 0 in
+  let return_team_a () =
+    match Cell.read r_a with Some v -> v | None -> invalid_arg "Figure 2: R_A empty at return"
+  in
+  let return_team_b () =
+    match Cell.read r_b with Some v -> v | None -> invalid_arg "Figure 2: R_B empty at return"
+  in
+  let finish q = if in_q_a q then return_team_a () else return_team_b () in
+  (* Figure 2, lines 4-13: code for process [slot] of team A. *)
+  let decide_a slot v =
+    Cell.write r_a (Some v);
+    let q = Sim_obj.read o in
+    let q =
+      if is_q0 q then begin
+        ignore (Sim_obj.apply o ops_a.(slot));
+        Sim_obj.read o
+      end
+      else q
+    in
+    finish q
+  in
+  (* Figure 2, lines 15-28: code for process [slot] of team B. *)
+  let decide_b slot v =
+    Cell.write r_b (Some v);
+    let q = Sim_obj.read o in
+    if is_q0 q then
+      if (Array.length ops_b = 1 || not faithful) && Cell.read r_a <> None then
+        return_team_a () (* line 20: the lone team-B process yields *)
+      else begin
+        ignore (Sim_obj.apply o ops_b.(slot));
+        finish (Sim_obj.read o)
+      end
+    else finish q
+  in
+  let decide team slot v =
+    let effective =
+      if swap then Rcons_spec.Team.opposite team else team
+    in
+    match effective with
+    | Rcons_spec.Team.A -> decide_a slot v
+    | Rcons_spec.Team.B -> decide_b slot v
+  in
+  (* Sizes are reported in the certificate's labelling (callers address
+     teams and slots as in the certificate; the swap is internal). *)
+  { decide; size_a = List.length d.ops_a; size_b = List.length d.ops_b }

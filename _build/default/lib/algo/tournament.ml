@@ -1,0 +1,89 @@
+(* Lifting team consensus to full (recoverable) consensus: the tournament
+   of Appendix B (Proposition 30).
+
+   The k processes of a node are split into two parts A' and B' with
+   |A'| <= |A| and |B'| <= |B|, where (|A|, |B|) are the team capacities of
+   the underlying team-consensus instances; each part recursively agrees on
+   a value and the two parts then run team consensus.  The split always
+   exists when k <= |A| + |B|.  A team-consensus instance also works when
+   only a subset of each team participates (the missing processes simply
+   take no steps), which the recursion relies on.
+
+   All shared objects are created up front (they live in non-volatile
+   memory); re-running [decide] after a crash re-enters the same instances,
+   so the construction is recoverable whenever the underlying instances
+   are. *)
+
+open Rcons_check
+
+type 'v decide = int -> 'v -> 'v
+(* [decide pid v] run from inside simulated process [pid]. *)
+
+type 'v team_instance = {
+  decide_team : Rcons_spec.Team.t -> int -> 'v -> 'v;
+  cap_a : int;
+  cap_b : int;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let rec drop n xs = if n = 0 then xs else match xs with [] -> [] | _ :: rest -> drop (n - 1) rest
+
+let index_of pid pids =
+  let rec go i = function
+    | [] -> invalid_arg "Tournament.index_of"
+    | p :: rest -> if p = pid then i else go (i + 1) rest
+  in
+  go 0 pids
+
+let rec build ~make_instance ~cap_a ~cap_b pids : 'v decide =
+  match pids with
+  | [] -> invalid_arg "Tournament.build: empty process set"
+  | [ _ ] -> fun _pid v -> v
+  | _ ->
+      let k = List.length pids in
+      if k > cap_a + cap_b then invalid_arg "Tournament.build: too many processes";
+      (* |A'| = min(|A|, k-1) >= 1 and |B'| = k - |A'| is then both >= 1
+         and <= |B| (Proposition 30). *)
+      let a' = min cap_a (k - 1) in
+      let left = take a' pids and right = drop a' pids in
+      let decide_left = build ~make_instance ~cap_a ~cap_b left in
+      let decide_right = build ~make_instance ~cap_a ~cap_b right in
+      let inst : 'v team_instance = make_instance () in
+      fun pid v ->
+        if List.mem pid left then
+          inst.decide_team Rcons_spec.Team.A (index_of pid left) (decide_left pid v)
+        else inst.decide_team Rcons_spec.Team.B (index_of pid right) (decide_right pid v)
+
+(* Mask unstable inputs with the input-register transformation, so the
+   precondition "a process's input does not change across runs" holds even
+   if the caller passes different values after a recovery. *)
+let with_stable_inputs n (decide : 'v decide) : 'v decide =
+  let regs = Stable_input.make n in
+  fun pid v -> decide pid (Stable_input.fix regs pid v)
+
+(* n-process recoverable consensus from a recording certificate
+   (Theorem 8 + Proposition 30). *)
+let recoverable_consensus ?faithful (cert : Certificate.recording) ~n : 'v decide =
+  let size_a, size_b = Certificate.recording_teams cert in
+  let make_instance () =
+    let tc = Team_consensus.create ?faithful cert in
+    { decide_team = tc.Team_consensus.decide; cap_a = tc.size_a; cap_b = tc.size_b }
+  in
+  with_stable_inputs n (build ~make_instance ~cap_a:size_a ~cap_b:size_b (List.init n Fun.id))
+
+(* n-process standard consensus from a discerning certificate (Theorem 3);
+   correct under halting failures only. *)
+let standard_consensus (cert : Certificate.discerning) ~n : 'v decide =
+  let make_instance () =
+    let rc = Ruppert_consensus.create cert in
+    let decide_team team slot v =
+      let j = match team with Rcons_spec.Team.A -> slot | Rcons_spec.Team.B -> rc.size_a + slot in
+      rc.Ruppert_consensus.decide j v
+    in
+    { decide_team; cap_a = rc.size_a; cap_b = rc.size_b }
+  in
+  let cap_a, cap_b = Certificate.discerning_teams cert in
+  build ~make_instance ~cap_a ~cap_b (List.init n Fun.id)

@@ -1,0 +1,1 @@
+lib/check/brute_force.ml: Array Fun List Object_type Option Rcons_spec

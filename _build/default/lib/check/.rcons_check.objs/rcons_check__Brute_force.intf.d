@@ -1,0 +1,1 @@
+lib/check/brute_force.mli: Rcons_spec

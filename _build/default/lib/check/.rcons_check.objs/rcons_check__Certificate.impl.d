@@ -1,0 +1,1 @@
+lib/check/certificate.ml: Array Format List Rcons_spec Search

@@ -1,0 +1,1 @@
+lib/check/classify.ml: Discerning Format Object_type Rcons_spec Recording

@@ -1,0 +1,1 @@
+lib/check/classify.mli: Format Rcons_spec

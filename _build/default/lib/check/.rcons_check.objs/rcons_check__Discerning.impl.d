@@ -1,0 +1,1 @@
+lib/check/discerning.ml: Array Certificate Enumerate List Object_type Option Rcons_spec Search Team

@@ -1,0 +1,1 @@
+lib/check/discerning.mli: Certificate Rcons_spec

@@ -1,0 +1,1 @@
+lib/check/enumerate.ml: Fun List

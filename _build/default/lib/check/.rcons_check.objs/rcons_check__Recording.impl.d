@@ -1,0 +1,1 @@
+lib/check/recording.ml: Certificate Enumerate List Object_type Option Rcons_spec Search

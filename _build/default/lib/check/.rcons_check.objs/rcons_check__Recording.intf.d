@@ -1,0 +1,1 @@
+lib/check/recording.mli: Certificate Rcons_spec

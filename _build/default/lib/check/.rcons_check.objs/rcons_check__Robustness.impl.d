@@ -1,0 +1,1 @@
+lib/check/robustness.ml: Classify Format List Object_type Rcons_spec Recording

@@ -1,0 +1,1 @@
+lib/check/robustness.mli: Certificate Classify Format Rcons_spec

@@ -1,0 +1,1 @@
+lib/check/search.ml: Array List Rcons_spec Set Stdlib

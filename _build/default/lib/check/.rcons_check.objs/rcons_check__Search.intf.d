@@ -1,0 +1,1 @@
+lib/check/search.mli: Rcons_spec Set

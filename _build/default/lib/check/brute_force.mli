@@ -1,0 +1,16 @@
+(** Oracle implementations of Definitions 2 and 4 by literal enumeration
+    -- no multiset symmetry reduction, no memoization, every ordered
+    operation assignment, every partition and every permutation of every
+    subset of processes directly from the definitions' text.
+
+    Exponentially slower than {!Recording} / {!Discerning}, but
+    independent: property-based tests compare the two on random small
+    types, guarding the symmetry arguments used by the fast code. *)
+
+val is_recording : Rcons_spec.Object_type.t -> int -> bool
+(** Definition 4, literally.  Use only for small n and small universes.
+    @raise Invalid_argument if [n < 2]. *)
+
+val is_discerning : Rcons_spec.Object_type.t -> int -> bool
+(** Definition 2, literally.
+    @raise Invalid_argument if [n < 2]. *)

@@ -1,0 +1,57 @@
+(** Classification of object types in the consensus and recoverable
+    consensus hierarchies.
+
+    For a deterministic readable type T, with respect to its declared
+    operation universe:
+    - [cons(T)] = max n such that T is n-discerning (Theorem 3, exact);
+    - [rcons(T)] is k or k+1 where k = max n such that T is n-recording
+      (Theorems 8 and 14), further capped by [rcons <= cons]
+      (Corollary 17).
+
+    Both properties are downward closed (Observation 6 and its
+    discerning analogue), so the maxima are found by upward scanning.
+    A type passing at the scan limit is reported as {!At_least}: no
+    finite procedure distinguishes "large" from "infinite" in general. *)
+
+type level = Finite of int | At_least of int
+
+val pp_level : Format.formatter -> level -> unit
+val equal_level : level -> level -> bool
+
+val max_level : limit:int -> (int -> bool) -> level
+(** [max_level ~limit prop]: largest n in [2, limit] satisfying the
+    downward-closed [prop], scanning upwards; [Finite 1] if [prop 2] is
+    false (one process can always decide alone).
+    @raise Invalid_argument if [limit < 2]. *)
+
+val max_discerning : ?limit:int -> Rcons_spec.Object_type.t -> level
+(** Default [limit] is 8. *)
+
+val max_recording : ?limit:int -> Rcons_spec.Object_type.t -> level
+
+(** Interval [lower, upper]; [upper = None] means no finite upper bound
+    was established. *)
+type bounds = { lower : int; upper : int option }
+
+val pp_bounds : Format.formatter -> bounds -> unit
+
+val cons_bounds : ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+(** [None] for non-readable types: Theorem 3 ties the discerning level
+    to cons only in the presence of a READ operation. *)
+
+val rcons_bounds : ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+(** [None] for non-readable types (Theorem 8 needs the READ; the
+    Theorem 14 upper bound alone is not an interval). *)
+
+type report = {
+  type_name : string;
+  is_readable : bool;
+  discerning : level;
+  recording : level;
+  cons : bounds option;
+  rcons : bounds option;
+}
+
+val classify : ?limit:int -> Rcons_spec.Object_type.t -> report
+val pp_bounds_option : Format.formatter -> bounds option -> unit
+val pp_report : Format.formatter -> report -> unit

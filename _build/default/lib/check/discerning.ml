@@ -1,0 +1,76 @@
+(* Decision procedure for the n-discerning property (Definition 2, from
+   Ruppert's characterization of readable types that solve consensus).
+
+   T is n-discerning if there exist q0, a two-team partition and operations
+   op_1, ..., op_n such that R_{A,j} and R_{B,j} are disjoint for every
+   process j, where R_{X,j} collects the (response of op_j, final state)
+   pairs over all distinct-process sequences starting with a team-X process
+   and including j.
+
+   Processes assigned the same operation on the same team have identical
+   R-sets, so it suffices to check one tracked instance per distinct
+   (team, operation) pair of the assignment. *)
+
+open Rcons_spec
+
+let check_candidate (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) ~q0
+    ~(ops_a : o list) ~(ops_b : o list) =
+  let module S = Search.Make (T) in
+  let ms_a = S.multiset_of_list ops_a and ms_b = S.multiset_of_list ops_b in
+  let tracked_instances =
+    Array.to_list (Array.map (fun op -> (Team.A, op)) ms_a.S.ops)
+    @ Array.to_list (Array.map (fun op -> (Team.B, op)) ms_b.S.ops)
+  in
+  let r_sets =
+    List.map
+      (fun (tracked_team, tracked_op) ->
+        let r_of first =
+          S.responses ~q0 ~team_a:ms_a ~team_b:ms_b ~first ~tracked_team ~tracked_op
+        in
+        ((tracked_team, tracked_op), r_of Team.A, r_of Team.B))
+      tracked_instances
+  in
+  let disjoint = List.for_all (fun (_, ra, rb) -> S.Pair_set.(is_empty (inter ra rb))) r_sets in
+  if not disjoint then None
+  else begin
+    (* Expand the per-(team, op) R-sets back to per-process arrays. *)
+    let procs =
+      Array.of_list
+        (List.map (fun op -> (Team.A, op)) ops_a @ List.map (fun op -> (Team.B, op)) ops_b)
+    in
+    let find_sets (team, op) =
+      let _, ra, rb =
+        List.find
+          (fun ((t, o), _, _) -> t = team && T.compare_op o op = 0)
+          r_sets
+      in
+      (S.Pair_set.elements ra, S.Pair_set.elements rb)
+    in
+    let r_a = Array.map (fun p -> fst (find_sets p)) procs in
+    let r_b = Array.map (fun p -> snd (find_sets p)) procs in
+    Some { Certificate.dq0 = q0; procs; r_a; r_b }
+  end
+
+let witness (Object_type.Pack (module T)) n : Certificate.discerning option =
+  if n < 2 then invalid_arg "Discerning.witness: n must be >= 2";
+  let candidates =
+    List.concat_map
+      (fun q0 ->
+        List.concat_map
+          (fun (a, b) ->
+            Enumerate.pairs
+              (Enumerate.multisets a T.update_ops)
+              (Enumerate.multisets b T.update_ops)
+            |> List.map (fun (ops_a, ops_b) -> (q0, ops_a, ops_b)))
+          (Enumerate.team_splits n))
+      T.candidate_initial_states
+  in
+  List.find_map
+    (fun (q0, ops_a, ops_b) ->
+      match check_candidate (module T) ~q0 ~ops_a ~ops_b with
+      | Some data -> Some (Certificate.Discerning ((module T), data))
+      | None -> None)
+    candidates
+
+let is_discerning ot n = Option.is_some (witness ot n)

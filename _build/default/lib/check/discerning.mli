@@ -1,0 +1,23 @@
+(** Decision procedure for the n-discerning property (Definition 2 of
+    the paper, from Ruppert's characterization of the readable types that
+    solve n-process consensus, Theorem 3).
+
+    T is n-discerning if there exist [q0], a two-team partition and
+    operations op_1, ..., op_n such that R_{A,j} and R_{B,j} are disjoint
+    for every process j, where R_{X,j} collects the (response of op_j,
+    final state) pairs over all distinct-process sequences that start
+    with a team-X process and include j.  Processes assigned the same
+    operation on the same team have identical R-sets, so one tracked
+    instance per distinct (team, operation) suffices. *)
+
+val check_candidate :
+  (module Rcons_spec.Object_type.S with type state = 's and type op = 'o and type resp = 'r) ->
+  q0:'s ->
+  ops_a:'o list ->
+  ops_b:'o list ->
+  ('s, 'o, 'r) Certificate.discerning_data option
+
+val witness : Rcons_spec.Object_type.t -> int -> Certificate.discerning option
+(** @raise Invalid_argument if [n < 2]. *)
+
+val is_discerning : Rcons_spec.Object_type.t -> int -> bool

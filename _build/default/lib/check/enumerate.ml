@@ -1,0 +1,28 @@
+(* Enumeration helpers for the property-checker searches.
+
+   Both Q_X (Definition 4) and R_{X,j} (Definition 2) depend only on the
+   multiset of operations assigned to each team: process indices enter the
+   definitions only through the constraint that each process appears at
+   most once in a sequence.  Enumerating multisets instead of vectors is an
+   exponential symmetry reduction with the same answer. *)
+
+(* All multisets of size [k] over [universe], each as a sorted list. *)
+let rec multisets k universe =
+  match universe with
+  | [] -> if k = 0 then [ [] ] else []
+  | op :: rest ->
+      let with_j j =
+        let prefix = List.init j (fun _ -> op) in
+        List.map (fun ms -> prefix @ ms) (multisets (k - j) rest)
+      in
+      List.concat_map with_j (List.init (k + 1) Fun.id)
+
+(* Splits of [n] processes into two non-empty team sizes (a, b), a <= b.
+   The properties of Definitions 2 and 4 are invariant under swapping the
+   two teams, so ordered splits with a > b are redundant. *)
+let team_splits n =
+  let rec go a acc = if a > n - a then List.rev acc else go (a + 1) ((a, n - a) :: acc) in
+  go 1 []
+
+(* Cartesian product used when pairing the two teams' multisets. *)
+let pairs xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs

@@ -1,0 +1,20 @@
+(** Enumeration helpers for the property-checker searches.
+
+    Both Q_X (Definition 4) and R_{X,j} (Definition 2) depend only on the
+    multiset of operations assigned to each team -- process indices enter
+    the definitions only through "each process appears at most once" --
+    so enumerating multisets instead of per-process vectors is an
+    exponential symmetry reduction with the same answer (checked against
+    brute-force vector enumeration in the test suite). *)
+
+val multisets : int -> 'a list -> 'a list list
+(** [multisets k universe]: all multisets of size [k] over [universe],
+    each represented as a list; there are C(|universe| + k - 1, k). *)
+
+val team_splits : int -> (int * int) list
+(** [team_splits n]: the splits of [n] processes into two non-empty team
+    sizes [(a, b)] with [a <= b].  Ordered splits with [a > b] are
+    redundant because Definitions 2 and 4 are team-swap invariant. *)
+
+val pairs : 'a list -> 'b list -> ('a * 'b) list
+(** Cartesian product, in order. *)

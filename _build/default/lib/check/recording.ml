@@ -1,0 +1,66 @@
+(* Decision procedure for the n-recording property (Definition 4).
+
+   A deterministic type T is n-recording if there exist a state q0, a
+   partition of n processes into two non-empty teams A and B, and
+   operations op_1, ..., op_n such that
+     (1) Q_A and Q_B are disjoint,
+     (2) q0 is not in Q_A, or |B| = 1,
+     (3) q0 is not in Q_B, or |A| = 1.
+
+   The search enumerates candidate initial states, team sizes (up to the
+   team-swap symmetry) and operation multisets per team, and decides each
+   candidate exactly by computing Q_A and Q_B.  The answer is exact with
+   respect to the type's declared finite operation universe. *)
+
+open Rcons_spec
+
+(* Check one candidate (q0, team multisets); return the certificate data on
+   success. *)
+let check_candidate (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) ~q0
+    ~(ops_a : o list) ~(ops_b : o list) =
+  let module S = Search.Make (T) in
+  let ms_a = S.multiset_of_list ops_a and ms_b = S.multiset_of_list ops_b in
+  let q_a = S.reachable ~q0 ~first:ms_a ~other:ms_b in
+  let q_b = S.reachable ~q0 ~first:ms_b ~other:ms_a in
+  let q0_in_q_a = S.State_set.mem q0 q_a and q0_in_q_b = S.State_set.mem q0 q_b in
+  let cond1 = S.State_set.(is_empty (inter q_a q_b)) in
+  let cond2 = (not q0_in_q_a) || List.length ops_b = 1 in
+  let cond3 = (not q0_in_q_b) || List.length ops_a = 1 in
+  if cond1 && cond2 && cond3 then
+    Some
+      {
+        Certificate.q0;
+        ops_a;
+        ops_b;
+        q_a = S.State_set.elements q_a;
+        q_b = S.State_set.elements q_b;
+        q0_in_q_a;
+        q0_in_q_b;
+      }
+  else None
+
+(* Find a witness that T is n-recording, or None if no candidate over the
+   declared universes satisfies Definition 4. *)
+let witness (Object_type.Pack (module T)) n : Certificate.recording option =
+  if n < 2 then invalid_arg "Recording.witness: n must be >= 2";
+  let candidates =
+    List.concat_map
+      (fun q0 ->
+        List.concat_map
+          (fun (a, b) ->
+            Enumerate.pairs
+              (Enumerate.multisets a T.update_ops)
+              (Enumerate.multisets b T.update_ops)
+            |> List.map (fun (ops_a, ops_b) -> (q0, ops_a, ops_b)))
+          (Enumerate.team_splits n))
+      T.candidate_initial_states
+  in
+  List.find_map
+    (fun (q0, ops_a, ops_b) ->
+      match check_candidate (module T) ~q0 ~ops_a ~ops_b with
+      | Some data -> Some (Certificate.Recording ((module T), data))
+      | None -> None)
+    candidates
+
+let is_recording ot n = Option.is_some (witness ot n)

@@ -1,0 +1,30 @@
+(** Decision procedure for the n-recording property (Definition 4 of the
+    paper).
+
+    A deterministic type T is n-recording if there exist a state [q0], a
+    partition of n processes into two non-empty teams A and B, and
+    operations op_1, ..., op_n such that
+    + Q_A and Q_B are disjoint,
+    + [q0] is not in Q_A, or |B| = 1,
+    + [q0] is not in Q_B, or |A| = 1.
+
+    The search enumerates candidate initial states, team sizes (up to the
+    team-swap symmetry) and operation multisets per team, deciding each
+    candidate exactly by computing Q_A and Q_B.  Answers are exact with
+    respect to the type's declared finite operation universe. *)
+
+val check_candidate :
+  (module Rcons_spec.Object_type.S with type state = 's and type op = 'o and type resp = 'r) ->
+  q0:'s ->
+  ops_a:'o list ->
+  ops_b:'o list ->
+  ('s, 'o) Certificate.recording_data option
+(** Decide one candidate assignment; [Some data] iff it satisfies all
+    three conditions of Definition 4. *)
+
+val witness : Rcons_spec.Object_type.t -> int -> Certificate.recording option
+(** [witness t n]: a certificate that [t] is n-recording, or [None] if
+    no candidate over the declared universes satisfies Definition 4.
+    @raise Invalid_argument if [n < 2]. *)
+
+val is_recording : Rcons_spec.Object_type.t -> int -> bool

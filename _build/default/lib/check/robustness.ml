@@ -1,0 +1,66 @@
+(* Theorem 22: how the power of a set of deterministic readable types to
+   solve RC relates to the individual types.
+
+   If n = max { rcons(T) : T in the set } exists, then
+   n <= rcons(set) <= n + 1: the lower bound because an algorithm may
+   simply use the strongest member, the upper bound by the
+   critical-object argument (a putative (n+2)-process algorithm has a
+   critical execution whose critical object has a single type, which the
+   Theorem 14 machinery shows to be (n+1)-recording, contradicting
+   maximality).
+
+   Computationally we expose: the individual recording levels, the
+   derived set-level rcons interval, and the strongest member's
+   certificate at the set's level (which realizes the lower bound through
+   the Figure 2 + tournament algorithm). *)
+
+open Rcons_spec
+
+type analysis = {
+  members : (string * Classify.level) list; (* recording level per type *)
+  set_level : Classify.level; (* max individual recording level *)
+  rcons_lower : int; (* realized by the strongest member (Thm 8) *)
+  rcons_upper : int option; (* Thm 22's n + 1, None when unbounded *)
+  best : Object_type.t option; (* a member attaining the set level *)
+}
+
+let level_value = function Classify.Finite k -> k | Classify.At_least k -> k
+
+let analyse ?limit (types : Object_type.t list) =
+  if types = [] then invalid_arg "Robustness.analyse: empty set";
+  let members =
+    List.map (fun ot -> (Object_type.name ot, Classify.max_recording ?limit ot)) types
+  in
+  let set_level, best =
+    List.fold_left2
+      (fun (acc_level, acc_best) (_, level) ot ->
+        if level_value level > level_value acc_level then (level, Some ot)
+        else (acc_level, acc_best))
+      (Classify.Finite 0, None)
+      members types
+  in
+  let k = level_value set_level in
+  let unbounded = match set_level with Classify.At_least _ -> true | Classify.Finite _ -> false in
+  {
+    members;
+    set_level;
+    rcons_lower = max 1 k;
+    rcons_upper = (if unbounded then None else Some (max 1 (k + 1)));
+    best;
+  }
+
+(* A certificate realizing the set's lower bound, from its strongest
+   member (readable members only: Theorem 8 needs the READ). *)
+let best_certificate ?limit types =
+  let a = analyse ?limit types in
+  match a.best with
+  | Some ot when Object_type.readable ot && level_value a.set_level >= 2 ->
+      Recording.witness ot (level_value a.set_level)
+  | Some _ | None -> None
+
+let pp ppf a =
+  let member ppf (name, level) = Format.fprintf ppf "%s:%a" name Classify.pp_level level in
+  Format.fprintf ppf "{%a} -> rcons(set) in [%d,%s]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") member)
+    a.members a.rcons_lower
+    (match a.rcons_upper with Some u -> string_of_int u | None -> "inf")

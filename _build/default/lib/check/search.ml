@@ -1,0 +1,187 @@
+(* Reachability searches underlying the decision procedures.
+
+   [Make (T)] provides, for a fixed deterministic type T:
+   - [reachable]: the set Q_X(q0, op_1, ..., op_n) of Definition 4 -- all
+     states reachable by applying operations of *distinct* processes in
+     some order, the first of which belongs to team X;
+   - [responses]: the set R_{X,j} of Definition 2 -- all pairs (r, q) such
+     that some sequence of distinct-process operations starting with a
+     process of team X and including process j makes op_j return r and
+     leaves the object in state q.
+
+   Both searches work on the multiset abstraction: a team is a multiset of
+   operations, and "distinct processes" becomes "use each multiset element
+   at most once".  Sequences are prefix-closed (every prefix of a valid
+   sequence is a valid sequence), so states/pairs are collected at every
+   node of the search tree, and memoization on (state, remaining counts)
+   keeps the exploration polynomial in the reachable fragment. *)
+
+module Make (T : Rcons_spec.Object_type.S) = struct
+  module State_set = Set.Make (struct
+    type t = T.state
+
+    let compare = T.compare_state
+  end)
+
+  module Pair_set = Set.Make (struct
+    type t = T.resp * T.state
+
+    let compare (r1, s1) (r2, s2) =
+      let c = T.compare_resp r1 r2 in
+      if c <> 0 then c else T.compare_state s1 s2
+  end)
+
+  (* A team's operations with multiplicities.  [ops] holds the distinct
+     operations; [counts] the number of processes assigned each one. *)
+  type multiset = { ops : T.op array; counts : int array }
+
+  let multiset_of_list ops =
+    let sorted = List.sort T.compare_op ops in
+    let rec group = function
+      | [] -> []
+      | op :: rest ->
+          let same, others = List.partition (fun o -> T.compare_op o op = 0) rest in
+          (op, 1 + List.length same) :: group others
+    in
+    let grouped = group sorted in
+    { ops = Array.of_list (List.map fst grouped); counts = Array.of_list (List.map snd grouped) }
+
+  let total ms = Array.fold_left ( + ) 0 ms.counts
+
+  (* Search nodes are (state, remaining counts of team 1, remaining counts
+     of team 2[, extra]); [extra] distinguishes tracked-operation status in
+     the R_{X,j} search. *)
+  module Node = struct
+    type t = T.state * int list * int list * int
+
+    let compare (s1, a1, b1, x1) (s2, a2, b2, x2) =
+      let c = T.compare_state s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a1 a2 in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare b1 b2 in
+          if c <> 0 then c else Stdlib.compare x1 x2
+    [@@warning "-unused-value-declaration"]
+  end
+
+  module Node_set = Set.Make (Node)
+
+  let dec counts i = List.mapi (fun j c -> if j = i then c - 1 else c) counts
+  let counts_list ms = Array.to_list ms.counts
+
+  (* Q_X: states reachable when the first operation comes from [first] and
+     subsequent operations come from what remains of [first] and [other]. *)
+  let reachable ~q0 ~(first : multiset) ~(other : multiset) =
+    let visited = ref Node_set.empty in
+    let found = ref State_set.empty in
+    let rec explore s ca cb =
+      let key = (s, ca, cb, 0) in
+      if not (Node_set.mem key !visited) then begin
+        visited := Node_set.add key !visited;
+        found := State_set.add s !found;
+        List.iteri
+          (fun i c ->
+            if c > 0 then
+              let s', _ = T.apply s first.ops.(i) in
+              explore s' (dec ca i) cb)
+          ca;
+        List.iteri
+          (fun i c ->
+            if c > 0 then
+              let s', _ = T.apply s other.ops.(i) in
+              explore s' ca (dec cb i))
+          cb
+      end
+    in
+    Array.iteri
+      (fun i op ->
+        if first.counts.(i) > 0 then
+          let s', _ = T.apply q0 op in
+          explore s' (dec (counts_list first) i) (counts_list other))
+      first.ops;
+    !found
+
+  (* R_{X,j} where process j is one instance of operation [tracked_op] on
+     team [tracked_team].  [team_a]/[team_b] are the full team multisets
+     (including the tracked instance, which is removed here); [first] names
+     the team X whose member must move first. *)
+  let responses ~q0 ~(team_a : multiset) ~(team_b : multiset) ~first
+      ~(tracked_team : Rcons_spec.Team.t) ~(tracked_op : T.op) =
+    let remove_tracked ms =
+      let idx = ref (-1) in
+      Array.iteri (fun i op -> if T.compare_op op tracked_op = 0 then idx := i) ms.ops;
+      if !idx < 0 || ms.counts.(!idx) = 0 then
+        invalid_arg "Search.responses: tracked operation not in its team";
+      let counts = Array.copy ms.counts in
+      counts.(!idx) <- counts.(!idx) - 1;
+      { ms with counts }
+    in
+    let ta, tb =
+      match tracked_team with
+      | Rcons_spec.Team.A -> (remove_tracked team_a, team_b)
+      | Rcons_spec.Team.B -> (team_a, remove_tracked team_b)
+    in
+    let visited = ref Node_set.empty in
+    let found = ref Pair_set.empty in
+    (* [tracked] = None while op_j has not been applied; Some r afterwards.
+       The node key encodes it as an int: -1 pending, i >= 0 the index of r
+       in a small response table. *)
+    let resp_table : T.resp list ref = ref [] in
+    let resp_index r =
+      let rec find i = function
+        | [] ->
+            resp_table := !resp_table @ [ r ];
+            i
+        | r' :: rest -> if T.compare_resp r r' = 0 then i else find (i + 1) rest
+      in
+      find 0 !resp_table
+    in
+    let rec explore s ca cb tracked =
+      let code = match tracked with None -> -1 | Some (i, _) -> i in
+      let key = (s, ca, cb, code) in
+      if not (Node_set.mem key !visited) then begin
+        visited := Node_set.add key !visited;
+        (match tracked with
+        | Some (_, r) -> found := Pair_set.add (r, s) !found
+        | None -> ());
+        List.iteri
+          (fun i c ->
+            if c > 0 then
+              let s', _ = T.apply s ta.ops.(i) in
+              explore s' (dec ca i) cb tracked)
+          ca;
+        List.iteri
+          (fun i c ->
+            if c > 0 then
+              let s', _ = T.apply s tb.ops.(i) in
+              explore s' ca (dec cb i) tracked)
+          cb;
+        if tracked = None then begin
+          let s', r = T.apply s tracked_op in
+          explore s' ca cb (Some (resp_index r, r))
+        end
+      end
+    in
+    (* First step: a process of team [first] moves, which is either a
+       regular instance of that team's multiset or the tracked process when
+       it belongs to team [first]. *)
+    let start_regular ms ms_counts other_counts flip =
+      Array.iteri
+        (fun i op ->
+          if ms.counts.(i) > 0 then
+            let s', _ = T.apply q0 op in
+            if flip then explore s' other_counts (dec ms_counts i) None
+            else explore s' (dec ms_counts i) other_counts None)
+        ms.ops
+    in
+    (match first with
+    | Rcons_spec.Team.A -> start_regular ta (counts_list ta) (counts_list tb) false
+    | Rcons_spec.Team.B -> start_regular tb (counts_list tb) (counts_list ta) true);
+    if tracked_team = first then begin
+      let s', r = T.apply q0 tracked_op in
+      explore s' (counts_list ta) (counts_list tb) (Some (resp_index r, r))
+    end;
+    !found
+end

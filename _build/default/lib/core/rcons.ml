@@ -1,0 +1,56 @@
+(* Public facade of the reproduction of "When Is Recoverable Consensus
+   Harder Than Consensus?" (Delporte-Gallet, Fatourou, Fauconnier,
+   Ruppert; PODC 2022).
+
+   The sub-libraries are re-exported under short names:
+
+   - {!Spec}: deterministic sequential object types and the catalogue
+     (registers, TAS, CAS, stack, queue, T_n, S_n, ...).
+   - {!Check}: decision procedures for the n-discerning (Definition 2) and
+     n-recording (Definition 4) properties; consensus / recoverable-
+     consensus bounds (Theorems 3, 8, 14); certificates.
+   - {!Runtime}: the simulated crash-recovery shared-memory system
+     (non-volatile heap, schedulers, bounded model checker).
+   - {!Algo}: the paper's algorithms -- Figure 2 team consensus, the
+     Appendix B tournament, Figure 4 simultaneous-crash RC, baselines.
+   - {!Universal}: RUniversal, the recoverable universal construction of
+     Figure 7, with derived recoverable objects.
+   - {!History}: operation histories and linearizability checking.
+   - {!Valency}: the Appendix H impossibility analysis (rcons(stack) = 1).
+
+   The toplevel functions below cover the common workflows. *)
+
+module Spec = Rcons_spec
+module Check = Rcons_check
+module Runtime = Rcons_runtime
+module Algo = Rcons_algo
+module Universal = Rcons_universal
+module History = Rcons_history
+module Valency = Rcons_valency
+
+(* Where does a type sit in the two hierarchies?  Decides the n-discerning
+   and n-recording levels up to [limit] and derives interval bounds on
+   cons(T) and rcons(T). *)
+let classify = Check.Classify.classify
+
+(* Build an n-process recoverable-consensus decision function from any
+   readable type that is n-recording (Theorem 8 + the tournament of
+   Appendix B).  Returns None when the checker finds no n-recording
+   witness.  The resulting [decide pid v] must be run inside a simulated
+   process (see {!Runtime.Sim}); it tolerates crashes and recoveries. *)
+let solve_rc ot ~n =
+  match Check.Recording.witness ot n with
+  | None -> None
+  | Some cert -> Some (Algo.Tournament.recoverable_consensus cert ~n)
+
+(* Build a wait-free recoverable object from a sequential specification
+   using the universal construction of Figure 7. *)
+let make_recoverable ?history ?make_rc ~n spec =
+  Universal.Runiversal.create ?history ?make_rc ~n spec
+
+(* The Appendix H analysis: does every critical configuration of the type
+   force equal valencies (implying rcons = 1)?  For the stack and the
+   queue use {!Valency.Impossibility.analyse_stack} and [analyse_queue]
+   instead: they canonicalize the growing list-state pairs, which this
+   generic entry point cannot do for an abstract state type. *)
+let impossibility = Valency.Impossibility.analyse

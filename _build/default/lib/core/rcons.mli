@@ -1,0 +1,57 @@
+(** Public facade of the reproduction of "When Is Recoverable Consensus
+    Harder Than Consensus?" (Delporte-Gallet, Fatourou, Fauconnier,
+    Ruppert; PODC 2022).
+
+    {ul
+    {- {!Spec}: deterministic sequential object types and the catalogue
+       (registers, TAS, CAS, stack, queue, T_n, S_n, ...).}
+    {- {!Check}: decision procedures for the n-discerning (Definition 2)
+       and n-recording (Definition 4) properties; cons / rcons bounds
+       (Theorems 3, 8, 14); certificates; a brute-force oracle.}
+    {- {!Runtime}: the simulated crash-recovery shared-memory system
+       (non-volatile heap, schedule drivers, bounded model checker).}
+    {- {!Algo}: the paper's algorithms -- Figure 2 team consensus, the
+       Appendix B tournament, Figure 4 simultaneous-crash RC, and the
+       crash-free Ruppert baseline.}
+    {- {!Universal}: RUniversal, the recoverable universal construction
+       of Figure 7, with derived recoverable objects.}
+    {- {!History}: operation histories and linearizability checking.}
+    {- {!Valency}: the Appendix H impossibility analysis
+       (rcons(stack) = 1).}} *)
+
+module Spec = Rcons_spec
+module Check = Rcons_check
+module Runtime = Rcons_runtime
+module Algo = Rcons_algo
+module Universal = Rcons_universal
+module History = Rcons_history
+module Valency = Rcons_valency
+
+val classify : ?limit:int -> Spec.Object_type.t -> Check.Classify.report
+(** Where does a type sit in the two hierarchies?  Decides the
+    n-discerning and n-recording levels up to [limit] (default 8) and
+    derives interval bounds on cons(T) and rcons(T). *)
+
+val solve_rc : Spec.Object_type.t -> n:int -> (int -> 'v -> 'v) option
+(** Build an n-process recoverable-consensus decision function from any
+    readable type that is n-recording (Theorem 8 + the tournament of
+    Appendix B); [None] when the checker finds no n-recording witness.
+    The resulting [decide pid v] must run inside a simulated process
+    ({!Runtime.Sim}); it tolerates crashes and recoveries. *)
+
+val make_recoverable :
+  ?history:('o, 'r) History.History.t ->
+  ?make_rc:(unit -> ('s, 'o, 'r) Universal.Runiversal.node Universal.Runiversal.rc) ->
+  n:int ->
+  ('s, 'o, 'r) Universal.Runiversal.seq_spec ->
+  ('s, 'o, 'r) Universal.Runiversal.t
+(** A wait-free recoverable object from any sequential specification,
+    via the universal construction of Figure 7. *)
+
+val impossibility :
+  ?max_pairs:int -> ?max_depth:int -> ?state_depth:int -> Spec.Object_type.t ->
+  Valency.Impossibility.report
+(** The Appendix H analysis: does every critical configuration force
+    equal valencies (implying rcons = 1)?  For the stack and queue use
+    {!Valency.Impossibility.analyse_stack} / [analyse_queue], which
+    canonicalize the growing list-state pairs. *)

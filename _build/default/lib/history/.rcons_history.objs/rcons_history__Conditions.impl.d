@@ -1,0 +1,1 @@
+lib/history/conditions.ml: History Linearizability List

@@ -1,0 +1,1 @@
+lib/history/conditions.mli: History Linearizability

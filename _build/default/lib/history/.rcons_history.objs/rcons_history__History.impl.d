@@ -1,0 +1,1 @@
+lib/history/history.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/history/linearizability.ml: Array Hashtbl History

@@ -1,0 +1,1 @@
+lib/history/linearizability.mli: History

@@ -1,0 +1,24 @@
+(** Crash-aware correctness conditions from Section 4 of the paper:
+    strict linearizability (an operation pending at its process's crash
+    linearizes before the crash or not at all) versus recoverable
+    linearizability (the recovery may complete it later).
+
+    The paper observes that without volatile shared memory RUniversal
+    satisfies only the weaker condition; the test suite exhibits
+    concrete RUniversal histories that are recoverably but not strictly
+    linearizable, and the experiment harness measures how often they
+    occur.  Durable linearizability coincides with the plain check on
+    this library's histories (no caching is modelled); see the
+    implementation header. *)
+
+val strict_operations :
+  ('o, 'r) History.t -> ('o, 'r) History.operation list
+(** Operations with intervals tightened to end at the first crash of
+    their process while pending. *)
+
+val strictly_linearizable : ('s, 'o, 'r) Linearizability.spec -> ('o, 'r) History.t -> bool
+val recoverably_linearizable : ('s, 'o, 'r) Linearizability.spec -> ('o, 'r) History.t -> bool
+
+type verdict = { recoverable : bool; strict : bool }
+
+val classify : ('s, 'o, 'r) Linearizability.spec -> ('o, 'r) History.t -> verdict

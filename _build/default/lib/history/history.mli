@@ -1,0 +1,41 @@
+(** Concurrent operation histories with crash markers.
+
+    A history records, in global time order, invocation and response
+    events of high-level operations plus process-crash markers.  Each
+    operation carries a unique tag, so an operation interrupted by a
+    crash and completed by the recovery code appears as ONE operation
+    whose response arrives late -- the shape of history the recoverable
+    universal construction produces. *)
+
+type ('o, 'r) event =
+  | Invoke of { pid : int; tag : int; op : 'o }
+  | Response of { pid : int; tag : int; resp : 'r }
+  | Crash of { pid : int }
+
+type ('o, 'r) t
+
+val create : unit -> ('o, 'r) t
+
+val invoke : ('o, 'r) t -> pid:int -> 'o -> int
+(** Record an invocation; returns its fresh tag. *)
+
+val respond : ('o, 'r) t -> pid:int -> tag:int -> 'r -> unit
+val crash : ('o, 'r) t -> pid:int -> unit
+val events : ('o, 'r) t -> ('o, 'r) event list
+
+(** One operation extracted from a history; [res = max_int] and
+    [resp = None] when pending (cut off by a final crash). *)
+type ('o, 'r) operation = {
+  op_pid : int;
+  op_tag : int;
+  op : 'o;
+  resp : 'r option;
+  inv : int;
+  res : int;
+}
+
+val operations : ('o, 'r) t -> ('o, 'r) operation list
+(** Operations ordered by invocation index.
+    @raise Invalid_argument on a response without an invocation. *)
+
+val num_crashes : ('o, 'r) t -> int

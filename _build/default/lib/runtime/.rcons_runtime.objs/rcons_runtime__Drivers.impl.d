@@ -1,0 +1,1 @@
+lib/runtime/drivers.ml: List Random Sim

@@ -1,0 +1,1 @@
+lib/runtime/drivers.mli: Random Sim

@@ -1,0 +1,1 @@
+lib/runtime/explore.mli: Format Sim

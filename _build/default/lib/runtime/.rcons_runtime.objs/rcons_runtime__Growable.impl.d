@@ -1,0 +1,1 @@
+lib/runtime/growable.ml: Cell Hashtbl

@@ -1,0 +1,1 @@
+lib/runtime/growable.mli: Cell

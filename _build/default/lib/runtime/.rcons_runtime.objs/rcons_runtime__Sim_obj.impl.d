@@ -1,0 +1,1 @@
+lib/runtime/sim_obj.ml: Rcons_spec Sim

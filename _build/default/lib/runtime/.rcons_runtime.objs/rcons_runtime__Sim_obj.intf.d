@@ -1,0 +1,1 @@
+lib/runtime/sim_obj.mli: Rcons_spec

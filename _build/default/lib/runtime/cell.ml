@@ -1,0 +1,13 @@
+(* Shared read/write registers living in the simulated non-volatile memory.
+   Every access is one atomic step of the calling process. *)
+
+type 'a t = { mutable contents : 'a }
+
+let make v = { contents = v }
+let read c = Sim.step ~label:"register" (fun () -> c.contents)
+let write c v = Sim.step ~label:"register" (fun () -> c.contents <- v)
+
+(* Direct access for set-up and checking code running outside the
+   simulation (not a process step). *)
+let peek c = c.contents
+let poke c v = c.contents <- v

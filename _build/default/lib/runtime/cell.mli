@@ -1,0 +1,13 @@
+(** Shared read/write registers in the simulated non-volatile memory.
+    Every {!read}/{!write} is one atomic step of the calling process. *)
+
+type 'a t
+
+val make : 'a -> 'a t
+val read : 'a t -> 'a
+val write : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a
+(** Direct access for set-up/checking code outside the simulation. *)
+
+val poke : 'a t -> 'a -> unit

@@ -1,0 +1,32 @@
+(** Schedule drivers: deterministic round-robin, seeded random
+    adversaries with independent crash injection, and the
+    simultaneous-crash adversary of Section 2. *)
+
+exception Stuck of string
+(** A bounded run did not terminate within its step budget; with
+    finitely many crashes this indicates a violation of recoverable
+    wait-freedom. *)
+
+val round_robin : ?max_steps:int -> Sim.t -> unit
+(** Step every unfinished process in turn until all finish. *)
+
+val random :
+  ?max_steps:int ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  rng:Random.State.t ->
+  Sim.t ->
+  int
+(** Random adversary: at each point, with probability [crash_prob]
+    (while the crash budget lasts) crash a uniformly chosen started
+    process, otherwise step a uniformly chosen unfinished one.  Returns
+    the number of crashes injected. *)
+
+val crash_and_rerun : ?max_steps:int -> rng:Random.State.t -> Sim.t -> int
+(** After a completed run, crash a random subset of processes and drive
+    the system back to completion: a process that outputs, crashes and
+    re-runs must output the same value again. *)
+
+val simultaneous : ?max_steps:int -> crash_at:int list -> Sim.t -> unit
+(** Round-robin stepping, crashing {e all} processes whenever the total
+    step count reaches one of [crash_at]. *)

@@ -1,0 +1,101 @@
+(* Bounded exhaustive schedule exploration ("stateless model checking").
+
+   The explorer enumerates every schedule of a freshly created system --
+   each point chooses either a step of an unfinished process or a crash of
+   a started, unfinished process (bounded by [max_crashes]) -- and runs a
+   user invariant after every choice.  OCaml continuations are one-shot,
+   so backtracking re-executes the schedule prefix from scratch on a fresh
+   system; process bodies must therefore be deterministic.
+
+   Pruning: crashing a process that has not taken a step since its last
+   (re)start is a no-op in the model (it would restart at the beginning,
+   where it already is), so such choices are skipped; this also prevents
+   consecutive duplicate crashes. *)
+
+type choice = Step_choice of int | Crash_choice of int
+
+let pp_choice ppf = function
+  | Step_choice i -> Format.fprintf ppf "step(p%d)" i
+  | Crash_choice i -> Format.fprintf ppf "crash(p%d)" i
+
+let pp_schedule ppf cs =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_choice ppf cs
+
+exception Violation of string * choice list
+
+type stats = { schedules : int; nodes : int; max_depth : int }
+
+let apply_choice t = function
+  | Step_choice i -> ignore (Sim.step_proc t i)
+  | Crash_choice i -> Sim.crash t i
+
+(* [mk ()] must build a fresh system together with an invariant checker;
+   the checker raises [Violation_found msg] (via [fail]) on a property
+   violation.  It is run after every choice, so violations are reported at
+   the earliest point they are observable. *)
+exception Violation_found of string
+
+let fail msg = raise (Violation_found msg)
+
+exception Budget_exceeded of stats
+(* Raised when the exploration tree exceeds [max_nodes]; callers choose
+   bounds so that this does not happen in CI, but a runaway configuration
+   fails fast instead of hanging. *)
+
+let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ~mk () =
+  let schedules = ref 0 and nodes = ref 0 and max_depth = ref 0 in
+  let budget_check () =
+    if !nodes > max_nodes then
+      raise (Budget_exceeded { schedules = !schedules; nodes = !nodes; max_depth = !max_depth })
+  in
+  let replay prefix =
+    let t, check = mk () in
+    List.iter
+      (fun c ->
+        apply_choice t c;
+        match check () with
+        | () -> ()
+        | exception Violation_found msg ->
+            Sim.abandon t;
+            raise (Violation (msg, List.rev prefix)))
+      (List.rev prefix);
+    (t, check)
+  in
+  let choices t crashes_used =
+    let n = Sim.num_procs t in
+    let rec collect i acc =
+      if i < 0 then acc
+      else
+        let acc = if Sim.finished t i then acc else Step_choice i :: acc in
+        let acc =
+          if crashes_used < max_crashes && Sim.started t i && not (Sim.finished t i) then
+            Crash_choice i :: acc
+          else acc
+        in
+        collect (i - 1) acc
+    in
+    collect (n - 1) []
+  in
+  let rec go prefix depth crashes_used =
+    if depth > max_steps then raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix));
+    if depth > !max_depth then max_depth := depth;
+    let t, _check = replay prefix in
+    let cs = choices t crashes_used in
+    (* Release the replayed system's pending fibers before recursing:
+       children replay their own copies. *)
+    Sim.abandon t;
+    match cs with
+    | [] -> incr schedules
+    | cs ->
+        List.iter
+          (fun c ->
+            incr nodes;
+            budget_check ();
+            let crashes_used' =
+              match c with Crash_choice _ -> crashes_used + 1 | Step_choice _ -> crashes_used
+            in
+            go (c :: prefix) (depth + 1) crashes_used')
+          cs
+  in
+  go [] 0 0;
+  { schedules = !schedules; nodes = !nodes; max_depth = !max_depth }

@@ -1,0 +1,46 @@
+(** Bounded exhaustive schedule exploration (stateless model checking).
+
+    Enumerates every schedule of a freshly created system -- each point
+    chooses a step of an unfinished process or a crash of a started,
+    unfinished process (at most [max_crashes] crashes) -- and runs the
+    user invariant after every choice.  OCaml continuations are one-shot,
+    so backtracking re-executes the schedule prefix on a fresh system;
+    process bodies must be deterministic.
+
+    Pruning: crashing a process that has not stepped since its last
+    (re)start is a no-op in the model and is skipped, which also prunes
+    consecutive duplicate crashes. *)
+
+type choice = Step_choice of int | Crash_choice of int
+
+val pp_choice : Format.formatter -> choice -> unit
+val pp_schedule : Format.formatter -> choice list -> unit
+
+exception Violation of string * choice list
+(** An invariant violation, with the schedule that triggered it. *)
+
+type stats = { schedules : int; nodes : int; max_depth : int }
+
+exception Violation_found of string
+(** Raised by invariant checkers (via {!fail}) inside [mk]'s checker. *)
+
+val fail : string -> 'a
+
+exception Budget_exceeded of stats
+(** The exploration tree exceeded [max_nodes]; fail fast instead of
+    hanging.  Catching it turns the run into bounded (partial)
+    exploration: no violation found within the budget. *)
+
+val apply_choice : Sim.t -> choice -> unit
+
+val explore :
+  ?max_crashes:int ->
+  ?max_steps:int ->
+  ?max_nodes:int ->
+  mk:(unit -> Sim.t * (unit -> unit)) ->
+  unit ->
+  stats
+(** [explore ~mk ()] where [mk ()] builds a fresh system together with an
+    invariant checker (raising via {!fail}).  Exceeding [max_steps] on a
+    single schedule raises {!Violation} ("wait-freedom"); defaults:
+    [max_crashes = 1], [max_steps = 10_000], [max_nodes = 20_000_000]. *)

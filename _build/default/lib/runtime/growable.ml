@@ -1,0 +1,22 @@
+(* Unbounded array of shared cells, used for the infinite arrays of the
+   paper (the D[1..infinity] register array and the consensus-instance
+   sequence C_1, C_2, ... of Figure 4; footnote 2 explicitly allows an
+   unbounded number of objects).  Entries are created on demand with a
+   default generator; creation itself is not a process step -- only reads
+   and writes of entries are. *)
+
+type 'a t = { default : int -> 'a; table : (int, 'a Cell.t) Hashtbl.t }
+
+let make default = { default; table = Hashtbl.create 16 }
+
+let cell t i =
+  match Hashtbl.find_opt t.table i with
+  | Some c -> c
+  | None ->
+      let c = Cell.make (t.default i) in
+      Hashtbl.add t.table i c;
+      c
+
+let read t i = Cell.read (cell t i)
+let write t i v = Cell.write (cell t i) v
+let peek t i = Cell.peek (cell t i)

@@ -1,0 +1,13 @@
+(** Unbounded arrays of shared cells, for the paper's infinite arrays
+    (D[1..inf] and the consensus instances C_1, C_2, ... of Figure 4;
+    footnote 2 allows unboundedly many objects).  Entries materialize on
+    demand with a deterministic default, as if the whole array had
+    existed from the start; only reads and writes of entries are steps. *)
+
+type 'a t
+
+val make : (int -> 'a) -> 'a t
+val cell : 'a t -> int -> 'a Cell.t
+val read : 'a t -> int -> 'a
+val write : 'a t -> int -> 'a -> unit
+val peek : 'a t -> int -> 'a

@@ -1,0 +1,155 @@
+(* Simulated asynchronous shared-memory system with individual process
+   crashes and recoveries (the paper's independent-crash model).
+
+   Each process is ordinary OCaml code that performs the [Step] effect for
+   every shared-memory access.  The effect handler suspends the process at
+   each access, so a driver can interleave processes one shared-memory
+   access at a time -- the standard notion of a "step".  Crashing a process
+   discards its delimited continuation, which is exactly the model's loss
+   of volatile local memory (including the program counter), and re-arms
+   the process to re-execute its code from the beginning.  Shared objects
+   live in the ordinary OCaml heap, which plays the role of the non-volatile
+   memory: it is untouched by crashes.
+
+   Process bodies must be deterministic (they are re-executed after each
+   crash) and must not catch the internal [Crashed] exception. *)
+
+type _ Effect.t += Step : string option * (unit -> 'a) -> 'a Effect.t
+
+exception Crashed
+(* Raised inside a discarded continuation to unwind it cleanly. *)
+
+(* [label] optionally names the shared object the access touches; the
+   critical-execution explorer reads it off suspended processes to
+   reproduce the "all processes are poised on the same object O" step of
+   Theorem 14's proof. *)
+let step ?label f = Effect.perform (Step (label, f))
+
+type proc = {
+  id : int;
+  body : unit -> unit;
+  mutable resume : (unit -> unit) option; (* None = this run has finished *)
+  mutable discard : (unit -> unit) option; (* unwinds a pending continuation *)
+  mutable pending_label : string option; (* label of the suspended access *)
+  mutable started : bool; (* has taken a step since its last (re)start *)
+  mutable crash_count : int;
+  mutable step_count : int;
+}
+
+type event = Stepped of int | Crash_event of int
+
+type t = {
+  procs : proc array;
+  mutable total_steps : int;
+  mutable events : event list; (* most recent first *)
+}
+
+let run_body p =
+  let open Effect.Deep in
+  match_with p.body ()
+    {
+      retc =
+        (fun () ->
+          p.resume <- None;
+          p.discard <- None);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Step (label, f) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  p.pending_label <- label;
+                  p.resume <- Some (fun () -> continue k (f ()));
+                  p.discard <-
+                    Some
+                      (fun () ->
+                        match discontinue k Crashed with
+                        | () -> ()
+                        | exception Crashed -> ()))
+          | _ -> None);
+    }
+
+let arm p =
+  p.started <- false;
+  p.discard <- None;
+  p.pending_label <- None;
+  p.resume <- Some (fun () -> run_body p)
+
+let create ~n body_of =
+  let procs =
+    Array.init n (fun id ->
+        let p =
+          {
+            id;
+            body = body_of id;
+            resume = None;
+            discard = None;
+            pending_label = None;
+            started = false;
+            crash_count = 0;
+            step_count = 0;
+          }
+        in
+        arm p;
+        p)
+  in
+  { procs; total_steps = 0; events = [] }
+
+let num_procs t = Array.length t.procs
+let finished t i = t.procs.(i).resume = None
+let all_finished t = Array.for_all (fun p -> p.resume = None) t.procs
+let started t i = t.procs.(i).started
+
+(* The label of the shared access process [i] is suspended on, if its
+   pending step was labelled; None for unstarted/finished processes. *)
+let pending_label t i = t.procs.(i).pending_label
+let crash_count t i = t.procs.(i).crash_count
+let step_count t i = t.procs.(i).step_count
+let total_steps t = t.total_steps
+let events t = List.rev t.events
+
+(* Run process [i] for one step (up to and including its next shared-memory
+   access, or to completion).  Returns false if the process has finished. *)
+let step_proc t i =
+  let p = t.procs.(i) in
+  match p.resume with
+  | None -> false
+  | Some r ->
+      p.resume <- None;
+      p.discard <- None;
+      p.started <- true;
+      p.step_count <- p.step_count + 1;
+      t.total_steps <- t.total_steps + 1;
+      t.events <- Stepped i :: t.events;
+      r ();
+      true
+
+(* Crash process [i]: its local state (continuation) is lost, the shared
+   heap is untouched, and the process will re-execute its code from the
+   beginning at its next step.  Crashing a finished process restarts it
+   too, which models a process recovering and running its algorithm again
+   after having already produced an output. *)
+let crash t i =
+  let p = t.procs.(i) in
+  (match p.discard with Some d -> d () | None -> ());
+  p.crash_count <- p.crash_count + 1;
+  t.events <- Crash_event i :: t.events;
+  arm p
+
+(* Crash every process at once: the simultaneous-crash model of Section 2. *)
+let crash_all t =
+  Array.iter (fun p -> crash t p.id) t.procs
+
+(* Release every pending continuation without re-arming the processes.
+   Dropping a captured effect continuation without discontinuing it leaks
+   its fiber stack (fiber stacks live outside the OCaml heap), so code
+   that builds and abandons many systems -- the exhaustive explorer in
+   particular -- must call this before dropping a system. *)
+let abandon t =
+  Array.iter
+    (fun p ->
+      (match p.discard with Some d -> d () | None -> ());
+      p.discard <- None;
+      p.resume <- None)
+    t.procs

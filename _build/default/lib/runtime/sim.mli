@@ -1,0 +1,80 @@
+(** Simulated asynchronous shared-memory system with individual process
+    crashes and recoveries (the paper's independent-crash model).
+
+    Each process is ordinary OCaml code that performs the {!Step} effect
+    for every shared-memory access; the handler suspends the process at
+    each access so a driver can interleave processes one access at a time
+    (the model's "steps").  {!crash} discards the process's delimited
+    continuation -- exactly the loss of volatile local memory, program
+    counter included -- and re-arms the process to re-execute its code
+    from the beginning.  Shared objects live in the ordinary OCaml heap,
+    which plays the role of non-volatile memory: crashes never touch it.
+
+    Process bodies must be deterministic (they are re-executed after
+    crashes and by the {!Explore} replayer) and must not catch the
+    internal {!Crashed} exception.  Code between two steps executes
+    atomically with respect to crashes: a crash can only be observed at a
+    step boundary, which is faithful because local state is lost anyway
+    and shared state changes only at steps. *)
+
+type _ Effect.t += Step : string option * (unit -> 'a) -> 'a Effect.t
+
+exception Crashed
+(** Used internally to unwind discarded continuations. *)
+
+val step : ?label:string -> (unit -> 'a) -> 'a
+(** [step f] performs one atomic shared-memory access: the simulated
+    process suspends, and [f] runs atomically when the driver schedules
+    the process's next step.  [label] optionally names the object
+    touched, for the critical-execution explorer. *)
+
+type t
+
+type event = Stepped of int | Crash_event of int
+
+val create : n:int -> (int -> unit -> unit) -> t
+(** [create ~n body_of]: a system of [n] processes; process [i] runs
+    [body_of i] from the beginning at start and after every crash. *)
+
+val num_procs : t -> int
+
+val finished : t -> int -> bool
+(** Has this process's current run completed?  (A later {!crash}
+    restarts it.) *)
+
+val all_finished : t -> bool
+
+val started : t -> int -> bool
+(** Has the process taken a step since its last (re)start?  Crashing a
+    process that has not is a no-op in the model. *)
+
+val pending_label : t -> int -> string option
+(** The label of the access process [i] is suspended on, if any --
+    the "poised to apply an operation on O" of Theorem 14's proof. *)
+
+val crash_count : t -> int -> int
+val step_count : t -> int -> int
+val total_steps : t -> int
+
+val events : t -> event list
+(** All step/crash events, oldest first. *)
+
+val step_proc : t -> int -> bool
+(** Run process [i] for one step (up to and including its next
+    shared-memory access, or to completion).  [false] if it had already
+    finished. *)
+
+val crash : t -> int -> unit
+(** Crash process [i]: local state lost, shared heap untouched, code
+    restarts from the beginning at its next step.  Crashing a finished
+    process restarts it too (a recovered process may run its algorithm
+    again; agreement must cover its repeated outputs). *)
+
+val crash_all : t -> unit
+(** The simultaneous-crash model of Section 2. *)
+
+val abandon : t -> unit
+(** Release every pending continuation without re-arming.  Dropping a
+    captured effect continuation leaks its fiber stack, so code that
+    builds and discards many systems (the explorer) must call this
+    before dropping a system. *)

@@ -1,0 +1,24 @@
+(* A shared object of a given sequential type, living in the simulated
+   non-volatile memory.  [apply] performs one update operation atomically
+   (one step); [read] is the READ operation of readable types, returning
+   the entire state without changing it. *)
+
+type ('s, 'o, 'r) t = { mutable state : 's; apply_spec : 's -> 'o -> 's * 'r; obj_name : string }
+
+let make (type s o r)
+    (module T : Rcons_spec.Object_type.S with type state = s and type op = o and type resp = r)
+    init =
+  { state = init; apply_spec = T.apply; obj_name = T.name }
+
+let of_apply ?(name = "object") ~apply init = { state = init; apply_spec = apply; obj_name = name }
+
+let apply t op =
+  Sim.step ~label:t.obj_name (fun () ->
+      let state, resp = t.apply_spec t.state op in
+      t.state <- state;
+      resp)
+
+let read t = Sim.step ~label:(t.obj_name ^ ".read") (fun () -> t.state)
+
+(* Out-of-simulation inspection for checkers and tests. *)
+let peek t = t.state

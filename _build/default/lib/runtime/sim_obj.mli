@@ -1,0 +1,18 @@
+(** A shared object of a given sequential type in the simulated
+    non-volatile memory.  {!apply} performs one update atomically (one
+    step); {!read} is the READ of readable types, returning the entire
+    state without changing it. *)
+
+type ('s, 'o, 'r) t
+
+val make :
+  (module Rcons_spec.Object_type.S with type state = 's and type op = 'o and type resp = 'r) ->
+  's ->
+  ('s, 'o, 'r) t
+
+val of_apply : ?name:string -> apply:('s -> 'o -> 's * 'r) -> 's -> ('s, 'o, 'r) t
+val apply : ('s, 'o, 'r) t -> 'o -> 'r
+val read : ('s, 'o, 'r) t -> 's
+
+val peek : ('s, 'o, 'r) t -> 's
+(** Out-of-simulation inspection. *)

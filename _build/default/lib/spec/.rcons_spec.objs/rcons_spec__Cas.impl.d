@@ -1,0 +1,1 @@
+lib/spec/cas.ml: Format Fun List Object_type Printf Stdlib

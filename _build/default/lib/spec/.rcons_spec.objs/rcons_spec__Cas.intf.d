@@ -1,0 +1,1 @@
+lib/spec/cas.mli: Object_type

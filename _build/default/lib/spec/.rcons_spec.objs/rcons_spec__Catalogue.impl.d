@@ -1,0 +1,1 @@
+lib/spec/catalogue.ml: Cas Consensus_obj Fetch_add Flip_bit List Max_register Object_type Queue Register Sn Stack Sticky_bit Swap Test_and_set Tn

@@ -1,0 +1,1 @@
+lib/spec/catalogue.mli: Object_type

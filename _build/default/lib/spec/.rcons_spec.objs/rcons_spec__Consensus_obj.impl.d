@@ -1,0 +1,1 @@
+lib/spec/consensus_obj.ml: Format List Object_type Stdlib

@@ -1,0 +1,1 @@
+lib/spec/consensus_obj.mli: Object_type

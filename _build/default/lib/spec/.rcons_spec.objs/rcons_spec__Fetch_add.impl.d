@@ -1,0 +1,1 @@
+lib/spec/fetch_add.ml: Format List Object_type Printf Stdlib

@@ -1,0 +1,1 @@
+lib/spec/fetch_add.mli: Object_type

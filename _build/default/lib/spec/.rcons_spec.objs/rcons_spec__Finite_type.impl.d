@@ -1,0 +1,1 @@
+lib/spec/finite_type.ml: Array Format Fun List Object_type Printf Random Stdlib

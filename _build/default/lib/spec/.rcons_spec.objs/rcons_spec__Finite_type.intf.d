@@ -1,0 +1,1 @@
+lib/spec/finite_type.mli: Object_type Random

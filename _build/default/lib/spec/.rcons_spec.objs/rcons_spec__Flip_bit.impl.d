@@ -1,0 +1,1 @@
+lib/spec/flip_bit.ml: Format Object_type Stdlib

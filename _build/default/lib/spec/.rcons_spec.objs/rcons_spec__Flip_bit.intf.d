@@ -1,0 +1,1 @@
+lib/spec/flip_bit.mli: Object_type

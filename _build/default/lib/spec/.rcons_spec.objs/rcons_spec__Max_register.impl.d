@@ -1,0 +1,1 @@
+lib/spec/max_register.ml: Format List Object_type Printf Stdlib

@@ -1,0 +1,1 @@
+lib/spec/max_register.mli: Object_type

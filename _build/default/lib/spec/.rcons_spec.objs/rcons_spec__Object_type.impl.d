@@ -1,0 +1,1 @@
+lib/spec/object_type.ml: Format

@@ -1,0 +1,1 @@
+lib/spec/product.ml: Format List Object_type Printf

@@ -1,0 +1,1 @@
+lib/spec/product.mli: Object_type

@@ -1,0 +1,1 @@
+lib/spec/queue.ml: Format List Object_type Printf Stdlib

@@ -1,0 +1,1 @@
+lib/spec/queue.mli: Object_type

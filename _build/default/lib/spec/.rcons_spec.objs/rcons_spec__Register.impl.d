@@ -1,0 +1,1 @@
+lib/spec/register.ml: Format List Object_type Printf Stdlib

@@ -1,0 +1,1 @@
+lib/spec/register.mli: Object_type

@@ -1,0 +1,1 @@
+lib/spec/sn.ml: Format Object_type Printf Stdlib Team

@@ -1,0 +1,1 @@
+lib/spec/sn.mli: Object_type Team

@@ -1,0 +1,1 @@
+lib/spec/stack.ml: Format List Object_type Printf Stdlib

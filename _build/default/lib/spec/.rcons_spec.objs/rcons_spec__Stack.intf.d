@@ -1,0 +1,1 @@
+lib/spec/stack.mli: Object_type

@@ -1,0 +1,1 @@
+lib/spec/sticky_bit.ml: Format Object_type Stdlib

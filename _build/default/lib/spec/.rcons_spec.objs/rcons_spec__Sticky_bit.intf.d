@@ -1,0 +1,1 @@
+lib/spec/sticky_bit.mli: Object_type

@@ -1,0 +1,1 @@
+lib/spec/swap.ml: Format List Object_type Printf Stdlib

@@ -1,0 +1,1 @@
+lib/spec/swap.mli: Object_type

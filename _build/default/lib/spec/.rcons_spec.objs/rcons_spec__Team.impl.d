@@ -1,0 +1,1 @@
+lib/spec/team.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/spec/test_and_set.ml: Format Object_type Stdlib

@@ -1,0 +1,1 @@
+lib/spec/tn.ml: Format Object_type Printf Stdlib Team

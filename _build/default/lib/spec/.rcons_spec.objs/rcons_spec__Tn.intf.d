@@ -1,0 +1,1 @@
+lib/spec/tn.mli: Object_type Team

@@ -1,0 +1,41 @@
+(* Compare-and-swap register: Cas(expected, new) installs [new] and returns
+   true iff the current contents equal [expected].
+
+   With q0 = None and each team assigned Cas(None, its value), the first
+   successful CAS is recorded forever, so the type is n-recording for every
+   n: cons = rcons = infinity. *)
+
+type op = Cas of int option * int
+
+let make ~domain : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int option
+      type nonrec op = op
+      type resp = bool
+
+      let name = Printf.sprintf "compare&swap(%d)" domain
+
+      let apply q (Cas (expected, v)) =
+        if Stdlib.compare q expected = 0 then (Some v, true) else (q, false)
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q
+
+      let pp_op ppf (Cas (e, v)) =
+        Format.fprintf ppf "cas(%a,%d)" (Object_type.pp_option Object_type.pp_int) e v
+
+      let pp_resp = Object_type.pp_bool
+      let candidate_initial_states = [ None ]
+
+      let update_ops =
+        List.concat_map
+          (fun v -> Cas (None, v) :: List.init domain (fun e -> Cas (Some e, v)))
+          (List.init domain Fun.id)
+
+      let readable = true
+    end)
+
+let default = make ~domain:2

@@ -1,0 +1,13 @@
+(** Compare-and-swap register: [Cas (expected, v)] installs [v] and
+    returns [true] iff the current contents equal [expected].
+
+    With [q0 = None] and each team assigned [Cas (None, team's value)],
+    the first successful CAS is recorded forever: the type is n-recording
+    for every n, so [cons = rcons = infinity].  This is the type whose
+    recoverable power underpins the practical systems cited in Section 5
+    (recoverable CAS makes any read/CAS algorithm recoverable). *)
+
+type op = Cas of int option * int
+
+val make : domain:int -> Object_type.t
+val default : Object_type.t

@@ -1,0 +1,53 @@
+(* The catalogue of object types exercised by the experiments, together
+   with the consensus and recoverable-consensus numbers known from the
+   literature (used as ground truth by the tests).
+
+   Note on readability: the paper's stack and queue (Appendix H) and the
+   classic test-and-set have no READ operation, so the characterizations
+   (Theorems 3, 8) do not tie their structural levels to their consensus
+   numbers; their known values come from direct proofs in the literature.
+   We also include readable variants of the stack and the queue: adding a
+   READ makes them strictly stronger types (the surviving elements record
+   insertion order), with cons = rcons = infinity. *)
+
+type expectation = {
+  ot : Object_type.t;
+  cons_known : int option; (* None = infinity *)
+  rcons_known_low : int;
+  rcons_known_high : int option; (* None = infinity *)
+}
+
+let entry ?cons ?(rcons_low = 1) ?rcons_high ot =
+  { ot; cons_known = cons; rcons_known_low = rcons_low; rcons_known_high = rcons_high }
+
+(* Known values:
+   - register: cons = rcons = 1 (Herlihy; writes overwrite).
+   - test-and-set, swap, fetch&add, flip bit, max register: cons = 2;
+     rcons in {1, 2} -- Theorem 14
+     only applies for n >= 3, and whether 2-recording is necessary for
+     2-process RC is open (Section 5), but none of them is 2-recording.
+   - stack, queue (non-readable): cons = 2, rcons = 1 (Appendix H).
+   - sticky bit, compare&swap, consensus object, readable stack/queue:
+     cons = rcons = infinity.
+   - T_n: cons = n, rcons < n (Proposition 19 / Corollary 20).
+   - S_n: cons = rcons = n (Proposition 21). *)
+let all =
+  [
+    entry Register.default ~cons:1 ~rcons_low:1 ~rcons_high:1;
+    entry Test_and_set.t ~cons:2 ~rcons_low:1 ~rcons_high:2;
+    entry Swap.default ~cons:2 ~rcons_low:1 ~rcons_high:2;
+    entry Fetch_add.default ~cons:2 ~rcons_low:1 ~rcons_high:2;
+    entry Flip_bit.t ~cons:2 ~rcons_low:1 ~rcons_high:2;
+    entry Max_register.default ~cons:2 ~rcons_low:1 ~rcons_high:2;
+    entry Stack.default ~cons:2 ~rcons_low:1 ~rcons_high:1;
+    entry Queue.default ~cons:2 ~rcons_low:1 ~rcons_high:1;
+    entry Stack.readable_variant;
+    entry Queue.readable_variant;
+    entry Sticky_bit.t;
+    entry Cas.default;
+    entry Consensus_obj.default;
+  ]
+
+let tn n = entry (Tn.make n) ~cons:n ~rcons_low:(n - 2) ~rcons_high:(n - 1)
+let sn n = entry (Sn.make n) ~cons:n ~rcons_low:n ~rcons_high:n
+let find name = List.find (fun e -> Object_type.name e.ot = name) all

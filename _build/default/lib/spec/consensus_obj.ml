@@ -1,0 +1,31 @@
+(* One-shot consensus object: Propose(v) returns the first proposed value.
+   The first proposal is recorded forever, so cons = rcons = infinity. *)
+
+type op = Propose of int
+
+let make ~domain : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int option
+      type nonrec op = op
+      type resp = int
+
+      let name = "consensus-object"
+
+      let apply q (Propose v) =
+        match q with
+        | None -> (Some v, v)
+        | Some w -> (Some w, w)
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q
+      let pp_op ppf (Propose v) = Format.fprintf ppf "propose(%d)" v
+      let pp_resp = Object_type.pp_int
+      let candidate_initial_states = [ None ]
+      let update_ops = List.init domain (fun v -> Propose v)
+      let readable = true
+    end)
+
+let default = make ~domain:2

@@ -1,0 +1,9 @@
+(** One-shot consensus object: [Propose v] returns the first proposed
+    value, which is recorded forever.  [cons = rcons = infinity]; the
+    hardware-style primitive behind the [One_shot] recoverable consensus
+    used inside the universal construction. *)
+
+type op = Propose of int
+
+val make : domain:int -> Object_type.t
+val default : Object_type.t

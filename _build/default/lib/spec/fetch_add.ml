@@ -1,0 +1,27 @@
+(* Fetch-and-add counter modulo [modulus]: Add(k) returns the old value.
+   Consensus number 2 (Herlihy).  Additions commute, so the final state of
+   any sequence is independent of the order: never 2-recording. *)
+
+type op = Add of int
+
+let make ~modulus ~increments : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int
+      type nonrec op = op
+      type resp = int
+
+      let name = Printf.sprintf "fetch&add(mod %d)" modulus
+      let apply q (Add k) = ((q + k) mod modulus, q)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state = Object_type.pp_int
+      let pp_op ppf (Add k) = Format.fprintf ppf "f&a(%d)" k
+      let pp_resp = Object_type.pp_int
+      let candidate_initial_states = [ 0 ]
+      let update_ops = List.map (fun k -> Add k) increments
+      let readable = true
+    end)
+
+let default = make ~modulus:8 ~increments:[ 1; 2 ]

@@ -1,0 +1,10 @@
+(** Fetch-and-add counter modulo [modulus]: [Add k] returns the old
+    value.  Consensus number 2 (Herlihy).  Additions commute, so the
+    final state is independent of the order: never 2-recording, and the
+    valency sweep settles [rcons = 1]. *)
+
+type op = Add of int
+
+val make : modulus:int -> increments:int list -> Object_type.t
+val default : Object_type.t
+(** Modulo 8 with increments [{1, 2}]. *)

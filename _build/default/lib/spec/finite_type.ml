@@ -1,0 +1,66 @@
+(* Finite object types given by an explicit transition table, and a random
+   generator for them.  Random finite types are used by the property-based
+   tests as a meta-check of the decision procedures: the structural theorems
+   of the paper (Observations 5 and 6, Theorem 16, Proposition 18) must hold
+   for every deterministic type, so they must hold for arbitrary tables. *)
+
+type table = {
+  table_name : string;
+  num_states : int;
+  num_ops : int;
+  transition : (int * int) array array;
+      (* transition.(q).(op) = (next state, response) *)
+  initials : int list;
+}
+
+let check_table t =
+  if t.num_states <= 0 || t.num_ops <= 0 then invalid_arg "Finite_type: empty table";
+  if Array.length t.transition <> t.num_states then invalid_arg "Finite_type: bad row count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.num_ops then invalid_arg "Finite_type: bad column count";
+      Array.iter
+        (fun (q', _) ->
+          if q' < 0 || q' >= t.num_states then invalid_arg "Finite_type: bad target state")
+        row)
+    t.transition;
+  List.iter
+    (fun q -> if q < 0 || q >= t.num_states then invalid_arg "Finite_type: bad initial state")
+    t.initials
+
+let of_table t : Object_type.t =
+  check_table t;
+  Object_type.Pack
+    (module struct
+      type state = int
+      type op = int
+      type resp = int
+
+      let name = t.table_name
+      let apply q op = t.transition.(q).(op)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Format.fprintf ppf "q%d" q
+      let pp_op ppf op = Format.fprintf ppf "op%d" op
+      let pp_resp ppf r = Format.fprintf ppf "r%d" r
+      let candidate_initial_states = t.initials
+      let update_ops = List.init t.num_ops Fun.id
+      let readable = true
+    end)
+
+(* Random table with [num_states] states, [num_ops] operations and
+   responses drawn from [0, num_resps).  Deterministic given [rng]. *)
+let random ?(num_resps = 2) ~num_states ~num_ops rng =
+  let transition =
+    Array.init num_states (fun _ ->
+        Array.init num_ops (fun _ ->
+            (Random.State.int rng num_states, Random.State.int rng num_resps)))
+  in
+  {
+    table_name = Printf.sprintf "random(%d states,%d ops)" num_states num_ops;
+    num_states;
+    num_ops;
+    transition;
+    initials = List.init num_states Fun.id;
+  }

@@ -1,0 +1,23 @@
+(** Finite object types given by an explicit transition table, plus a
+    random generator for property-based meta-testing of the decision
+    procedures: the structural theorems of the paper (Observations 5 and
+    6, Theorem 16, Proposition 18) hold for {e every} deterministic type,
+    so they must hold for arbitrary random tables. *)
+
+type table = {
+  table_name : string;
+  num_states : int;
+  num_ops : int;
+  transition : (int * int) array array;
+      (** [transition.(q).(op) = (next state, response)] *)
+  initials : int list;  (** candidate initial states *)
+}
+
+val of_table : table -> Object_type.t
+(** Build a readable type from a table.
+    @raise Invalid_argument on malformed tables (out-of-range targets,
+    wrong dimensions, bad initial states). *)
+
+val random : ?num_resps:int -> num_states:int -> num_ops:int -> Random.State.t -> table
+(** Uniformly random transition table; deterministic given the RNG
+    state.  [num_resps] defaults to 2. *)

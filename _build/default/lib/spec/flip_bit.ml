@@ -1,0 +1,28 @@
+(* Flip bit: Flip inverts the bit and returns the previous value.
+
+   Like test-and-set, the responses reveal the order (2-discerning, so
+   cons = 2), but flips commute on the state -- flip;flip is the identity
+   -- so nothing about who went first survives in the state: not
+   2-recording, and the valency sweep settles rcons = 1. *)
+
+type op = Flip
+
+let t : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = bool
+      type nonrec op = op
+      type resp = bool
+
+      let name = "flip-bit"
+      let apply q Flip = (not q, q)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state = Object_type.pp_bool
+      let pp_op ppf Flip = Format.pp_print_string ppf "flip"
+      let pp_resp = Object_type.pp_bool
+      let candidate_initial_states = [ false ]
+      let update_ops = [ Flip ]
+      let readable = false
+    end)

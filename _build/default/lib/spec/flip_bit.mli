@@ -1,0 +1,9 @@
+(** Flip bit: [Flip] inverts the bit and returns the previous value.
+    Responses reveal the order (2-discerning, cons = 2) but flips commute
+    on the state, so nothing survives a crash: rcons = 1 via the valency
+    sweep.  Another witness that the RC hierarchy sits below the
+    consensus hierarchy at level 2. *)
+
+type op = Flip
+
+val t : Object_type.t

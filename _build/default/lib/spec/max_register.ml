@@ -1,0 +1,34 @@
+(* Max register: WriteMax v raises the state to max(state, v) and
+   returns the previous value.  Distinct writes do not commute as
+   responses (the second writer learns the first's value) but the final
+   state is the maximum regardless of order: the state forgets the
+   order, so the type is not 2-recording; responses make it
+   2-discerning.  A readable type at consensus level 2 whose RC level
+   collapses, like swap -- but unlike swap the state is order-oblivious,
+   so the crash-confinement sweep settles rcons = 1 even though the
+   type is readable (states agree after both writes, and reads cannot
+   tell equal states apart). *)
+
+type op = Write_max of int
+
+let make ~domain : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int
+      type nonrec op = op
+      type resp = int
+
+      let name = Printf.sprintf "max-register(%d)" domain
+      let apply q (Write_max v) = (max q v, q)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state = Object_type.pp_int
+      let pp_op ppf (Write_max v) = Format.fprintf ppf "wmax(%d)" v
+      let pp_resp = Object_type.pp_int
+      let candidate_initial_states = [ 0 ]
+      let update_ops = List.init domain (fun v -> Write_max (v + 1))
+      let readable = true
+    end)
+
+let default = make ~domain:2

@@ -1,0 +1,11 @@
+(** Max register: [Write_max v] raises the state to [max state v] and
+    returns the previous value.  2-discerning through responses
+    (cons = 2), but the final state is order-oblivious, so not
+    2-recording, and -- readable or not -- the crash-confinement sweep
+    settles rcons = 1: after both writes the states agree, and reads
+    cannot tell equal states apart. *)
+
+type op = Write_max of int
+
+val make : domain:int -> Object_type.t
+val default : Object_type.t

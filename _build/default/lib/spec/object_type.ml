@@ -1,0 +1,61 @@
+(* Deterministic sequential object-type specifications.
+
+   A type is given by its set of states, its update operations and a
+   transition function [apply].  The decision procedures of the paper
+   (Definitions 2 and 4) quantify over sequences of at most [n] operations
+   performed by distinct processes, so a finite universe of candidate
+   operations and candidate initial states is enough to decide the
+   n-discerning and n-recording properties exactly with respect to that
+   universe. *)
+
+module type S = sig
+  type state
+  type op
+  type resp
+
+  val name : string
+
+  val apply : state -> op -> state * resp
+  (** [apply q op] is the unique next state and response when [op] is
+      performed on an object in state [q] (the type is deterministic). *)
+
+  val compare_state : state -> state -> int
+  val compare_op : op -> op -> int
+  val compare_resp : resp -> resp -> int
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_resp : Format.formatter -> resp -> unit
+
+  val candidate_initial_states : state list
+  (** Initial states the property checkers will try for [q0]. *)
+
+  val update_ops : op list
+  (** Finite universe of update operations used by the property checkers. *)
+
+  val readable : bool
+  (** Whether the type has a READ operation returning the entire state
+      without changing it.  Readability is required by the sufficiency
+      results (Theorems 3 and 8); the necessary conditions hold without. *)
+end
+
+type t = Pack : (module S with type state = 's and type op = 'o and type resp = 'r) -> t
+
+let name (Pack (module T)) = T.name
+let readable (Pack (module T)) = T.readable
+
+let equal_state (type s o r)
+    (module T : S with type state = s and type op = o and type resp = r)
+    (a : s) (b : s) =
+  T.compare_state a b = 0
+
+(* Convenience pretty-printers used throughout the catalogue. *)
+let pp_int = Format.pp_print_int
+let pp_bool = Format.pp_print_bool
+
+let pp_option pp ppf = function
+  | None -> Format.pp_print_string ppf "_|_"
+  | Some x -> pp ppf x
+
+let pp_list pp ppf xs =
+  Format.fprintf ppf "[%a]" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp) xs

@@ -1,0 +1,65 @@
+(** Deterministic sequential object-type specifications.
+
+    A shared object type is defined by its set of states, its update
+    operations and a deterministic transition function ({!S.apply}).
+    The paper's decision procedures (Definitions 2 and 4) quantify over
+    sequences of at most [n] operations performed by distinct processes,
+    so a finite universe of candidate operations
+    ({!S.update_ops}) and candidate initial states
+    ({!S.candidate_initial_states}) suffices to decide the n-discerning
+    and n-recording properties exactly with respect to that universe. *)
+
+(** Interface every object type in the catalogue implements. *)
+module type S = sig
+  type state
+  type op
+  type resp
+
+  val name : string
+  (** Human-readable type name, unique within the catalogue. *)
+
+  val apply : state -> op -> state * resp
+  (** [apply q op] is the unique next state and response when [op] is
+      performed on an object in state [q] (the type is deterministic). *)
+
+  val compare_state : state -> state -> int
+  (** Total order on states (used for set/map containers). *)
+
+  val compare_op : op -> op -> int
+  val compare_resp : resp -> resp -> int
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_resp : Format.formatter -> resp -> unit
+
+  val candidate_initial_states : state list
+  (** Initial states the property checkers will try for [q0]. *)
+
+  val update_ops : op list
+  (** Finite universe of update operations used by the property
+      checkers.  For types with infinitely many operations (e.g.
+      registers over all integers) this is a representative finite
+      sub-language; results are exact with respect to it. *)
+
+  val readable : bool
+  (** Whether the type has a READ operation that returns the entire
+      state without changing it (footnote 3 of the paper).  Readability
+      is required by the sufficiency results (Theorems 3 and 8); the
+      necessary conditions hold without it. *)
+end
+
+(** An object type packed with its state/op/resp types hidden; the
+    currency of the checkers, catalogue and CLI. *)
+type t = Pack : (module S with type state = 's and type op = 'o and type resp = 'r) -> t
+
+val name : t -> string
+val readable : t -> bool
+
+val equal_state :
+  (module S with type state = 's and type op = 'o and type resp = 'r) -> 's -> 's -> bool
+
+(** {2 Pretty-printing helpers shared by the catalogue} *)
+
+val pp_int : Format.formatter -> int -> unit
+val pp_bool : Format.formatter -> bool -> unit
+val pp_option : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a option -> unit
+val pp_list : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a list -> unit

@@ -1,0 +1,62 @@
+(* Product of two object types: one object holding a component of each,
+   where every operation acts on one component.  Used by the robustness
+   experiments around Theorem 22: a process equipped with both types can
+   be modelled as using one product object, and the recording/discerning
+   power of the product relates to the components' (a team assignment
+   using only left-component operations reproduces the left type's
+   witness, so the product is at least as strong as each component). *)
+
+type ('a, 'b) sum = L of 'a | R of 'b
+
+let lift_compare ca cb x y =
+  match (x, y) with
+  | L a, L b -> ca a b
+  | R a, R b -> cb a b
+  | L _, R _ -> -1
+  | R _, L _ -> 1
+
+let make (Object_type.Pack (module T1)) (Object_type.Pack (module T2)) : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = T1.state * T2.state
+      type op = (T1.op, T2.op) sum
+      type resp = (T1.resp, T2.resp) sum
+
+      let name = Printf.sprintf "%s x %s" T1.name T2.name
+
+      let apply (s1, s2) = function
+        | L op ->
+            let s1', r = T1.apply s1 op in
+            ((s1', s2), L r)
+        | R op ->
+            let s2', r = T2.apply s2 op in
+            ((s1, s2'), R r)
+
+      let compare_state (a1, a2) (b1, b2) =
+        let c = T1.compare_state a1 b1 in
+        if c <> 0 then c else T2.compare_state a2 b2
+
+      let compare_op = lift_compare T1.compare_op T2.compare_op
+      let compare_resp = lift_compare T1.compare_resp T2.compare_resp
+
+      let pp_state ppf (s1, s2) =
+        Format.fprintf ppf "(%a,%a)" T1.pp_state s1 T2.pp_state s2
+
+      let pp_op ppf = function
+        | L op -> Format.fprintf ppf "L:%a" T1.pp_op op
+        | R op -> Format.fprintf ppf "R:%a" T2.pp_op op
+
+      let pp_resp ppf = function
+        | L r -> Format.fprintf ppf "L:%a" T1.pp_resp r
+        | R r -> Format.fprintf ppf "R:%a" T2.pp_resp r
+
+      let candidate_initial_states =
+        List.concat_map
+          (fun s1 -> List.map (fun s2 -> (s1, s2)) T2.candidate_initial_states)
+          T1.candidate_initial_states
+
+      let update_ops =
+        List.map (fun op -> L op) T1.update_ops @ List.map (fun op -> R op) T2.update_ops
+
+      let readable = T1.readable && T2.readable
+    end)

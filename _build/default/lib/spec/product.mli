@@ -1,0 +1,14 @@
+(** Product of two object types: one object holding a component of each;
+    every operation acts on one component, READ returns both (so the
+    product is readable iff both components are).
+
+    The product is at least as strong as each component for both
+    properties -- a team assignment using only one side's operations
+    reproduces that side's witness -- which makes it a useful instrument
+    for the Theorem 22 robustness experiments: using "several types" is
+    at least as strong as using the product, and the set-level upper
+    bound (max individual rcons + 1) applies to both. *)
+
+type ('a, 'b) sum = L of 'a | R of 'b
+
+val make : Object_type.t -> Object_type.t -> Object_type.t

@@ -1,0 +1,52 @@
+(* FIFO queue of small integers.  Enq returns ok, Deq returns the dequeued
+   value (or None when empty).  Like the paper's stack, the queue is NOT
+   readable: cons(queue) = 2 and, by the same crash-equivalence argument as
+   for the stack (Appendix H), rcons(queue) = 1. *)
+
+type op = Enq of int | Deq
+type resp = Enqueued | Dequeued of int option
+
+let spec ~domain ~readable :
+    (module Object_type.S with type state = int list and type op = op and type resp = resp) =
+  (module struct
+      type state = int list (* front of queue first *)
+      type nonrec op = op
+      type nonrec resp = resp
+
+      let name =
+        Printf.sprintf "%squeue(%d)" (if readable then "readable-" else "") domain
+
+      let apply q op =
+        match (op, q) with
+        | Enq v, _ -> (q @ [ v ], Enqueued)
+        | Deq, [] -> ([], Dequeued None)
+        | Deq, v :: rest -> (rest, Dequeued (Some v))
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_list Object_type.pp_int ppf q
+
+      let pp_op ppf = function
+        | Enq v -> Format.fprintf ppf "enq(%d)" v
+        | Deq -> Format.pp_print_string ppf "deq"
+
+      let pp_resp ppf = function
+        | Enqueued -> Format.pp_print_string ppf "ok"
+        | Dequeued r -> Format.fprintf ppf "deq(%a)" (Object_type.pp_option Object_type.pp_int) r
+
+      let candidate_initial_states = [ []; [ 0 ]; [ 0; 1 ] ]
+      let update_ops = Deq :: List.init domain (fun v -> Enq v)
+      let readable = readable
+    end)
+
+let make ~domain ?(readable = false) () : Object_type.t =
+  Object_type.Pack (spec ~domain ~readable)
+
+let default = make ~domain:2 ()
+
+(* A stack/queue equipped with a READ of the whole contents is a different,
+   strictly stronger type: the sequence of surviving elements records the
+   order of insertions, so the readable variant is n-recording for every n
+   (see the hierarchy experiment). *)
+let readable_variant = make ~domain:2 ~readable:true ()

@@ -1,0 +1,18 @@
+(** FIFO queue of small integers: [Enq v] returns [Enqueued], [Deq]
+    returns the dequeued value (or [Dequeued None] when empty).
+
+    Like the paper's stack, the queue is not readable:
+    [cons(queue) = 2] and, by the same crash-equivalence argument as for
+    the stack (Appendix H), [rcons(queue) = 1]. *)
+
+type op = Enq of int | Deq
+type resp = Enqueued | Dequeued of int option
+
+val spec :
+  domain:int ->
+  readable:bool ->
+  (module Object_type.S with type state = int list and type op = op and type resp = resp)
+
+val make : domain:int -> ?readable:bool -> unit -> Object_type.t
+val default : Object_type.t
+val readable_variant : Object_type.t

@@ -1,0 +1,31 @@
+(* Read/write register over a small value domain.
+
+   Writes overwrite one another, so a register is not even 2-discerning:
+   cons(register) = rcons(register) = 1 (Herlihy).  The value domain is the
+   finite sub-language {0, .., domain-1} of the write operations; this is
+   enough for the checkers since extra values only add symmetric copies. *)
+
+type op = Write of int
+type resp = unit
+
+let make ~domain : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int option (* None until the first write *)
+      type nonrec op = op
+      type nonrec resp = resp
+
+      let name = Printf.sprintf "register(%d)" domain
+      let apply _q (Write v) = (Some v, ())
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q
+      let pp_op ppf (Write v) = Format.fprintf ppf "write(%d)" v
+      let pp_resp ppf () = Format.pp_print_string ppf "ok"
+      let candidate_initial_states = [ None ]
+      let update_ops = List.init domain (fun v -> Write v)
+      let readable = true
+    end)
+
+let default = make ~domain:2

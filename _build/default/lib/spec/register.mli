@@ -1,0 +1,14 @@
+(** Read/write register over a small value domain.
+
+    Writes overwrite one another, so the register is not even
+    2-discerning: [cons(register) = rcons(register) = 1] (Herlihy). *)
+
+type op = Write of int
+type resp = unit
+
+val make : domain:int -> Object_type.t
+(** [make ~domain] is a readable register whose checker universe contains
+    [Write 0 .. Write (domain - 1)]. *)
+
+val default : Object_type.t
+(** [make ~domain:2]. *)

@@ -1,0 +1,47 @@
+(* The type S_n of Proposition 21 (Figure 6 of the paper): n-recording and
+   not (n+1)-discerning, hence rcons(S_n) = cons(S_n) = n.  Every level of
+   the RC hierarchy is populated by some S_n.
+
+   States are (winner, row) with winner in {A, B} and 0 <= row < n.  With
+   q0 = (B, 0), [winner] records whether the first update was op_A and
+   [row] counts op_B applications.  A second op_A, or an n-th op_B, makes
+   the object forget by returning to (B, 0).  All operations return ack, so
+   only the readable state carries information. *)
+
+type state = { winner : Team.t; row : int }
+type op = OpA | OpB
+type resp = Ack
+
+let initial = { winner = Team.B; row = 0 }
+
+let make n : Object_type.t =
+  if n < 2 then invalid_arg "Sn.make: n must be >= 2";
+  Object_type.Pack
+    (module struct
+      type nonrec state = state
+      type nonrec op = op
+      type nonrec resp = resp
+
+      let name = Printf.sprintf "S_%d" n
+
+      let apply q op =
+        match op with
+        | OpA -> if q = initial then ({ q with winner = Team.A }, Ack) else (initial, Ack)
+        | OpB ->
+            let row = (q.row + 1) mod n in
+            let winner = if row = 0 then Team.B else q.winner in
+            ({ winner; row }, Ack)
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Format.fprintf ppf "(%a,%d)" Team.pp q.winner q.row
+
+      let pp_op ppf op =
+        Format.pp_print_string ppf (match op with OpA -> "op_A" | OpB -> "op_B")
+
+      let pp_resp ppf Ack = Format.pp_print_string ppf "ack"
+      let candidate_initial_states = [ initial ]
+      let update_ops = [ OpA; OpB ]
+      let readable = true
+    end)

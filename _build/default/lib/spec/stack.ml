@@ -1,0 +1,58 @@
+(* Stack of small integers.  Push returns ok, Pop returns the popped value
+   (or None when empty).  The paper's stack is NOT readable (it has no READ
+   operation): cons(stack) = 2 (Herlihy) and rcons(stack) = 1 (Appendix H,
+   reproduced by the crash-equivalence analysis of Figure 8 in the valency
+   library).  The bare transition system is nonetheless n-recording for
+   every n -- the bottom element records which team pushed first -- so a
+   READ would make it strictly stronger; Theorem 8 needs readability.
+
+   The state space is unbounded, but the checkers only explore sequences of
+   at most n operations, so the reachable fragment stays finite. *)
+
+type op = Push of int | Pop
+type resp = Pushed | Popped of int option
+
+let spec ~domain ~readable :
+    (module Object_type.S with type state = int list and type op = op and type resp = resp) =
+  (module struct
+      type state = int list (* top of stack first *)
+      type nonrec op = op
+      type nonrec resp = resp
+
+      let name =
+        Printf.sprintf "%sstack(%d)" (if readable then "readable-" else "") domain
+
+      let apply q op =
+        match (op, q) with
+        | Push v, _ -> (v :: q, Pushed)
+        | Pop, [] -> ([], Popped None)
+        | Pop, v :: rest -> (rest, Popped (Some v))
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_list Object_type.pp_int ppf q
+
+      let pp_op ppf = function
+        | Push v -> Format.fprintf ppf "push(%d)" v
+        | Pop -> Format.pp_print_string ppf "pop"
+
+      let pp_resp ppf = function
+        | Pushed -> Format.pp_print_string ppf "ok"
+        | Popped r -> Format.fprintf ppf "popped(%a)" (Object_type.pp_option Object_type.pp_int) r
+
+      let candidate_initial_states = [ []; [ 0 ]; [ 0; 1 ] ]
+      let update_ops = Pop :: List.init domain (fun v -> Push v)
+      let readable = readable
+    end)
+
+let make ~domain ?(readable = false) () : Object_type.t =
+  Object_type.Pack (spec ~domain ~readable)
+
+let default = make ~domain:2 ()
+
+(* A stack/queue equipped with a READ of the whole contents is a different,
+   strictly stronger type: the sequence of surviving elements records the
+   order of insertions, so the readable variant is n-recording for every n
+   (see the hierarchy experiment). *)
+let readable_variant = make ~domain:2 ~readable:true ()

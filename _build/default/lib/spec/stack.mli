@@ -1,0 +1,29 @@
+(** Stack of small integers: [Push v] returns [Pushed], [Pop] returns
+    the popped value (or [Popped None] when empty).
+
+    The paper's stack (Appendix H / Figure 8) is {b not} readable:
+    [cons(stack) = 2] (Herlihy) yet [rcons(stack) = 1], reproduced by the
+    crash-equivalence analysis in [Rcons_valency.Impossibility].  The
+    bare transition system is nonetheless n-recording for every n -- the
+    bottom element records which team pushed first -- so adding a READ
+    ({!readable_variant}) yields a strictly stronger type with
+    [cons = rcons = infinity]; Theorem 8's sufficiency needs the READ. *)
+
+type op = Push of int | Pop
+type resp = Pushed | Popped of int option
+
+val spec :
+  domain:int ->
+  readable:bool ->
+  (module Object_type.S with type state = int list and type op = op and type resp = resp)
+(** Typed module, exposed so that the valency analysis can canonicalize
+    the [int list] states. *)
+
+val make : domain:int -> ?readable:bool -> unit -> Object_type.t
+(** [readable] defaults to [false], the paper's stack. *)
+
+val default : Object_type.t
+(** Non-readable, domain 2: the subject of Appendix H. *)
+
+val readable_variant : Object_type.t
+(** The same transition system equipped with a READ. *)

@@ -1,0 +1,31 @@
+(* Sticky bit: the first Stick wins and the state never changes afterwards.
+
+   The winning value is recorded forever, so the type is n-recording for
+   every n: cons = rcons = infinity. *)
+
+type op = Stick of int
+
+let t : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int option
+      type nonrec op = op
+      type resp = int (* the value that is (now) stuck *)
+
+      let name = "sticky-bit"
+
+      let apply q (Stick v) =
+        match q with
+        | None -> (Some v, v)
+        | Some w -> (Some w, w)
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q
+      let pp_op ppf (Stick v) = Format.fprintf ppf "stick(%d)" v
+      let pp_resp = Object_type.pp_int
+      let candidate_initial_states = [ None ]
+      let update_ops = [ Stick 0; Stick 1 ]
+      let readable = true
+    end)

@@ -1,0 +1,7 @@
+(** Sticky bit: the first [Stick] wins and the state never changes
+    afterwards.  The winning value is recorded forever, so the type is
+    n-recording for every n: [cons = rcons = infinity]. *)
+
+type op = Stick of int
+
+val t : Object_type.t

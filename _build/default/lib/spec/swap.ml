@@ -1,0 +1,27 @@
+(* Swap register: Swap(v) stores v and returns the previous contents.
+   Consensus number 2 (Herlihy).  Like test-and-set, later swaps obliterate
+   the evidence of who went first, so the type is not 2-recording. *)
+
+type op = Swap of int
+
+let make ~domain : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = int option
+      type nonrec op = op
+      type resp = int option
+
+      let name = Printf.sprintf "swap(%d)" domain
+      let apply q (Swap v) = (Some v, q)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q
+      let pp_op ppf (Swap v) = Format.fprintf ppf "swap(%d)" v
+      let pp_resp ppf r = Object_type.pp_option Object_type.pp_int ppf r
+      let candidate_initial_states = [ None ]
+      let update_ops = List.init domain (fun v -> Swap v)
+      let readable = true
+    end)
+
+let default = make ~domain:2

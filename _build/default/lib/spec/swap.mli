@@ -1,0 +1,11 @@
+(** Readable swap register: [Swap v] stores [v] and returns the previous
+    contents.  Consensus number 2 (Herlihy); not 2-recording (later swaps
+    obliterate the evidence of who went first), so
+    [rcons(swap)] is 1 or 2 -- whether 2-recording is necessary for
+    2-process RC is the open question of Section 5 of the paper, and the
+    readable swap stays inconclusive under the valency sweep. *)
+
+type op = Swap of int
+
+val make : domain:int -> Object_type.t
+val default : Object_type.t

@@ -1,0 +1,9 @@
+(* Team labels shared by the separating types T_n and S_n and by the
+   checkers and algorithms. *)
+
+type t = A | B
+
+let opposite = function A -> B | B -> A
+let compare = Stdlib.compare
+let pp ppf t = Format.pp_print_string ppf (match t with A -> "A" | B -> "B")
+let to_string = function A -> "A" | B -> "B"

@@ -1,0 +1,9 @@
+(** Team labels for the two-team partitions of Definitions 2 and 4 and
+    the team-consensus algorithms. *)
+
+type t = A | B
+
+val opposite : t -> t
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,30 @@
+(* Test-and-set bit: TAS sets the bit and returns the previous value.
+
+   Classic consensus number 2.  The final state after any nonempty sequence
+   of TAS operations is [true] regardless of order, so the state records
+   nothing about which team went first: the type is not 2-recording, and
+   indeed a recoverable test-and-set cannot be built from ordinary
+   test-and-set objects (Attiya, Ben-Baruch and Hendler, cited in the
+   paper). *)
+
+type op = Tas
+
+let t : Object_type.t =
+  Object_type.Pack
+    (module struct
+      type state = bool
+      type nonrec op = op
+      type resp = bool
+
+      let name = "test-and-set"
+      let apply q Tas = (true, q)
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Stdlib.compare
+      let pp_state = Object_type.pp_bool
+      let pp_op ppf Tas = Format.pp_print_string ppf "TAS"
+      let pp_resp = Object_type.pp_bool
+      let candidate_initial_states = [ false ]
+      let update_ops = [ Tas ]
+      let readable = false
+    end)

@@ -1,0 +1,13 @@
+(** Test-and-set bit: [Tas] sets the bit and returns the previous value.
+
+    The classic consensus-number-2 type, with no READ operation.  The
+    final state after any nonempty sequence of TAS operations is [true]
+    regardless of order, so the state records nothing about which team
+    went first: the type is not 2-recording, and the Appendix-H-style
+    valency sweep shows [rcons(TAS) = 1] (consistent with the
+    impossibility of recoverable test-and-set from test-and-set of
+    Attiya, Ben-Baruch and Hendler, cited in the paper). *)
+
+type op = Tas
+
+val t : Object_type.t

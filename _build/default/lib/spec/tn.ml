@@ -1,0 +1,60 @@
+(* The type T_n of Proposition 19 (Figure 5 of the paper): n-discerning but
+   not (n-1)-recording, hence cons(T_n) = n while rcons(T_n) < n.
+
+   States are (winner, row, col) with winner in {A, B}, 0 <= row < ceil(n/2),
+   0 <= col < floor(n/2), plus the forgetful state (bot, 0, 0).  [winner]
+   records which update came first; [col] counts op_A applications and [row]
+   counts op_B applications after the first.  When op_A has been performed
+   more than floor(n/2) times, or op_B more than ceil(n/2) times, the object
+   forgets everything by returning to (bot, 0, 0). *)
+
+type winner = Bot | Won of Team.t
+type state = { winner : winner; row : int; col : int }
+type op = OpA | OpB
+type resp = Team.t
+
+let initial = { winner = Bot; row = 0; col = 0 }
+
+let make n : Object_type.t =
+  if n < 2 then invalid_arg "Tn.make: n must be >= 2";
+  let half_down = n / 2 and half_up = (n + 1) / 2 in
+  Object_type.Pack
+    (module struct
+      type nonrec state = state
+      type nonrec op = op
+      type nonrec resp = resp
+
+      let name = Printf.sprintf "T_%d" n
+
+      let apply q op =
+        match (op, q.winner) with
+        | OpA, Bot -> ({ q with winner = Won Team.A }, Team.A)
+        | OpB, Bot -> ({ q with winner = Won Team.B }, Team.B)
+        | OpA, Won w ->
+            let col = (q.col + 1) mod half_down in
+            let q' = if col = 0 then initial else { q with col } in
+            (q', w)
+        | OpB, Won w ->
+            let row = (q.row + 1) mod half_up in
+            let q' = if row = 0 then initial else { q with row } in
+            (q', w)
+
+      let compare_state = Stdlib.compare
+      let compare_op = Stdlib.compare
+      let compare_resp = Team.compare
+
+      let pp_state ppf q =
+        let pp_winner ppf = function
+          | Bot -> Format.pp_print_string ppf "_|_"
+          | Won t -> Team.pp ppf t
+        in
+        Format.fprintf ppf "(%a,%d,%d)" pp_winner q.winner q.row q.col
+
+      let pp_op ppf op =
+        Format.pp_print_string ppf (match op with OpA -> "op_A" | OpB -> "op_B")
+
+      let pp_resp = Team.pp
+      let candidate_initial_states = [ initial ]
+      let update_ops = [ OpA; OpB ]
+      let readable = true
+    end)

@@ -1,0 +1,1 @@
+lib/universal/derived.ml: List Rcons_history Runiversal

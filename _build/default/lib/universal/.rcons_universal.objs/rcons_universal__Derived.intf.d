@@ -1,0 +1,1 @@
+lib/universal/derived.mli: Rcons_history Runiversal

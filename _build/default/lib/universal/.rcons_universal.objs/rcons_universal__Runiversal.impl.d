@@ -1,0 +1,1 @@
+lib/universal/runiversal.ml: Array Cell Hashtbl List Option Rcons_algo Rcons_history Rcons_runtime

@@ -1,0 +1,1 @@
+lib/universal/runiversal.mli: Rcons_history Rcons_runtime

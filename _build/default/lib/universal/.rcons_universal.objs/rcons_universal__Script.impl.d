@@ -1,0 +1,1 @@
+lib/universal/script.ml: Array Cell Rcons_runtime Runiversal

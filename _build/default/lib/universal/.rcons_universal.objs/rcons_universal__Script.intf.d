@@ -1,0 +1,1 @@
+lib/universal/script.mli: Runiversal

@@ -1,0 +1,59 @@
+(* Sequential specifications of the recoverable objects derived from
+   RUniversal in the examples, tests and benchmarks: a counter, a stack, a
+   FIFO queue and a small key-value store.  Any sequential specification
+   works (that is the point of universality); these four cover the shapes
+   used in the paper's motivation (ordinary data structures made
+   recoverable for non-volatile memory). *)
+
+type counter_op = Incr | Get
+
+let counter : (int, counter_op, int) Runiversal.seq_spec =
+  {
+    init = 0;
+    apply =
+      (fun s op -> match op with Incr -> (s + 1, s + 1) | Get -> (s, s));
+  }
+
+type 'a stack_op = Push of 'a | Pop
+
+let stack () : ('a list, 'a stack_op, 'a option) Runiversal.seq_spec =
+  {
+    init = [];
+    apply =
+      (fun s op ->
+        match (op, s) with
+        | Push v, _ -> (v :: s, None)
+        | Pop, [] -> ([], None)
+        | Pop, v :: rest -> (rest, Some v));
+  }
+
+type 'a queue_op = Enq of 'a | Deq
+
+let queue () : ('a list, 'a queue_op, 'a option) Runiversal.seq_spec =
+  {
+    init = [];
+    apply =
+      (fun s op ->
+        match (op, s) with
+        | Enq v, _ -> (s @ [ v ], None)
+        | Deq, [] -> ([], None)
+        | Deq, v :: rest -> (rest, Some v));
+  }
+
+type ('k, 'v) kv_op = Put of 'k * 'v | Del of 'k | Find of 'k
+
+let kv () : (('k * 'v) list, ('k, 'v) kv_op, 'v option) Runiversal.seq_spec =
+  {
+    init = [];
+    apply =
+      (fun s op ->
+        match op with
+        | Put (k, v) -> ((k, v) :: List.remove_assoc k s, None)
+        | Del k -> (List.remove_assoc k s, List.assoc_opt k s)
+        | Find k -> (s, List.assoc_opt k s));
+  }
+
+(* Linearizability specs matching the sequential specs, for the checker. *)
+let lin_spec (spec : ('s, 'o, 'r) Runiversal.seq_spec) :
+    ('s, 'o, 'r) Rcons_history.Linearizability.spec =
+  { init = spec.init; apply = spec.apply; equal_resp = ( = ) }

@@ -1,0 +1,26 @@
+(** Sequential specifications of the recoverable objects derived from
+    RUniversal in the examples, tests and benchmarks: a counter, a
+    stack, a FIFO queue and a small key-value store.  Any sequential
+    specification works -- that is the point of universality. *)
+
+type counter_op = Incr | Get
+
+val counter : (int, counter_op, int) Runiversal.seq_spec
+(** [Incr] returns the new value; [Get] the current one. *)
+
+type 'a stack_op = Push of 'a | Pop
+
+val stack : unit -> ('a list, 'a stack_op, 'a option) Runiversal.seq_spec
+
+type 'a queue_op = Enq of 'a | Deq
+
+val queue : unit -> ('a list, 'a queue_op, 'a option) Runiversal.seq_spec
+
+type ('k, 'v) kv_op = Put of 'k * 'v | Del of 'k | Find of 'k
+
+val kv : unit -> (('k * 'v) list, ('k, 'v) kv_op, 'v option) Runiversal.seq_spec
+
+val lin_spec :
+  ('s, 'o, 'r) Runiversal.seq_spec -> ('s, 'o, 'r) Rcons_history.Linearizability.spec
+(** Linearizability spec matching a sequential spec (responses compared
+    with structural equality). *)

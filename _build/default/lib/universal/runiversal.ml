@@ -1,0 +1,161 @@
+(* RUniversal: the recoverable universal construction of Section 4 and
+   Figure 7 of the paper -- Herlihy's universal construction carried over
+   to the independent-crash model, with all shared variables in
+   non-volatile memory and recoverable consensus deciding each next
+   pointer of the operation list.
+
+   Every operation on the implemented object becomes a list node; the list
+   order is the linearization order.  A process announces its node, then
+   repeatedly helps append announced nodes (round-robin priority ensures
+   wait-freedom) until its own node has a sequence number.  When a process
+   crashes and recovers, it simply re-runs ApplyOperation for its last
+   announced node (the paper's recovery function); the RC instances, the
+   node fields and the announce/head arrays all survive in non-volatile
+   memory, so the operation takes effect exactly once.
+
+   The RC instance attached to each node is pluggable; the default is an
+   atomic one-shot consensus object (n-recording for every n).  Plugging
+   in the Figure 2 + tournament algorithm built from any n-recording
+   readable type exercises the full stack of the paper. *)
+
+open Rcons_runtime
+
+type ('s, 'o, 'r) seq_spec = { init : 's; apply : 's -> 'o -> 's * 'r }
+
+type ('s, 'o, 'r) node = {
+  tag : int * int; (* (pid, invocation index); (-1, -1) for the dummy *)
+  hist_tag : int; (* correlation id in the recorded history; -1 if none *)
+  node_op : 'o option; (* None only for the dummy node *)
+  seq : int Cell.t; (* 0 until the node is appended *)
+  new_state : 's option Cell.t;
+  response : 'r option Cell.t;
+  next : ('s, 'o, 'r) node rc;
+}
+
+and 'v rc = { propose : int -> 'v -> 'v }
+
+type ('s, 'o, 'r) t = {
+  n : int;
+  spec : ('s, 'o, 'r) seq_spec;
+  make_rc : unit -> ('s, 'o, 'r) node rc;
+  announce : ('s, 'o, 'r) node Cell.t array;
+  head : ('s, 'o, 'r) node Cell.t array;
+  registry : (int * int, ('s, 'o, 'r) node) Hashtbl.t;
+      (* invocation tag -> node; makes [invoke] idempotent across crashes *)
+  history : ('o, 'r) Rcons_history.History.t option;
+}
+
+let one_shot_rc () =
+  let c = Rcons_algo.One_shot.create () in
+  { propose = (fun _pid v -> Rcons_algo.One_shot.decide c v) }
+
+let fresh_node t ~tag ~hist_tag op =
+  {
+    tag;
+    hist_tag;
+    node_op = op;
+    seq = Cell.make 0;
+    new_state = Cell.make None;
+    response = Cell.make None;
+    next = t.make_rc ();
+  }
+
+let create ?history ?make_rc ~n spec =
+  let make_rc = Option.value make_rc ~default:one_shot_rc in
+  let dummy =
+    {
+      tag = (-1, -1);
+      hist_tag = -1;
+      node_op = None;
+      seq = Cell.make 1;
+      new_state = Cell.make (Some spec.init);
+      response = Cell.make None;
+      next = make_rc ();
+    }
+  in
+  {
+    n;
+    spec;
+    make_rc;
+    announce = Array.init n (fun _ -> Cell.make dummy);
+    head = Array.init n (fun _ -> Cell.make dummy);
+    registry = Hashtbl.create 64;
+    history;
+  }
+
+(* Figure 7, ApplyOperation: ensure the announced node of process [i] is
+   appended, helping the process whose id has round-robin priority. *)
+let apply_operation t i =
+  let announced = Cell.read t.announce.(i) in
+  let continue_loop () = Cell.read announced.seq = 0 in
+  while continue_loop () do
+    let head = Cell.read t.head.(i) in
+    let head_seq = Cell.read head.seq in
+    let priority = (head_seq + 1) mod t.n in
+    let priority_node = Cell.read t.announce.(priority) in
+    let pointer = if Cell.read priority_node.seq = 0 then priority_node else announced in
+    let winner = head.next.propose i pointer in
+    (* Fill in the winner's fields.  Concurrent helpers write identical
+       values (the winner and the predecessor state are agreed upon), so
+       the races are benign, as in Herlihy's construction. *)
+    let prev_state =
+      match Cell.read head.new_state with
+      | Some s -> s
+      | None -> invalid_arg "RUniversal: predecessor state missing"
+    in
+    let op =
+      match winner.node_op with
+      | Some op -> op
+      | None -> invalid_arg "RUniversal: dummy node won consensus"
+    in
+    let state', resp = t.spec.apply prev_state op in
+    Cell.write winner.new_state (Some state');
+    Cell.write winner.response (Some resp);
+    Cell.write winner.seq (head_seq + 1);
+    Cell.write t.head.(i) winner
+  done;
+  match Cell.read announced.response with
+  | Some r -> r
+  | None -> invalid_arg "RUniversal: appended node has no response"
+
+(* Figure 7, Universal(op), made idempotent per (pid, index): calling
+   [invoke] again with the same invocation tag -- which is what the
+   recovery function does after a crash -- reuses the announced node and
+   returns the recorded response instead of re-executing the operation. *)
+let invoke t ~pid ~index op =
+  let nd =
+    match Hashtbl.find_opt t.registry (pid, index) with
+    | Some nd -> nd
+    | None ->
+        let hist_tag =
+          match t.history with
+          | Some h -> Rcons_history.History.invoke h ~pid op
+          | None -> -1
+        in
+        let nd = fresh_node t ~tag:(pid, index) ~hist_tag (Some op) in
+        Hashtbl.add t.registry (pid, index) nd;
+        nd
+  in
+  if Cell.read t.announce.(pid) != nd then Cell.write t.announce.(pid) nd;
+  (* Lines 120-125: catch the head pointer up so helping stays fresh. *)
+  for j = 0 to t.n - 1 do
+    let hj = Cell.read t.head.(j) in
+    let hi = Cell.read t.head.(pid) in
+    if Cell.read hj.seq > Cell.read hi.seq then Cell.write t.head.(pid) hj
+  done;
+  let r = apply_operation t pid in
+  (match t.history with
+  | Some h when nd.hist_tag >= 0 -> Rcons_history.History.respond h ~pid ~tag:nd.hist_tag r
+  | Some _ | None -> ());
+  r
+
+(* The linearization order as recorded in the list: appended nodes carry
+   unique positive sequence numbers.  Out-of-simulation inspection used by
+   checkers and tests. *)
+let linearization t =
+  let nodes = Hashtbl.fold (fun _ nd acc -> nd :: acc) t.registry [] in
+  nodes
+  |> List.filter (fun nd -> Cell.peek nd.seq > 0)
+  |> List.sort (fun a b -> compare (Cell.peek a.seq) (Cell.peek b.seq))
+
+let applied_count t = List.length (linearization t)

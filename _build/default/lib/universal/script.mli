@@ -1,0 +1,19 @@
+(** Crash-restartable workloads over a RUniversal object.
+
+    A process body performing several operations in sequence must not
+    re-execute completed operations when restarted after a crash.  The
+    runner keeps a per-process non-volatile progress counter: a restarted
+    body skips to the first incomplete operation, whose idempotent
+    {!Runiversal.invoke} is the recovery path of Figure 7. *)
+
+type ('s, 'o, 'r) t
+
+val create : ('s, 'o, 'r) Runiversal.t -> n:int -> max_ops:int -> ('s, 'o, 'r) t
+
+val run : ('s, 'o, 'r) t -> int -> 'o array -> unit
+(** [run t pid ops]: execute [ops] in order as process [pid]; safe to
+    re-enter from the beginning after a crash. *)
+
+val response : ('s, 'o, 'r) t -> int -> int -> 'r option
+(** [response t pid k]: the recorded response of [pid]'s [k]-th
+    operation, if completed (meta-observation). *)

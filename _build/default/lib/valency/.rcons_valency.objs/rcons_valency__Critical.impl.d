@@ -1,0 +1,1 @@
+lib/valency/critical.ml: Array Format Fun Int List Rcons_runtime Set Sim String

@@ -1,0 +1,1 @@
+lib/valency/critical.mli: Format Rcons_runtime Set

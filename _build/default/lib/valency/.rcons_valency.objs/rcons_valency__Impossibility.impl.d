@@ -1,0 +1,1 @@
+lib/valency/impossibility.ml: Format List Object_type Pair_class Queue Rcons_spec Set Stack

@@ -1,0 +1,1 @@
+lib/valency/impossibility.mli: Format Pair_class Rcons_spec

@@ -1,0 +1,1 @@
+lib/valency/pair_class.ml: Array Format Hashtbl List Map Object_type Rcons_spec Stdlib

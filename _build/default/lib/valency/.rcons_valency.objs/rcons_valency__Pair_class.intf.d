@@ -1,0 +1,1 @@
+lib/valency/pair_class.mli: Format Rcons_spec

@@ -1,0 +1,48 @@
+(** The valency argument of Theorem 14 (Figure 3), exhibited on real
+    algorithms: explore a bounded E_A-style schedule space (steps of all
+    processes, budgeted crashes of p0 only), compute decision sets of
+    prefixes, walk to a *critical execution* -- a bivalent prefix all of
+    whose one-step extensions are univalent -- and report what every
+    process is poised on.
+
+    On correct consensus/RC systems the walk terminates and, matching
+    the proof's "standard argument", the report shows every process
+    poised on the same consensus object (labelled steps; registers and
+    reads cannot separate valencies).  Keep the systems tiny: the
+    decision-set computation replays the whole subtree. *)
+
+type choice = Step_of of int | Crash_p0
+
+val pp_choice : Format.formatter -> choice -> unit
+
+module Int_set : Set.S with type elt = int
+
+type report = {
+  prefix : choice list;  (** the critical execution, oldest choice first *)
+  decision_sets : Int_set.t list;
+      (** valency of each process's next step (singleton = univalent) *)
+  poised_on : string option list;
+      (** label of the shared access each process is suspended on *)
+}
+
+exception Search_space_exhausted of string
+
+val decisions :
+  ?max_crashes:int ->
+  ?max_depth:int ->
+  mk:(unit -> Rcons_runtime.Sim.t * (unit -> int option array)) ->
+  choice list ->
+  Int_set.t
+(** Decision set of a prefix (most recent choice first, as built
+    internally; pass [] for the initial configuration). *)
+
+val find_critical :
+  ?max_crashes:int ->
+  ?max_depth:int ->
+  mk:(unit -> Rcons_runtime.Sim.t * (unit -> int option array)) ->
+  unit ->
+  report
+(** @raise Search_space_exhausted when the initial configuration is
+    univalent or the bounds are hit. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,120 @@
+(* The Appendix H experiment: sweep every reachable critical configuration
+   of a type and classify it.  If every configuration forces v1 = v2, no
+   critical execution of a putative 2-process RC algorithm can exist, so
+   rcons(T) = 1 -- this is exactly how the paper proves rcons(stack) = 1
+   and remarks that the same argument gives rcons(queue) = 1. *)
+
+open Rcons_spec
+
+type line = { state_str : string; op1_str : string; op2_str : string; kind : Pair_class.kind }
+
+type report = {
+  subject : string;
+  states_explored : int;
+  lines : line list;
+  conclusive : bool; (* all configurations force v1 = v2 *)
+}
+
+(* States reachable from the candidate initial states by at most
+   [state_depth] operations from the universe. *)
+let reachable_states (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r)
+    ~state_depth =
+  let module State_set = Set.Make (struct
+    type t = s
+
+    let compare = T.compare_state
+  end) in
+  let seen = ref State_set.empty in
+  let rec go d q =
+    if not (State_set.mem q !seen) then begin
+      seen := State_set.add q !seen;
+      if d > 0 then List.iter (fun op -> go (d - 1) (fst (T.apply q op))) T.update_ops
+    end
+  in
+  List.iter (go state_depth) T.candidate_initial_states;
+  State_set.elements !seen
+
+let analyse_typed (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) ?canon
+    ?max_pairs ?max_depth ?(state_depth = 3) () =
+  let states = reachable_states (module T) ~state_depth in
+  let lines =
+    List.concat_map
+      (fun q ->
+        List.concat_map
+          (fun op1 ->
+            List.map
+              (fun op2 ->
+                let kind = Pair_class.classify (module T) ?canon ?max_pairs ?max_depth q op1 op2 in
+                {
+                  state_str = Format.asprintf "%a" T.pp_state q;
+                  op1_str = Format.asprintf "%a" T.pp_op op1;
+                  op2_str = Format.asprintf "%a" T.pp_op op2;
+                  kind;
+                })
+              T.update_ops)
+          T.update_ops)
+      states
+  in
+  {
+    subject = T.name;
+    states_explored = List.length states;
+    lines;
+    conclusive = List.for_all (fun l -> Pair_class.forces_equal_valency l.kind) lines;
+  }
+
+let analyse ?max_pairs ?max_depth ?state_depth (Object_type.Pack (module T)) =
+  analyse_typed (module T) ?max_pairs ?max_depth ?state_depth ()
+
+(* Canonicalization for list-shaped states (our stacks and queues): both
+   components of a confinement pair evolve under the same operations, so
+   shared prefixes and suffixes can be stripped; this turns the growing
+   pair space of e.g. repeated pushes into a finite cycle. *)
+let strip_common_affixes (a : int list) (b : int list) =
+  let rec strip_prefix = function
+    | x :: a', y :: b' when x = y -> strip_prefix (a', b')
+    | pair -> pair
+  in
+  let a, b = strip_prefix (a, b) in
+  let a', b' = strip_prefix (List.rev a, List.rev b) in
+  (List.rev a', List.rev b')
+
+(* The paper's two subjects, analysed with the list canonicalization. *)
+let analyse_stack ?(domain = 2) ?max_pairs ?max_depth ?state_depth () =
+  let (module T) = Stack.spec ~domain ~readable:false in
+  analyse_typed (module T) ~canon:strip_common_affixes ?max_pairs ?max_depth ?state_depth ()
+
+let analyse_queue ?(domain = 2) ?max_pairs ?max_depth ?state_depth () =
+  let (module T) = Queue.spec ~domain ~readable:false in
+  analyse_typed (module T) ~canon:strip_common_affixes ?max_pairs ?max_depth ?state_depth ()
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s: %d reachable states, %d configurations, %s@,"
+    r.subject r.states_explored (List.length r.lines)
+    (if r.conclusive then "ALL force v1 = v2 => rcons = 1" else "inconclusive configurations remain");
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  q=%-12s op1=%-8s op2=%-8s  %a@," l.state_str l.op1_str l.op2_str
+        Pair_class.pp_kind l.kind)
+    r.lines;
+  Format.fprintf ppf "@]"
+
+let summary ppf r =
+  let count k = List.length (List.filter (fun l -> l.kind = k) r.lines) in
+  let commute = count Pair_class.Commute in
+  let ov =
+    List.length
+      (List.filter (fun l -> match l.kind with Pair_class.Overwrite _ -> true | _ -> false) r.lines)
+  in
+  let cc =
+    List.length
+      (List.filter
+         (fun l -> match l.kind with Pair_class.Crash_confined _ -> true | _ -> false)
+         r.lines)
+  in
+  let inc = count Pair_class.Inconclusive in
+  Format.fprintf ppf
+    "%-22s states=%-3d configs=%-4d commute=%-4d overwrite=%-4d crash-confined=%-4d inconclusive=%-4d => %s"
+    r.subject r.states_explored (List.length r.lines) commute ov cc inc
+    (if r.conclusive then "rcons = 1" else "no conclusion")

@@ -1,0 +1,254 @@
+(* Mechanization of the case analysis of Appendix H / Figure 8: why two
+   processes cannot solve recoverable consensus using stacks (or queues)
+   and registers.
+
+   The valency framework (Theorem 14) produces a critical execution after
+   which p1 is poised to apply op1 and p2 to apply op2 on the same object
+   in state q, with the two next-step extensions having different
+   valencies v1 <> v2.  The proof derives a contradiction by exhibiting,
+   for every possible (q, op1, op2), a pair of continuations that force
+   v1 = v2.  Each such forcing argument is one of:
+
+   - [Commute] (Figure 8a): op1;op2 and op2;op1 leave the object in the
+     same state.  p2 has taken a step in both extensions, so p1 may crash;
+     after the crash the shared state is identical and p1's recovery run
+     (solo, to completion) outputs the same value in both.
+
+   - [Overwrite] (Figure 8b): op1 alone and op2;op1 leave the same state
+     AND op1 returns the same response in both.  No crash is needed: p1's
+     local state and the shared state are identical, so p1's solo run
+     outputs the same value.
+
+   - [Crash_confined] (Figures 8c-8f): the states s12 (after op1;op2) and
+     s21 (after op2;op1) differ, but the difference is *confined*.  p1
+     continues solo; as long as its operations return equal responses in
+     the two hypothetical extensions, p1 cannot distinguish them, so by
+     recoverable wait-freedom it either outputs (the same value in both,
+     forcing v1 = v2) or eventually performs an operation whose responses
+     differ.  At such a divergence the adversary crashes p1, erasing what
+     it learned; each divergence therefore costs one crash, and crashes
+     must be funded by steps of other processes (the constraint defining
+     the execution set E_A in Theorem 14).  Formally we use the relation
+        CE(a, b, k)  iff  a = b, or for every operation o:
+                          resp_a(o) = resp_b(o) and CE(a', b', k), or
+                          k > 0 and CE(a', b', k - 1),
+     computed coinductively: cycles through response-equal edges witness
+     "p1 never learns anything", while response-divergent edges consume
+     the finite crash budget k, so non-converging divergent cycles (e.g.
+     a sticky bit, which records the winner forever) correctly fail.
+     For READABLE types p1 additionally has the READ operation, whose
+     response is the state itself: on an unequal pair a read always
+     diverges while changing nothing, so it burns one crash per probe and
+     confinement can only be established through genuine convergence --
+     a readable type whose states permanently record the difference
+     (S_2, CAS, sticky bit, readable swap) correctly stays inconclusive.
+     The stack and queue are NOT readable (Appendix H's subjects), so
+     their update-only analysis stands: push/pop (Figure 8c) needs one
+     crash; push/push (Figure 8f) needs two.  For list-shaped states
+     pairs are canonicalized by stripping common prefixes and suffixes,
+     which is sound because both components evolve under the same
+     operations.
+
+   - [Inconclusive]: none of the above could be established within the
+     bounds; the type may well solve 2-process RC (e.g. the sticky bit's
+     (0, 1) pair never classifies: the winner is recorded forever).
+
+   If *every* reachable (q, op1, op2) classifies as one of the first
+   three, no critical configuration can exist, so (by the scaffolding of
+   Theorem 14 and Appendix H) 2-process recoverable consensus is
+   unsolvable from the type and registers: rcons = 1. *)
+
+open Rcons_spec
+
+type kind =
+  | Commute
+  | Overwrite of [ `Op1_overwrites | `Op2_overwrites ]
+  | Crash_confined of { crashes : int; pairs : int }
+      (* crashes: divergent responses p1 must be crashed over (the crash
+         budget the argument consumes); pairs: size of the confinement
+         proof *)
+  | Inconclusive
+
+let pp_kind ppf = function
+  | Commute -> Format.pp_print_string ppf "commute"
+  | Overwrite `Op1_overwrites -> Format.pp_print_string ppf "op1-overwrites-op2"
+  | Overwrite `Op2_overwrites -> Format.pp_print_string ppf "op2-overwrites-op1"
+  | Crash_confined { crashes; pairs } ->
+      Format.fprintf ppf "crash-confined(%d crashes, %d pairs)" crashes pairs
+  | Inconclusive -> Format.pp_print_string ppf "INCONCLUSIVE"
+
+let forces_equal_valency = function
+  | Commute | Overwrite _ | Crash_confined _ -> true
+  | Inconclusive -> false
+
+(* Crash-confinement check (see the header), computed as a greatest
+   fixpoint over the finite graph of reachable canonicalized state pairs.
+
+   Nodes are (a, b, k) with a <> b after canonicalization and k the
+   remaining crash budget.  Each operation o induces a requirement:
+   - if applying o converges the pair (a' = b'), the requirement is
+     satisfied outright (crash p1 right after o);
+   - if the responses agree, the requirement is membership of
+     (a', b', k) in the relation;
+   - if the responses diverge, the requirement is k > 0 and membership of
+     (a', b', k - 1);
+   and for readable types a READ requirement: k > 0 and membership of
+   (a, b, k - 1).  The relation is the largest node set satisfying all
+   requirements; nodes violating one are removed until a fixpoint.
+   [canon] keeps the pair space finite for list-shaped states;
+   [max_pairs] aborts (returning None = inconclusive) if the reachable
+   graph grows beyond the bound. *)
+let crash_confined (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r)
+    ?(canon = fun a b -> (a, b)) ?(max_pairs = 20_000) ?(max_depth = 64) ~crash_budget
+    (a0 : s) (b0 : s) =
+  let exception Too_many_pairs in
+  let module Node_map = Map.Make (struct
+    type t = s * s * int
+
+    let compare (a1, b1, k1) (a2, b2, k2) =
+      let c = T.compare_state a1 a2 in
+      if c <> 0 then c
+      else
+        let c = T.compare_state b1 b2 in
+        if c <> 0 then c else Stdlib.compare k1 k2
+  end) in
+  (* requirements.(node) = list of [None] (unsatisfiable) or [Some target]
+     (target node must stay in the relation) *)
+  let requirements = ref Node_map.empty in
+  let node_count = ref 0 in
+  (* [depth] caps the DFS: un-canonicalizable state pairs can grow without
+     bound (e.g. push chains on a stack analysed without [canon]), making
+     key comparisons ever more expensive; nodes beyond the cap are
+     pessimistically treated as unsatisfiable, which can only push the
+     verdict towards Inconclusive and is therefore sound. *)
+  let rec build depth (a, b, k) =
+    let a, b = canon a b in
+    if T.compare_state a b = 0 then ()
+    else if Node_map.mem (a, b, k) !requirements then ()
+    else begin
+      if !node_count >= max_pairs then raise Too_many_pairs;
+      incr node_count;
+      (* insert a placeholder first to cut cycles *)
+      requirements := Node_map.add (a, b, k) [] !requirements;
+      let reqs = ref [] in
+      if depth >= max_depth then reqs := [ None ]
+      else begin
+        let add_target (a', b', k') =
+          let a', b' = canon a' b' in
+          if T.compare_state a' b' <> 0 then begin
+            reqs := Some (a', b', k') :: !reqs;
+            build (depth + 1) (a', b', k')
+          end
+        in
+        List.iter
+          (fun op ->
+            let a', ra = T.apply a op in
+            let b', rb = T.apply b op in
+            if T.compare_resp ra rb = 0 then add_target (a', b', k)
+            else if k > 0 then add_target (a', b', k - 1)
+            else reqs := None :: !reqs)
+          T.update_ops;
+        if T.readable then
+          if k > 0 then add_target (a, b, k - 1) else reqs := None :: !reqs
+      end;
+      requirements := Node_map.add (a, b, k) !reqs !requirements
+    end
+  in
+  let start k =
+    let a, b = canon a0 b0 in
+    (a, b, k)
+  in
+  match
+    for k = 0 to crash_budget do
+      build 0 (start k)
+    done
+  with
+  | exception Too_many_pairs -> None
+  | () ->
+      (* Greatest fixpoint, computed as the complement of the least
+         fixpoint of "dead": a node is dead if one of its requirements is
+         unsatisfiable or points to a dead node (requirements are
+         conjunctive).  Linear BFS over reverse dependencies. *)
+      let ids = Hashtbl.create 256 in
+      let nodes = ref [] in
+      Node_map.iter
+        (fun node reqs ->
+          Hashtbl.replace ids node (List.length !nodes);
+          nodes := (node, reqs) :: !nodes)
+        !requirements;
+      let count = List.length !nodes in
+      let node_arr = Array.make (max count 1) ((start 0), []) in
+      List.iteri (fun i n -> node_arr.(count - 1 - i) <- n) !nodes;
+      (* re-index so Hashtbl ids match array positions *)
+      Array.iteri (fun i (node, _) -> Hashtbl.replace ids node i) node_arr;
+      let dead = Array.make (max count 1) false in
+      let rev_deps = Array.make (max count 1) [] in
+      let initially_dead = ref [] in
+      Array.iteri
+        (fun i (_, reqs) ->
+          List.iter
+            (function
+              | None -> if not dead.(i) then (dead.(i) <- true; initially_dead := i :: !initially_dead)
+              | Some target ->
+                  let t = Hashtbl.find ids target in
+                  rev_deps.(t) <- i :: rev_deps.(t))
+            reqs)
+        node_arr;
+      (* [Queue] is shadowed by the catalogue's queue type; a simple
+         worklist works just as well. *)
+      let worklist = ref !initially_dead in
+      let rec drain () =
+        match !worklist with
+        | [] -> ()
+        | d :: rest ->
+            worklist := rest;
+            List.iter
+              (fun p ->
+                if not dead.(p) then begin
+                  dead.(p) <- true;
+                  worklist := p :: !worklist
+                end)
+              rev_deps.(d);
+            drain ()
+      in
+      drain ();
+      let is_alive node =
+        match Hashtbl.find_opt ids node with Some i -> not dead.(i) | None -> false
+      in
+      (* Smallest sufficient budget, for reporting. *)
+      let a, b = canon a0 b0 in
+      if T.compare_state a b = 0 then Some (0, 0)
+      else
+        let rec min_budget k =
+          if k > crash_budget then None
+          else if is_alive (start k) then Some (k, !node_count)
+          else min_budget (k + 1)
+        in
+        min_budget 0
+
+(* Classify one critical configuration (q, op1, op2). *)
+let classify (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r)
+    ?canon ?max_pairs ?max_depth ?(crash_budget = 2) (q : s) (op1 : o) (op2 : o) =
+  let s1, r1_solo = T.apply q op1 in
+  let s2, _ = T.apply q op2 in
+  let s12, _ = T.apply s1 op2 in
+  let s21, r1_after2 = T.apply s2 op1 in
+  if T.compare_state s12 s21 = 0 then Commute
+  else if T.compare_state s1 s21 = 0 && T.compare_resp r1_solo r1_after2 = 0 then
+    Overwrite `Op1_overwrites
+  else
+    let s2', r2_solo = T.apply q op2 in
+    let s2_after1, r2_after1 = T.apply s1 op2 in
+    if T.compare_state s2' s2_after1 = 0 && T.compare_resp r2_solo r2_after1 = 0 then
+      Overwrite `Op2_overwrites
+    else
+      (* One extra crash of p1 is spent right after op1;op2 / op2;op1 when
+         op1's own responses differ between the two orders, to erase that
+         knowledge before the solo run begins (for e.g. push/push the
+         responses agree and no initial crash is needed). *)
+      let initial_crash = if T.compare_resp r1_solo r1_after2 = 0 then 0 else 1 in
+      match crash_confined (module T) ?canon ?max_pairs ?max_depth ~crash_budget s12 s21 with
+      | Some (crashes, pairs) -> Crash_confined { crashes = crashes + initial_crash; pairs }
+      | None -> Inconclusive

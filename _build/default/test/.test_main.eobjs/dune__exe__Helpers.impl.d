@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Certificate Discerning Drivers Explore Option Printf Random Rcons_algo Rcons_check Rcons_runtime Rcons_spec Recording Sim

@@ -1,0 +1,1 @@
+test/test_conditions.ml: Alcotest Array Conditions Drivers Hashtbl History Linearizability List Printf Rcons_history Rcons_runtime Rcons_universal Sim

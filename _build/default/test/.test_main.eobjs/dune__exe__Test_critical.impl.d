@@ -1,0 +1,1 @@
+test/test_critical.ml: Alcotest Array Critical List Option Printf Rcons_algo Rcons_check Rcons_runtime Rcons_spec Rcons_valency Sim

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Enumerate Fun List Printf Rcons_check

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Hashtbl History Linearizability List Rcons_history

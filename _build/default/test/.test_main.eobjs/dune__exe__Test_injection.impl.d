@@ -1,0 +1,1 @@
+test/test_injection.ml: Alcotest Array Drivers Explore Helpers List Rcons_algo Rcons_history Rcons_runtime Rcons_spec Rcons_universal Sim

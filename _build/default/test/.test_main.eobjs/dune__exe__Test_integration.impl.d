@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Drivers Explore Helpers List Rcons Rcons_algo Rcons_check Rcons_runtime Rcons_spec Rcons_universal Rcons_valency Sim

@@ -1,0 +1,1 @@
+test/test_lin_oracle.ml: Hashtbl History Linearizability List Printf QCheck2 QCheck_alcotest Random Rcons_history String

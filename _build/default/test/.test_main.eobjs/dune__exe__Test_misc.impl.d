@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Drivers Format List Option Rcons_algo Rcons_check Rcons_runtime Rcons_spec Rcons_valency Sim Sn String Team

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Brute_force Discerning Format List Printf QCheck2 QCheck_alcotest Random Rcons_check Rcons_spec Recording String

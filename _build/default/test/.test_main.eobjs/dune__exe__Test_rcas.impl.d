@@ -1,0 +1,1 @@
+test/test_rcas.ml: Alcotest Array Cell Drivers Printf Random Rcons_algo Rcons_history Rcons_runtime Recoverable_cas Sim

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Certificate Helpers List Object_type Product Rcons_check Rcons_spec Recording Register Robustness Sn Sticky_bit Swap Test_and_set

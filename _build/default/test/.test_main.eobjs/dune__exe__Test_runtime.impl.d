@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Cell Drivers Explore Growable List Printf Random Rcons_runtime Rcons_spec Sim Sim_obj

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array List Object_type Rcons_check Rcons_spec Register Search Sn Stack Sticky_bit Team Test_and_set

@@ -1,0 +1,1 @@
+test/test_simultaneous.ml: Alcotest Array Drivers Helpers List One_shot Outputs Printf Rcons_algo Rcons_runtime Rcons_spec Sim Simultaneous_rc Tournament

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Cas Catalogue Fetch_add Finite_type Format List Object_type Printf Queue Random Rcons_spec Register Sn Stack Sticky_bit Swap Test_and_set Tn

@@ -1,0 +1,1 @@
+test/test_team_consensus.ml: Alcotest Array Drivers Explore Helpers List Rcons_algo Rcons_check Rcons_runtime Rcons_spec Sim

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Array Buffer Certificate Classify Discerning List Option Printf QCheck2 QCheck_alcotest Random Rcons_check Rcons_spec Recording

@@ -1,0 +1,1 @@
+test/test_tournament.ml: Alcotest Array Drivers Explore Helpers List Outputs Printf Random Rcons_algo Rcons_check Rcons_runtime Rcons_spec Sim Stable_input String Tournament

@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Array Cell Derived Drivers Explore Helpers List Random Rcons_algo Rcons_history Rcons_runtime Rcons_spec Rcons_universal Runiversal Script Sim

@@ -1,0 +1,257 @@
+(* Tests of the decision procedures for n-discerning and n-recording
+   against the values known from the literature (see the catalogue), and
+   of the derived cons/rcons bounds.  These are the headline checks of
+   experiment E1: the checkers must place every classical type at its
+   published level and reproduce Propositions 19 and 21. *)
+
+open Rcons_spec
+open Rcons_check
+
+let level = Alcotest.testable Classify.pp_level Classify.equal_level
+
+(* --- discerning levels of the classics --- *)
+
+let test_register_not_2_discerning () =
+  Alcotest.(check bool) "register" false (Discerning.is_discerning Register.default 2)
+
+let test_tas_exactly_2_discerning () =
+  Alcotest.(check bool) "2 yes" true (Discerning.is_discerning Test_and_set.t 2);
+  Alcotest.(check bool) "3 no" false (Discerning.is_discerning Test_and_set.t 3)
+
+let test_swap_exactly_2_discerning () =
+  Alcotest.(check bool) "2 yes" true (Discerning.is_discerning Swap.default 2);
+  Alcotest.(check bool) "3 no" false (Discerning.is_discerning Swap.default 3)
+
+let test_fetch_add_exactly_2_discerning () =
+  Alcotest.(check bool) "2 yes" true (Discerning.is_discerning Fetch_add.default 2);
+  Alcotest.(check bool) "3 no" false (Discerning.is_discerning Fetch_add.default 3)
+
+let test_flip_bit_levels () =
+  Alcotest.(check bool) "flip 2-discerning" true (Discerning.is_discerning Flip_bit.t 2);
+  Alcotest.(check bool) "flip not 3-discerning" false (Discerning.is_discerning Flip_bit.t 3);
+  Alcotest.(check bool) "flip not 2-recording" false (Recording.is_recording Flip_bit.t 2)
+
+let test_max_register_levels () =
+  Alcotest.(check bool) "max-reg 2-discerning" true (Discerning.is_discerning Max_register.default 2);
+  Alcotest.(check bool) "max-reg not 3-discerning" false
+    (Discerning.is_discerning Max_register.default 3);
+  Alcotest.(check bool) "max-reg not 2-recording" false
+    (Recording.is_recording Max_register.default 2)
+
+let test_sticky_discerning_high () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (Discerning.is_discerning Sticky_bit.t n))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_cas_discerning_high () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (Discerning.is_discerning Cas.default n))
+    [ 2; 3; 4; 5 ]
+
+(* --- recording levels --- *)
+
+let test_register_not_2_recording () =
+  Alcotest.(check bool) "register" false (Recording.is_recording Register.default 2)
+
+let test_tas_not_2_recording () =
+  Alcotest.(check bool) "tas" false (Recording.is_recording Test_and_set.t 2)
+
+let test_swap_not_2_recording () =
+  Alcotest.(check bool) "swap" false (Recording.is_recording Swap.default 2)
+
+let test_fetch_add_not_2_recording () =
+  Alcotest.(check bool) "faa" false (Recording.is_recording Fetch_add.default 2)
+
+let test_sticky_recording_high () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (Recording.is_recording Sticky_bit.t n))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_cas_recording_high () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (Recording.is_recording Cas.default n))
+    [ 2; 3; 4; 5 ]
+
+(* The bare (non-readable) stack transition system is n-recording -- the
+   bottom element records the first pusher -- readability, not the
+   recording property, is what it lacks (see the stack module notes). *)
+let test_stack_transition_system_recording () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "n=%d" n) true (Recording.is_recording Stack.default n))
+    [ 2; 3; 4 ]
+
+(* --- Proposition 19: T_n is n-discerning but not (n-1)-recording --- *)
+
+let test_tn_levels () =
+  List.iter
+    (fun n ->
+      let t = Tn.make n in
+      Alcotest.(check bool) (Printf.sprintf "T_%d is %d-discerning" n n) true
+        (Discerning.is_discerning t n);
+      Alcotest.(check bool)
+        (Printf.sprintf "T_%d is not %d-discerning" n (n + 1))
+        false
+        (Discerning.is_discerning t (n + 1));
+      Alcotest.(check bool)
+        (Printf.sprintf "T_%d is not %d-recording" n (n - 1))
+        false
+        (Recording.is_recording t (n - 1));
+      (* Theorem 16 guarantees (n-2)-recording for n >= 4 *)
+      if n >= 4 then
+        Alcotest.(check bool)
+          (Printf.sprintf "T_%d is %d-recording" n (n - 2))
+          true
+          (Recording.is_recording t (n - 2)))
+    [ 4; 5; 6 ]
+
+(* --- Proposition 21: S_n is n-recording and not (n+1)-discerning --- *)
+
+let test_sn_levels () =
+  List.iter
+    (fun n ->
+      let t = Sn.make n in
+      Alcotest.(check bool) (Printf.sprintf "S_%d is %d-recording" n n) true
+        (Recording.is_recording t n);
+      Alcotest.(check bool)
+        (Printf.sprintf "S_%d is not %d-discerning" n (n + 1))
+        false
+        (Discerning.is_discerning t (n + 1)))
+    [ 2; 3; 4; 5 ]
+
+(* --- classify: levels --- *)
+
+let test_classify_levels () =
+  let expect name ot limit disc rec_ =
+    let r = Classify.classify ~limit ot in
+    Alcotest.check level (name ^ " discerning") disc r.Classify.discerning;
+    Alcotest.check level (name ^ " recording") rec_ r.Classify.recording
+  in
+  expect "register" Register.default 4 (Classify.Finite 1) (Classify.Finite 1);
+  expect "tas" Test_and_set.t 4 (Classify.Finite 2) (Classify.Finite 1);
+  expect "swap" Swap.default 4 (Classify.Finite 2) (Classify.Finite 1);
+  expect "sticky" Sticky_bit.t 5 (Classify.At_least 5) (Classify.At_least 5);
+  expect "T_5" (Tn.make 5) 6 (Classify.Finite 5) (Classify.Finite 3);
+  expect "S_4" (Sn.make 4) 5 (Classify.Finite 4) (Classify.Finite 4)
+
+(* --- classify: bounds --- *)
+
+let test_classify_bounds_register () =
+  let r = Classify.classify ~limit:3 Register.default in
+  Alcotest.(check bool) "cons exact 1" true (r.Classify.cons = Some { Classify.lower = 1; upper = Some 1 });
+  Alcotest.(check bool) "rcons exact 1" true (r.Classify.rcons = Some { Classify.lower = 1; upper = Some 1 })
+
+let test_classify_bounds_sn () =
+  (* rcons(S_n) = cons(S_n) = n exactly (Proposition 21): the interval
+     collapses because rcons <= cons. *)
+  let r = Classify.classify ~limit:5 (Sn.make 4) in
+  Alcotest.(check bool) "cons = 4" true (r.Classify.cons = Some { Classify.lower = 4; upper = Some 4 });
+  Alcotest.(check bool) "rcons = 4" true (r.Classify.rcons = Some { Classify.lower = 4; upper = Some 4 })
+
+let test_classify_bounds_tn () =
+  (* rcons(T_n) in [n-2, n-1] < cons(T_n) = n (Corollary 20). *)
+  let r = Classify.classify ~limit:6 (Tn.make 5) in
+  Alcotest.(check bool) "cons = 5" true (r.Classify.cons = Some { Classify.lower = 5; upper = Some 5 });
+  Alcotest.(check bool) "rcons = [3,4]" true
+    (r.Classify.rcons = Some { Classify.lower = 3; upper = Some 4 })
+
+let test_classify_non_readable_no_bounds () =
+  let r = Classify.classify ~limit:3 Test_and_set.t in
+  Alcotest.(check bool) "cons n/a" true (r.Classify.cons = None);
+  Alcotest.(check bool) "rcons n/a" true (r.Classify.rcons = None)
+
+(* --- certificates --- *)
+
+let test_recording_witness_validates () =
+  List.iter
+    (fun (ot, n) ->
+      match Recording.witness ot n with
+      | None -> Alcotest.fail (Object_type.name ot ^ ": expected a witness")
+      | Some cert ->
+          Alcotest.(check bool)
+            (Object_type.name ot ^ " certificate self-validates")
+            true
+            (Certificate.validate_recording cert))
+    [
+      (Sticky_bit.t, 2);
+      (Sticky_bit.t, 4);
+      (Cas.default, 3);
+      (Sn.make 3, 3);
+      (Sn.make 5, 5);
+      (Stack.readable_variant, 3);
+      (Consensus_obj.default, 4);
+    ]
+
+let test_recording_witness_team_sizes () =
+  match Recording.witness (Sn.make 4) 4 with
+  | None -> Alcotest.fail "S_4 must be 4-recording"
+  | Some cert ->
+      let a, b = Certificate.recording_teams cert in
+      Alcotest.(check int) "teams cover n" 4 (a + b);
+      Alcotest.(check bool) "both non-empty" true (a >= 1 && b >= 1)
+
+let test_discerning_witness_shape () =
+  match Discerning.witness Test_and_set.t 2 with
+  | None -> Alcotest.fail "TAS must be 2-discerning"
+  | Some (Certificate.Discerning (_, d)) ->
+      Alcotest.(check int) "2 processes" 2 (Array.length d.Certificate.procs);
+      Array.iteri
+        (fun j _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "R_A(%d) and R_B(%d) disjoint" j j)
+            true
+            (List.for_all (fun p -> not (List.mem p d.Certificate.r_b.(j))) d.Certificate.r_a.(j)))
+        d.Certificate.procs
+
+let test_witness_rejects_n_below_2 () =
+  Alcotest.check_raises "recording n=1" (Invalid_argument "Recording.witness: n must be >= 2")
+    (fun () -> ignore (Recording.witness Sticky_bit.t 1));
+  Alcotest.check_raises "discerning n=1" (Invalid_argument "Discerning.witness: n must be >= 2")
+    (fun () -> ignore (Discerning.witness Sticky_bit.t 1))
+
+(* --- set-level robustness (Theorem 22 interface) --- *)
+
+let test_bounds_printer () =
+  let s = Format.asprintf "%a" Classify.pp_bounds { Classify.lower = 2; upper = Some 3 } in
+  Alcotest.(check string) "interval" "[2,3]" s;
+  let s = Format.asprintf "%a" Classify.pp_bounds { Classify.lower = 4; upper = Some 4 } in
+  Alcotest.(check string) "point" "4" s;
+  let s = Format.asprintf "%a" Classify.pp_bounds { Classify.lower = 5; upper = None } in
+  Alcotest.(check string) "at least" ">=5" s
+
+let suite =
+  [
+    Alcotest.test_case "register not 2-discerning" `Quick test_register_not_2_discerning;
+    Alcotest.test_case "TAS exactly 2-discerning" `Quick test_tas_exactly_2_discerning;
+    Alcotest.test_case "swap exactly 2-discerning" `Quick test_swap_exactly_2_discerning;
+    Alcotest.test_case "fetch&add exactly 2-discerning" `Quick test_fetch_add_exactly_2_discerning;
+    Alcotest.test_case "flip bit levels" `Quick test_flip_bit_levels;
+    Alcotest.test_case "max register levels" `Quick test_max_register_levels;
+    Alcotest.test_case "sticky bit discerning for all tested n" `Quick test_sticky_discerning_high;
+    Alcotest.test_case "CAS discerning for all tested n" `Quick test_cas_discerning_high;
+    Alcotest.test_case "register not 2-recording" `Quick test_register_not_2_recording;
+    Alcotest.test_case "TAS not 2-recording" `Quick test_tas_not_2_recording;
+    Alcotest.test_case "swap not 2-recording" `Quick test_swap_not_2_recording;
+    Alcotest.test_case "fetch&add not 2-recording" `Quick test_fetch_add_not_2_recording;
+    Alcotest.test_case "sticky bit recording for all tested n" `Quick test_sticky_recording_high;
+    Alcotest.test_case "CAS recording for all tested n" `Quick test_cas_recording_high;
+    Alcotest.test_case "stack transition system is recording" `Quick
+      test_stack_transition_system_recording;
+    Alcotest.test_case "Prop 19: T_n levels" `Slow test_tn_levels;
+    Alcotest.test_case "Prop 21: S_n levels" `Quick test_sn_levels;
+    Alcotest.test_case "classify: levels" `Slow test_classify_levels;
+    Alcotest.test_case "classify: register bounds" `Quick test_classify_bounds_register;
+    Alcotest.test_case "classify: S_n bounds collapse" `Quick test_classify_bounds_sn;
+    Alcotest.test_case "classify: T_n bounds gap" `Slow test_classify_bounds_tn;
+    Alcotest.test_case "classify: non-readable types get no bounds" `Quick
+      test_classify_non_readable_no_bounds;
+    Alcotest.test_case "recording witnesses self-validate" `Quick test_recording_witness_validates;
+    Alcotest.test_case "recording witness team sizes" `Quick test_recording_witness_team_sizes;
+    Alcotest.test_case "discerning witness shape" `Quick test_discerning_witness_shape;
+    Alcotest.test_case "witness rejects n < 2" `Quick test_witness_rejects_n_below_2;
+    Alcotest.test_case "bounds printer" `Quick test_bounds_printer;
+  ]

@@ -1,0 +1,166 @@
+(* Tests of history recording and the linearizability checker, on
+   hand-built histories with known verdicts. *)
+
+open Rcons_history
+
+type op = Inc | Get
+
+let counter_spec : (int, op, int) Linearizability.spec =
+  {
+    init = 0;
+    apply = (fun s op -> match op with Inc -> (s + 1, s + 1) | Get -> (s, s));
+    equal_resp = ( = );
+  }
+
+(* Build a history from a script of events. *)
+let build script =
+  let h = History.create () in
+  let tags = Hashtbl.create 8 in
+  List.iter
+    (function
+      | `Inv (pid, key, op) -> Hashtbl.replace tags key (History.invoke h ~pid op)
+      | `Res (pid, key, resp) -> History.respond h ~pid ~tag:(Hashtbl.find tags key) resp
+      | `Crash pid -> History.crash h ~pid)
+    script;
+  h
+
+let check_lin name expected script =
+  Alcotest.(check bool) name expected (Linearizability.check_history counter_spec (build script))
+
+let test_sequential_good () =
+  check_lin "inc then get" true
+    [ `Inv (0, "a", Inc); `Res (0, "a", 1); `Inv (0, "b", Get); `Res (0, "b", 1) ]
+
+let test_sequential_bad_response () =
+  check_lin "get returns wrong value" false
+    [ `Inv (0, "a", Inc); `Res (0, "a", 1); `Inv (0, "b", Get); `Res (0, "b", 0) ]
+
+let test_concurrent_reorder_ok () =
+  (* overlapping inc and get: get may linearize before or after *)
+  check_lin "overlap allows 0" true
+    [ `Inv (0, "a", Inc); `Inv (1, "b", Get); `Res (1, "b", 0); `Res (0, "a", 1) ];
+  check_lin "overlap allows 1" true
+    [ `Inv (0, "a", Inc); `Inv (1, "b", Get); `Res (1, "b", 1); `Res (0, "a", 1) ]
+
+let test_real_time_order_enforced () =
+  (* get completing strictly after inc completed must see the increment *)
+  check_lin "stale read rejected" false
+    [ `Inv (0, "a", Inc); `Res (0, "a", 1); `Inv (1, "b", Get); `Res (1, "b", 0) ]
+
+let test_two_incs () =
+  check_lin "two incs return 1 and 2 in some order" true
+    [ `Inv (0, "a", Inc); `Inv (1, "b", Inc); `Res (0, "a", 2); `Res (1, "b", 1) ];
+  check_lin "both returning 1 impossible" false
+    [ `Inv (0, "a", Inc); `Inv (1, "b", Inc); `Res (0, "a", 1); `Res (1, "b", 1) ]
+
+let test_pending_may_take_effect () =
+  (* a pending inc (no response: the process crashed) may explain a get of 1 *)
+  check_lin "pending inc explains get 1" true
+    [ `Inv (0, "a", Inc); `Crash 0; `Inv (1, "b", Get); `Res (1, "b", 1) ]
+
+let test_pending_may_be_dropped () =
+  check_lin "pending inc may also never happen" true
+    [ `Inv (0, "a", Inc); `Crash 0; `Inv (1, "b", Get); `Res (1, "b", 0) ]
+
+let test_pending_cannot_double () =
+  (* one pending inc cannot explain two increments *)
+  check_lin "pending inc linearized at most once" false
+    [
+      `Inv (0, "a", Inc);
+      `Crash 0;
+      `Inv (1, "b", Get);
+      `Res (1, "b", 1);
+      `Inv (1, "c", Get);
+      `Res (1, "c", 2);
+    ]
+
+let test_crash_closed_operation () =
+  (* an operation interrupted by a crash and completed on recovery appears
+     as one operation whose response arrives late; it must take effect
+     exactly once *)
+  check_lin "crash-closed op counted once" true
+    [
+      `Inv (0, "a", Inc);
+      `Crash 0;
+      `Inv (1, "b", Get);
+      `Res (1, "b", 0);
+      `Res (0, "a", 1);
+      `Inv (1, "c", Get);
+      `Res (1, "c", 1);
+    ]
+
+let test_operations_extraction () =
+  let h =
+    build [ `Inv (0, "a", Inc); `Inv (1, "b", Get); `Res (0, "a", 1); `Crash 1 ]
+  in
+  let ops = History.operations h in
+  Alcotest.(check int) "two operations" 2 (List.length ops);
+  let pending = List.filter (fun (o : (op, int) History.operation) -> o.resp = None) ops in
+  Alcotest.(check int) "one pending" 1 (List.length pending);
+  Alcotest.(check int) "crash count" 1 (History.num_crashes h)
+
+let test_response_without_invocation_rejected () =
+  let h = History.create () in
+  History.respond h ~pid:0 ~tag:99 1;
+  Alcotest.check_raises "rejects orphan response"
+    (Invalid_argument "History.operations: response without invocation") (fun () ->
+      ignore (History.operations h))
+
+let test_empty_history_linearizable () =
+  Alcotest.(check bool) "empty" true (Linearizability.check counter_spec [])
+
+let test_too_many_operations_rejected () =
+  let ops =
+    List.init 63 (fun i ->
+        {
+          History.op_pid = 0;
+          op_tag = i;
+          op = Inc;
+          resp = Some (i + 1);
+          inv = 2 * i;
+          res = (2 * i) + 1;
+        })
+  in
+  Alcotest.check_raises "63 ops rejected"
+    (Invalid_argument "Linearizability.check: more than 62 operations") (fun () ->
+      ignore (Linearizability.check counter_spec ops))
+
+(* A register spec exercises response equality on a different shape. *)
+type reg_op = Write of int | Read
+
+let reg_spec : (int, reg_op, int option) Linearizability.spec =
+  {
+    init = 0;
+    apply = (fun s op -> match op with Write v -> (v, None) | Read -> (s, Some s));
+    equal_resp = ( = );
+  }
+
+let test_register_new_old_inversion () =
+  (* classic non-linearizable register history: two sequential reads see
+     the new value then the old value *)
+  let ops =
+    [
+      { History.op_pid = 0; op_tag = 0; op = Write 1; resp = Some None; inv = 0; res = 7 };
+      { History.op_pid = 1; op_tag = 1; op = Read; resp = Some (Some 1); inv = 1; res = 2 };
+      { History.op_pid = 1; op_tag = 2; op = Read; resp = Some (Some 0); inv = 3; res = 4 };
+    ]
+  in
+  Alcotest.(check bool) "new-old inversion rejected" false (Linearizability.check reg_spec ops)
+
+let suite =
+  [
+    Alcotest.test_case "sequential good" `Quick test_sequential_good;
+    Alcotest.test_case "sequential bad response" `Quick test_sequential_bad_response;
+    Alcotest.test_case "concurrent reorder ok" `Quick test_concurrent_reorder_ok;
+    Alcotest.test_case "real-time order enforced" `Quick test_real_time_order_enforced;
+    Alcotest.test_case "two increments" `Quick test_two_incs;
+    Alcotest.test_case "pending op may take effect" `Quick test_pending_may_take_effect;
+    Alcotest.test_case "pending op may be dropped" `Quick test_pending_may_be_dropped;
+    Alcotest.test_case "pending op linearized at most once" `Quick test_pending_cannot_double;
+    Alcotest.test_case "crash-closed op counted once" `Quick test_crash_closed_operation;
+    Alcotest.test_case "operation extraction" `Quick test_operations_extraction;
+    Alcotest.test_case "orphan response rejected" `Quick test_response_without_invocation_rejected;
+    Alcotest.test_case "empty history" `Quick test_empty_history_linearizable;
+    Alcotest.test_case "operation count cap" `Quick test_too_many_operations_rejected;
+    Alcotest.test_case "register new-old inversion" `Quick test_register_new_old_inversion;
+  ]

@@ -1,0 +1,130 @@
+(* Permutation oracle for the linearizability checker: enumerate every
+   subset of pending operations and every permutation of the chosen
+   operations, and check real-time order, legality and responses
+   directly.  Exponential, but independent of the Wing-Gong search; the
+   two must agree on random small histories. *)
+
+open Rcons_history
+
+type op = Inc | Get
+
+let counter_spec : (int, op, int) Linearizability.spec =
+  {
+    init = 0;
+    apply = (fun s op -> match op with Inc -> (s + 1, s + 1) | Get -> (s, s));
+    equal_resp = ( = );
+  }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( != ) x) xs)))
+        xs
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> x :: sub) s
+
+let naive_linearizable (spec : (int, op, int) Linearizability.spec) ops =
+  let completed, pending = List.partition (fun (o : _ History.operation) -> o.resp <> None) ops in
+  List.exists
+    (fun chosen_pending ->
+      let chosen = completed @ chosen_pending in
+      List.exists
+        (fun order ->
+          (* real time: if a.res < b.inv then a must precede b *)
+          let respects_real_time =
+            let rec check = function
+              | [] -> true
+              | (a : _ History.operation) :: rest ->
+                  List.for_all (fun (b : _ History.operation) -> not (b.res < a.inv)) rest
+                  && check rest
+            in
+            check order
+          in
+          respects_real_time
+          &&
+          let rec legal state = function
+            | [] -> true
+            | (o : _ History.operation) :: rest -> (
+                let state', r = spec.apply state o.op in
+                match o.resp with
+                | Some expected -> spec.equal_resp expected r && legal state' rest
+                | None -> legal state' rest)
+          in
+          legal spec.init order)
+        (permutations chosen))
+    (subsets pending)
+
+(* Random well-formed histories: 2 processes, 1-3 sequential counter ops
+   each, a random interleaving, responses drawn from a small range so
+   that both legal and illegal histories are produced. *)
+let history_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed; 23 |] in
+    let num_ops pid = 1 + Random.State.int rng 2 + (pid * 0) in
+    let scripts =
+      List.init 2 (fun pid ->
+          List.init (num_ops pid) (fun k ->
+              ( pid,
+                k,
+                (if Random.State.bool rng then Inc else Get),
+                Random.State.int rng 4 )))
+    in
+    (* random interleaving of per-process event sequences; each op yields
+       Inv then Res (Res possibly dropped for the last op of a process) *)
+    let streams =
+      List.map
+        (fun ops ->
+          let drop_last = Random.State.int rng 3 = 0 in
+          let events =
+            List.concat_map (fun (pid, k, op, resp) -> [ `I (pid, k, op); `R (pid, k, resp) ]) ops
+          in
+          if drop_last then List.filteri (fun i _ -> i < List.length events - 1) events
+          else events)
+        scripts
+    in
+    let rec interleave acc streams =
+      let nonempty = List.filter (( <> ) []) streams in
+      if nonempty = [] then List.rev acc
+      else
+        let idx = Random.State.int rng (List.length nonempty) in
+        let chosen = List.nth nonempty idx in
+        let ev, rest = (List.hd chosen, List.tl chosen) in
+        let streams' = List.map (fun s -> if s == chosen then rest else s) nonempty in
+        interleave (ev :: acc) streams'
+    in
+    return (interleave [] streams))
+
+let to_operations events =
+  let h = History.create () in
+  let tags = Hashtbl.create 8 in
+  List.iter
+    (function
+      | `I (pid, k, op) -> Hashtbl.replace tags (pid, k) (History.invoke h ~pid op)
+      | `R (pid, k, resp) -> History.respond h ~pid ~tag:(Hashtbl.find tags (pid, k)) resp)
+    events;
+  History.operations h
+
+let print_events evs =
+  String.concat " "
+    (List.map
+       (function
+         | `I (p, k, op) -> Printf.sprintf "I%d.%d%s" p k (match op with Inc -> "+" | Get -> "?")
+         | `R (p, k, r) -> Printf.sprintf "R%d.%d=%d" p k r)
+       evs)
+
+let checker_agrees_with_oracle events =
+  let ops = to_operations events in
+  Linearizability.check counter_spec ops = naive_linearizable counter_spec ops
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"Wing-Gong checker = permutation oracle"
+         ~print:print_events history_gen checker_agrees_with_oracle);
+  ]

@@ -1,0 +1,29 @@
+(* Entry point for the whole test suite.  Each sub-file exports a [suite]
+   value; run everything under one Alcotest binary so that `dune runtest`
+   covers the full repository. *)
+
+let () =
+  Alcotest.run "rcons"
+    [
+      ("spec", Test_spec.suite);
+      ("misc", Test_misc.suite);
+      ("enumerate", Test_enumerate.suite);
+      ("search", Test_search.suite);
+      ("checkers", Test_checkers.suite);
+      ("theorems", Test_theorems.suite);
+      ("oracle", Test_oracle.suite);
+      ("runtime", Test_runtime.suite);
+      ("team-consensus", Test_team_consensus.suite);
+      ("tournament", Test_tournament.suite);
+      ("simultaneous", Test_simultaneous.suite);
+      ("recoverable-cas", Test_rcas.suite);
+      ("history", Test_history.suite);
+      ("lin-oracle", Test_lin_oracle.suite);
+      ("conditions", Test_conditions.suite);
+      ("universal", Test_universal.suite);
+      ("valency", Test_valency.suite);
+      ("critical", Test_critical.suite);
+      ("robustness", Test_robustness.suite);
+      ("injection", Test_injection.suite);
+      ("integration", Test_integration.suite);
+    ]

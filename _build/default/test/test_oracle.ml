@@ -1,0 +1,80 @@
+(* Oracle tests: the production decision procedures (multiset symmetry
+   reduction, memoized search, prefix-closed collection) against the
+   brute-force implementations that follow the text of Definitions 2 and
+   4 literally.  Agreement on random small types validates the symmetry
+   arguments the fast checkers rely on. *)
+
+open Rcons_check
+
+let table_gen =
+  QCheck2.Gen.(
+    let* num_states = int_range 2 3 in
+    let* num_ops = int_range 1 2 in
+    let* num_resps = int_range 1 2 in
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed; num_states; num_ops; 7 |] in
+    return (Rcons_spec.Finite_type.random ~num_resps ~num_states ~num_ops rng))
+
+let print_table (t : Rcons_spec.Finite_type.table) =
+  Format.asprintf "%d states %d ops %s" t.num_states t.num_ops
+    (String.concat ";"
+       (Array.to_list t.transition
+       |> List.concat_map (fun row ->
+              Array.to_list row |> List.map (fun (q, r) -> Printf.sprintf "%d/%d" q r))))
+
+let mk_test ?(count = 40) name prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print:print_table table_gen prop)
+
+let recording_agrees table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> Recording.is_recording ot n = Brute_force.is_recording ot n)
+    [ 2; 3 ]
+
+let discerning_agrees table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> Discerning.is_discerning ot n = Brute_force.is_discerning ot n)
+    [ 2; 3 ]
+
+(* The oracle also agrees on the real separating types at small n. *)
+let test_oracle_on_sn () =
+  let ot = Rcons_spec.Sn.make 3 in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "S_3 recording n=%d" n)
+        (Brute_force.is_recording ot n) (Recording.is_recording ot n);
+      Alcotest.(check bool)
+        (Printf.sprintf "S_3 discerning n=%d" n)
+        (Brute_force.is_discerning ot n)
+        (Discerning.is_discerning ot n))
+    [ 2; 3 ]
+
+let test_oracle_on_tas_swap () =
+  List.iter
+    (fun ot ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Rcons_spec.Object_type.name ot ^ Printf.sprintf " recording n=%d" n)
+            (Brute_force.is_recording ot n) (Recording.is_recording ot n);
+          Alcotest.(check bool)
+            (Rcons_spec.Object_type.name ot ^ Printf.sprintf " discerning n=%d" n)
+            (Brute_force.is_discerning ot n)
+            (Discerning.is_discerning ot n))
+        [ 2; 3 ])
+    [ Rcons_spec.Test_and_set.t; Rcons_spec.Swap.default; Rcons_spec.Flip_bit.t ]
+
+let test_oracle_rejects_small_n () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Brute_force.is_recording") (fun () ->
+      ignore (Brute_force.is_recording Rcons_spec.Sticky_bit.t 1))
+
+let suite =
+  [
+    mk_test "recording: fast = brute force (random types)" recording_agrees;
+    mk_test "discerning: fast = brute force (random types)" discerning_agrees;
+    Alcotest.test_case "oracle on S_3" `Quick test_oracle_on_sn;
+    Alcotest.test_case "oracle on TAS/swap/flip" `Quick test_oracle_on_tas_swap;
+    Alcotest.test_case "oracle rejects n = 1" `Quick test_oracle_rejects_small_n;
+  ]

@@ -1,0 +1,155 @@
+(* Tests of the Q_X and R_{X,j} set computations (Definitions 2 and 4)
+   against hand-computed values on small types. *)
+
+open Rcons_spec
+open Rcons_check
+
+(* Hand-computed Q sets for S_3 with the canonical assignment of
+   Proposition 21: q0 = (B,0), team A = {op_A}, team B = {op_B, op_B}.
+   Q_A = {(A,0), (A,1), (A,2)} and Q_B = {(B,0), (B,1), (B,2)}. *)
+let test_q_sets_s3 () =
+  match Sn.make 3 with
+  | Object_type.Pack (module T) ->
+      let module S = Search.Make (T) in
+      let opa, opb =
+        match T.update_ops with [ a; b ] -> (a, b) | _ -> Alcotest.fail "ops"
+      in
+      let q0 = List.hd T.candidate_initial_states in
+      let ms_a = S.multiset_of_list [ opa ] and ms_b = S.multiset_of_list [ opb; opb ] in
+      let q_a = S.reachable ~q0 ~first:ms_a ~other:ms_b in
+      let q_b = S.reachable ~q0 ~first:ms_b ~other:ms_a in
+      Alcotest.(check int) "|Q_A| = 3" 3 (S.State_set.cardinal q_a);
+      Alcotest.(check int) "|Q_B| = 3" 3 (S.State_set.cardinal q_b);
+      Alcotest.(check bool) "disjoint" true S.State_set.(is_empty (inter q_a q_b));
+      Alcotest.(check bool) "q0 in Q_B (wrap via op_B then op_A)" true (S.State_set.mem q0 q_b);
+      Alcotest.(check bool) "q0 not in Q_A" false (S.State_set.mem q0 q_a)
+
+(* Sticky bit, one process per team with different values:
+   Q_A = {0-stuck}, Q_B = {1-stuck}. *)
+let test_q_sets_sticky () =
+  match Sticky_bit.t with
+  | Object_type.Pack (module T) ->
+      let module S = Search.Make (T) in
+      let q0 = List.hd T.candidate_initial_states in
+      let s0, s1 = match T.update_ops with [ a; b ] -> (a, b) | _ -> Alcotest.fail "ops" in
+      let ms_a = S.multiset_of_list [ s0 ] and ms_b = S.multiset_of_list [ s1 ] in
+      let q_a = S.reachable ~q0 ~first:ms_a ~other:ms_b in
+      let q_b = S.reachable ~q0 ~first:ms_b ~other:ms_a in
+      Alcotest.(check int) "|Q_A| = 1" 1 (S.State_set.cardinal q_a);
+      Alcotest.(check int) "|Q_B| = 1" 1 (S.State_set.cardinal q_b);
+      Alcotest.(check bool) "disjoint" true S.State_set.(is_empty (inter q_a q_b))
+
+(* The 2-recording witness for the readable stack discovered during
+   development: q0 = [0], team A = {push 1}, team B = {pop}.
+   Q_A = {[1,0], [0]} and Q_B = {[], [1]}. *)
+let test_q_sets_stack_witness () =
+  let (module T) = Stack.spec ~domain:2 ~readable:true in
+  let module S = Search.Make (T) in
+  let ms_a = S.multiset_of_list [ Stack.Push 1 ] and ms_b = S.multiset_of_list [ Stack.Pop ] in
+  let q_a = S.reachable ~q0:[ 0 ] ~first:ms_a ~other:ms_b in
+  let q_b = S.reachable ~q0:[ 0 ] ~first:ms_b ~other:ms_a in
+  Alcotest.(check bool) "[1;0] in Q_A" true (S.State_set.mem [ 1; 0 ] q_a);
+  Alcotest.(check bool) "[0] in Q_A (pop after push returns to q0)" true (S.State_set.mem [ 0 ] q_a);
+  Alcotest.(check bool) "[] in Q_B" true (S.State_set.mem [] q_b);
+  Alcotest.(check bool) "[1] in Q_B" true (S.State_set.mem [ 1 ] q_b);
+  Alcotest.(check int) "|Q_A| = 2" 2 (S.State_set.cardinal q_a);
+  Alcotest.(check int) "|Q_B| = 2" 2 (S.State_set.cardinal q_b)
+
+(* Multiset grouping. *)
+let test_multiset_of_list () =
+  match Sn.make 3 with
+  | Object_type.Pack (module T) ->
+      let module S = Search.Make (T) in
+      let opa, opb = match T.update_ops with [ a; b ] -> (a, b) | _ -> Alcotest.fail "ops" in
+      let ms = S.multiset_of_list [ opb; opa; opb ] in
+      Alcotest.(check int) "two distinct ops" 2 (Array.length ms.S.ops);
+      Alcotest.(check int) "total 3" 3 (S.total ms)
+
+(* R-sets for test-and-set, hand-computed in the development notes:
+   with both processes assigned TAS from q0 = false,
+   R_{A, p_A} = {(false, true)}  (p_A goes first, possibly followed by B)
+   R_{B, p_A} = {(true, true)}   (B went first, so A's TAS returns true) *)
+let test_r_sets_tas () =
+  match Test_and_set.t with
+  | Object_type.Pack (module T) ->
+      let module S = Search.Make (T) in
+      let q0 = List.hd T.candidate_initial_states in
+      let tas = List.hd T.update_ops in
+      let ms = S.multiset_of_list [ tas ] in
+      let r_a =
+        S.responses ~q0 ~team_a:ms ~team_b:ms ~first:Team.A ~tracked_team:Team.A
+          ~tracked_op:tas
+      in
+      let r_b =
+        S.responses ~q0 ~team_a:ms ~team_b:ms ~first:Team.B ~tracked_team:Team.A
+          ~tracked_op:tas
+      in
+      Alcotest.(check int) "|R_A| = 1" 1 (S.Pair_set.cardinal r_a);
+      Alcotest.(check int) "|R_B| = 1" 1 (S.Pair_set.cardinal r_b);
+      Alcotest.(check bool) "disjoint" true S.Pair_set.(is_empty (inter r_a r_b))
+
+(* R-sets for the register: writes overwrite, so the tracked write's
+   response (unit) and the possible final states overlap across teams. *)
+let test_r_sets_register_overlap () =
+  match Register.default with
+  | Object_type.Pack (module T) -> (
+      match T.update_ops with
+      | [ w0; w1 ] ->
+          let module S = Search.Make (T) in
+          let q0 = List.hd T.candidate_initial_states in
+          let ms_a = S.multiset_of_list [ w0 ] and ms_b = S.multiset_of_list [ w1 ] in
+          let r_a =
+            S.responses ~q0 ~team_a:ms_a ~team_b:ms_b ~first:Team.A ~tracked_team:Team.A
+              ~tracked_op:w0
+          in
+          let r_b =
+            S.responses ~q0 ~team_a:ms_a ~team_b:ms_b ~first:Team.B ~tracked_team:Team.A
+              ~tracked_op:w0
+          in
+          Alcotest.(check bool) "R-sets overlap for a register" false
+            S.Pair_set.(is_empty (inter r_a r_b))
+      | _ -> Alcotest.fail "register universe")
+
+(* The tracked instance must belong to its declared team. *)
+let test_responses_rejects_missing_tracked () =
+  match Sticky_bit.t with
+  | Object_type.Pack (module T) -> (
+      match T.update_ops with
+      | [ s0; s1 ] ->
+          let module S = Search.Make (T) in
+          let q0 = List.hd T.candidate_initial_states in
+          let ms_a = S.multiset_of_list [ s0 ] and ms_b = S.multiset_of_list [ s0 ] in
+          Alcotest.check_raises "tracked not in team"
+            (Invalid_argument "Search.responses: tracked operation not in its team") (fun () ->
+              ignore
+                (S.responses ~q0 ~team_a:ms_a ~team_b:ms_b ~first:Team.A
+                   ~tracked_team:Team.B ~tracked_op:s1))
+      | _ -> Alcotest.fail "ops")
+
+(* Q_X is prefix-closed: every state reachable in k steps is reachable in
+   <= k steps; spot-check that intermediate states are present. *)
+let test_q_prefix_closed () =
+  let (module T) = Stack.spec ~domain:2 ~readable:true in
+  let module S = Search.Make (T) in
+  let ms_a = S.multiset_of_list [ Stack.Push 0; Stack.Push 1 ] in
+  let ms_b = S.multiset_of_list [ Stack.Push 0 ] in
+  let q_a = S.reachable ~q0:[] ~first:ms_a ~other:ms_b in
+  (* one-step states must be present alongside deeper ones *)
+  Alcotest.(check bool) "[0] present" true (S.State_set.mem [ 0 ] q_a);
+  Alcotest.(check bool) "[1] present" true (S.State_set.mem [ 1 ] q_a);
+  Alcotest.(check bool) "[0;1] present" true (S.State_set.mem [ 0; 1 ] q_a);
+  (* q0 itself is never in Q_X unless re-reached by updates *)
+  Alcotest.(check bool) "q0 = [] not reachable with pushes only" false (S.State_set.mem [] q_a)
+
+let suite =
+  [
+    Alcotest.test_case "Q sets for S_3 (hand-computed)" `Quick test_q_sets_s3;
+    Alcotest.test_case "Q sets for sticky bit" `Quick test_q_sets_sticky;
+    Alcotest.test_case "Q sets: readable-stack witness" `Quick test_q_sets_stack_witness;
+    Alcotest.test_case "multiset grouping" `Quick test_multiset_of_list;
+    Alcotest.test_case "R sets for TAS (hand-computed)" `Quick test_r_sets_tas;
+    Alcotest.test_case "R sets overlap for register" `Quick test_r_sets_register_overlap;
+    Alcotest.test_case "responses rejects missing tracked op" `Quick
+      test_responses_rejects_missing_tracked;
+    Alcotest.test_case "Q sets are prefix-closed" `Quick test_q_prefix_closed;
+  ]

@@ -1,0 +1,360 @@
+(* Unit tests for the sequential object-type specifications: every
+   catalogue type's transition function is checked against hand-computed
+   transitions, with particular care for T_n (Figure 5) and S_n (Figure 6)
+   whose behaviour the propositions of the paper depend on. *)
+
+open Rcons_spec
+
+let apply_seq (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) q ops =
+  List.fold_left (fun q op -> fst (T.apply q op)) q ops
+
+let check_state (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) msg
+    expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (got %s, want %s)" msg
+       (Format.asprintf "%a" T.pp_state actual)
+       (Format.asprintf "%a" T.pp_state expected))
+    true
+    (T.compare_state expected actual = 0)
+
+(* --- register --- *)
+
+let test_register_overwrites () =
+  match Register.default with
+  | Object_type.Pack (module T) -> (
+      let q0 = List.hd T.candidate_initial_states in
+      match T.update_ops with
+      | w0 :: w1 :: _ ->
+          let s01 = apply_seq (module T) q0 [ w0; w1 ] in
+          let s1 = apply_seq (module T) q0 [ w1 ] in
+          check_state (module T) "w0;w1 = w1 (last write wins)" s1 s01;
+          let s10 = apply_seq (module T) q0 [ w1; w0 ] in
+          let s0 = apply_seq (module T) q0 [ w0 ] in
+          check_state (module T) "w1;w0 = w0" s0 s10
+      | _ -> Alcotest.fail "register universe too small")
+
+let test_register_name () =
+  Alcotest.(check string) "name" "register(2)" (Object_type.name Register.default)
+
+let test_register_domain () =
+  match Register.make ~domain:4 with
+  | Object_type.Pack (module T) ->
+      Alcotest.(check int) "4 write ops" 4 (List.length T.update_ops)
+
+(* --- sticky bit --- *)
+
+let test_sticky_first_wins () =
+  match Sticky_bit.t with
+  | Object_type.Pack (module T) -> (
+      let q0 = List.hd T.candidate_initial_states in
+      match T.update_ops with
+      | [ s0; s1 ] ->
+          let q_after_0 = apply_seq (module T) q0 [ s0 ] in
+          let q_after_01 = apply_seq (module T) q0 [ s0; s1 ] in
+          check_state (module T) "second stick is a no-op" q_after_0 q_after_01;
+          let _, first_resp = T.apply q0 s0 in
+          let _, second_resp = T.apply q_after_0 s1 in
+          Alcotest.(check bool) "second stick returns the stuck value" true
+            (T.compare_resp first_resp second_resp = 0)
+      | _ -> Alcotest.fail "sticky universe")
+
+(* --- test-and-set --- *)
+
+let test_tas () =
+  match Test_and_set.t with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let op = List.hd T.update_ops in
+      let q1, r1 = T.apply q0 op in
+      let q2, r2 = T.apply q1 op in
+      check_state (module T) "TAS is idempotent on the state" q1 q2;
+      Alcotest.(check bool) "first and second TAS responses differ" true
+        (T.compare_resp r1 r2 <> 0)
+
+(* --- stack (Figure 8 subject) --- *)
+
+let test_stack_lifo () =
+  let (module T) = Stack.spec ~domain:2 ~readable:false in
+  let q = apply_seq (module T) [] [ Stack.Push 0; Stack.Push 1 ] in
+  check_state (module T) "push order" [ 1; 0 ] q;
+  let q', r = T.apply q Stack.Pop in
+  check_state (module T) "pop removes top" [ 0 ] q';
+  Alcotest.(check bool) "pop returns last pushed" true (r = Stack.Popped (Some 1));
+  let _, r_empty = T.apply [] Stack.Pop in
+  Alcotest.(check bool) "pop on empty" true (r_empty = Stack.Popped None)
+
+let test_stack_not_readable () =
+  Alcotest.(check bool) "paper's stack has no READ" false (Object_type.readable Stack.default);
+  Alcotest.(check bool) "readable variant has READ" true
+    (Object_type.readable Stack.readable_variant)
+
+(* --- queue --- *)
+
+let test_queue_fifo () =
+  let (module T) = Queue.spec ~domain:2 ~readable:false in
+  let q = apply_seq (module T) [] [ Queue.Enq 0; Queue.Enq 1 ] in
+  check_state (module T) "enq order" [ 0; 1 ] q;
+  let q', r = T.apply q Queue.Deq in
+  check_state (module T) "deq removes front" [ 1 ] q';
+  Alcotest.(check bool) "deq returns first enqueued" true (r = Queue.Dequeued (Some 0));
+  let _, r_empty = T.apply [] Queue.Deq in
+  Alcotest.(check bool) "deq on empty" true (r_empty = Queue.Dequeued None)
+
+let test_queue_not_readable () =
+  Alcotest.(check bool) "paper's queue has no READ" false (Object_type.readable Queue.default)
+
+(* --- compare&swap --- *)
+
+let test_cas_semantics () =
+  match Cas.default with
+  | Object_type.Pack (module T) -> (
+      (* The universe is built with Cas (None, 0) first. *)
+      let q0 = List.hd T.candidate_initial_states in
+      match T.update_ops with
+      | install :: _ ->
+          let q1, _ = T.apply q0 install in
+          let q2, _ = T.apply q1 install in
+          check_state (module T) "failed CAS leaves the state" q1 q2;
+          let _, r_first = T.apply q0 install in
+          let _, r_second = T.apply q1 install in
+          Alcotest.(check bool) "success then failure" true (T.compare_resp r_first r_second <> 0)
+      | [] -> Alcotest.fail "cas universe empty")
+
+let test_cas_universe_size () =
+  match Cas.make ~domain:2 with
+  | Object_type.Pack (module T) ->
+      (* For each of 2 new values: 1 None-expectation + 2 Some-expectations. *)
+      Alcotest.(check int) "6 CAS ops" 6 (List.length T.update_ops)
+
+(* --- fetch&add --- *)
+
+let test_fetch_add_commutes () =
+  match Fetch_add.default with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      List.iter
+        (fun (o1, o2) ->
+          let a = apply_seq (module T) q0 [ o1; o2 ] in
+          let b = apply_seq (module T) q0 [ o2; o1 ] in
+          check_state (module T) "adds commute" a b)
+        (List.concat_map (fun o1 -> List.map (fun o2 -> (o1, o2)) T.update_ops) T.update_ops)
+
+let test_fetch_add_wraps () =
+  match Fetch_add.make ~modulus:3 ~increments:[ 2 ] with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let op = List.hd T.update_ops in
+      let q = apply_seq (module T) q0 [ op; op; op ] in
+      check_state (module T) "3 adds of 2 mod 3 = 0" q0 q
+
+(* --- swap --- *)
+
+let test_swap_returns_old () =
+  match Swap.default with
+  | Object_type.Pack (module T) -> (
+      let q0 = List.hd T.candidate_initial_states in
+      match T.update_ops with
+      | o1 :: o2 :: _ ->
+          (* swap's response depends on the previous contents *)
+          let _, r_from_empty = T.apply q0 o2 in
+          let q1, _ = T.apply q0 o1 in
+          let _, r_after_o1 = T.apply q1 o2 in
+          Alcotest.(check bool) "responses reveal previous contents" true
+            (T.compare_resp r_from_empty r_after_o1 <> 0);
+          let q12 = apply_seq (module T) q0 [ o1; o2 ] in
+          let q2 = apply_seq (module T) q0 [ o2 ] in
+          check_state (module T) "second swap overwrites" q2 q12
+      | _ -> Alcotest.fail "swap universe")
+
+(* --- T_n (Figure 5) --- *)
+
+let tn_ops (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+  match T.update_ops with [ a; b ] -> (a, b) | _ -> Alcotest.fail "T_n ops"
+
+let test_tn_figure5_transitions () =
+  (* Hand-check the n = 6 transition diagram of Figure 5: op_A cycles col
+     mod floor(6/2) = 3, op_B cycles row mod ceil(6/2) = 3, and wrapping
+     around forgets everything. *)
+  match Tn.make 6 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let opa, opb = tn_ops (module T) in
+      let q = apply_seq (module T) q0 [ opa; opa; opa; opa ] in
+      check_state (module T) "op_A^4 wraps to bottom (n=6)" q0 q;
+      let q = apply_seq (module T) q0 [ opb; opb; opb; opb ] in
+      check_state (module T) "op_B^4 wraps to bottom (n=6)" q0 q;
+      let q = apply_seq (module T) q0 [ opa; opb; opb ] in
+      let _, r = T.apply q opb in
+      (* reference response "A": what the very first op_A returns *)
+      let _, resp_a = T.apply q0 opa in
+      Alcotest.(check bool) "op_B still sees winner A" true (T.compare_resp r resp_a = 0)
+
+let test_tn_responses_track_winner () =
+  match Tn.make 4 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let opa, opb = tn_ops (module T) in
+      let _, r1 = T.apply q0 opa in
+      let q1, r1b = T.apply q0 opb in
+      Alcotest.(check bool) "first op_A and first op_B responses differ" true
+        (T.compare_resp r1 r1b <> 0);
+      let _, r2 = T.apply q1 opa in
+      Alcotest.(check bool) "op_A after op_B returns B's label" true (T.compare_resp r2 r1b = 0)
+
+let test_tn_forgetting_boundary () =
+  (* n = 4: floor = ceil = 2.  One op_A to win, two more to wrap. *)
+  match Tn.make 4 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let opa, _ = tn_ops (module T) in
+      let q2 = apply_seq (module T) q0 [ opa; opa ] in
+      Alcotest.(check bool) "after 2 op_A not yet forgotten" true (T.compare_state q2 q0 <> 0);
+      let q3 = apply_seq (module T) q0 [ opa; opa; opa ] in
+      check_state (module T) "after 3 op_A forgotten (n=4)" q0 q3
+
+(* --- S_n (Figure 6) --- *)
+
+let sn_ops (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+  match T.update_ops with [ a; b ] -> (a, b) | _ -> Alcotest.fail "S_n ops"
+
+let test_sn_figure6_transitions () =
+  match Sn.make 4 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let opa, opb = sn_ops (module T) in
+      let q1 = apply_seq (module T) q0 [ opa ] in
+      Alcotest.(check bool) "op_A records winner A" true (T.compare_state q1 q0 <> 0);
+      let q2 = apply_seq (module T) q0 [ opa; opa ] in
+      check_state (module T) "second op_A forgets" q0 q2;
+      let q = apply_seq (module T) q1 [ opb; opb; opb ] in
+      Alcotest.(check bool) "winner survives n-1 op_B's" true (T.compare_state q q1 <> 0);
+      let q = apply_seq (module T) q0 [ opb; opb; opb; opb ] in
+      check_state (module T) "op_B^n wraps to (B,0)" q0 q
+
+let test_sn_winner_survives_partial_rows () =
+  match Sn.make 5 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let opa, opb = sn_ops (module T) in
+      (* winner A preserved through 4 op_B's, erased at the 5th *)
+      let q = apply_seq (module T) q0 (opa :: List.init 4 (fun _ -> opb)) in
+      Alcotest.(check bool) "still winner A at row 4" true (T.compare_state q q0 <> 0);
+      let q = apply_seq (module T) q0 (opa :: List.init 5 (fun _ -> opb)) in
+      check_state (module T) "5th op_B resets to (B,0)" q0 q
+
+let test_sn_all_ops_return_ack () =
+  match Sn.make 3 with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      List.iter
+        (fun op ->
+          let q1, r = T.apply q0 op in
+          let _, r' = T.apply q1 op in
+          Alcotest.(check bool) "ack everywhere" true (T.compare_resp r r' = 0))
+        T.update_ops
+
+(* --- finite types --- *)
+
+let test_finite_type_validation () =
+  let bad =
+    {
+      Finite_type.table_name = "bad";
+      num_states = 2;
+      num_ops = 1;
+      transition = [| [| (5, 0) |]; [| (0, 0) |] |];
+      initials = [ 0 ];
+    }
+  in
+  Alcotest.check_raises "bad target state rejected"
+    (Invalid_argument "Finite_type: bad target state") (fun () ->
+      ignore (Finite_type.of_table bad))
+
+let test_finite_type_apply () =
+  let t =
+    {
+      Finite_type.table_name = "mod2";
+      num_states = 2;
+      num_ops = 1;
+      transition = [| [| (1, 0) |]; [| (0, 1) |] |];
+      initials = [ 0 ];
+    }
+  in
+  match Finite_type.of_table t with
+  | Object_type.Pack (module T) ->
+      let q0 = List.hd T.candidate_initial_states in
+      let op = List.hd T.update_ops in
+      let q2 = apply_seq (module T) q0 [ op; op ] in
+      check_state (module T) "two ops cycle back" q0 q2;
+      let q1 = apply_seq (module T) q0 [ op ] in
+      Alcotest.(check bool) "one op moves" true (T.compare_state q1 q0 <> 0)
+
+let test_finite_type_random_deterministic () =
+  let rng1 = Random.State.make [| 5 |] and rng2 = Random.State.make [| 5 |] in
+  let t1 = Finite_type.random ~num_states:4 ~num_ops:3 rng1 in
+  let t2 = Finite_type.random ~num_states:4 ~num_ops:3 rng2 in
+  Alcotest.(check bool) "same seed, same table" true (t1.transition = t2.transition)
+
+let test_finite_type_random_in_range () =
+  let rng = Random.State.make [| 11 |] in
+  let t = Finite_type.random ~num_resps:3 ~num_states:5 ~num_ops:2 rng in
+  Array.iter
+    (Array.iter (fun (q', r) ->
+         Alcotest.(check bool) "state in range" true (q' >= 0 && q' < 5);
+         Alcotest.(check bool) "resp in range" true (r >= 0 && r < 3)))
+    t.transition
+
+(* --- catalogue --- *)
+
+let test_catalogue_names_unique () =
+  let names = List.map (fun e -> Object_type.name e.Catalogue.ot) Catalogue.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_catalogue_find () =
+  let e = Catalogue.find "sticky-bit" in
+  Alcotest.(check bool) "finds sticky bit" true (Object_type.name e.Catalogue.ot = "sticky-bit")
+
+let test_tn_rejects_small_n () =
+  Alcotest.check_raises "T_1 rejected" (Invalid_argument "Tn.make: n must be >= 2") (fun () ->
+      ignore (Tn.make 1))
+
+let test_sn_rejects_small_n () =
+  Alcotest.check_raises "S_1 rejected" (Invalid_argument "Sn.make: n must be >= 2") (fun () ->
+      ignore (Sn.make 1))
+
+let suite =
+  [
+    Alcotest.test_case "register: writes overwrite" `Quick test_register_overwrites;
+    Alcotest.test_case "register: name" `Quick test_register_name;
+    Alcotest.test_case "register: domain size" `Quick test_register_domain;
+    Alcotest.test_case "sticky: first stick wins" `Quick test_sticky_first_wins;
+    Alcotest.test_case "test-and-set semantics" `Quick test_tas;
+    Alcotest.test_case "stack: LIFO" `Quick test_stack_lifo;
+    Alcotest.test_case "stack: readability flags" `Quick test_stack_not_readable;
+    Alcotest.test_case "queue: FIFO" `Quick test_queue_fifo;
+    Alcotest.test_case "queue: not readable" `Quick test_queue_not_readable;
+    Alcotest.test_case "cas: failed CAS is a no-op" `Quick test_cas_semantics;
+    Alcotest.test_case "cas: universe size" `Quick test_cas_universe_size;
+    Alcotest.test_case "fetch&add: commutes" `Quick test_fetch_add_commutes;
+    Alcotest.test_case "fetch&add: wraps modulo" `Quick test_fetch_add_wraps;
+    Alcotest.test_case "swap: returns old value" `Quick test_swap_returns_old;
+    Alcotest.test_case "T_n: Figure 5 transitions (n=6)" `Quick test_tn_figure5_transitions;
+    Alcotest.test_case "T_n: responses track winner" `Quick test_tn_responses_track_winner;
+    Alcotest.test_case "T_n: forgetting boundary (n=4)" `Quick test_tn_forgetting_boundary;
+    Alcotest.test_case "S_n: Figure 6 transitions (n=4)" `Quick test_sn_figure6_transitions;
+    Alcotest.test_case "S_n: winner survives partial rows" `Quick test_sn_winner_survives_partial_rows;
+    Alcotest.test_case "S_n: all ops return ack" `Quick test_sn_all_ops_return_ack;
+    Alcotest.test_case "finite type: validation" `Quick test_finite_type_validation;
+    Alcotest.test_case "finite type: apply" `Quick test_finite_type_apply;
+    Alcotest.test_case "finite type: deterministic generator" `Quick
+      test_finite_type_random_deterministic;
+    Alcotest.test_case "finite type: generator ranges" `Quick test_finite_type_random_in_range;
+    Alcotest.test_case "catalogue: unique names" `Quick test_catalogue_names_unique;
+    Alcotest.test_case "catalogue: find" `Quick test_catalogue_find;
+    Alcotest.test_case "T_n rejects n < 2" `Quick test_tn_rejects_small_n;
+    Alcotest.test_case "S_n rejects n < 2" `Quick test_sn_rejects_small_n;
+  ]

@@ -1,0 +1,115 @@
+(* Property-based meta-checks of the decision procedures.
+
+   The structural theorems of the paper hold for EVERY deterministic type,
+   so they must hold for arbitrary random transition tables; a violation
+   would expose a bug in a checker (or a misreading of a definition):
+
+   - Observation 5: n-recording implies n-discerning.
+   - Observation 6: n-recording implies (n-1)-recording (n >= 3); the
+     discerning property is downward closed by the same argument.
+   - Theorem 16: n-discerning implies (n-2)-recording (n >= 4).
+   - Proposition 18: 3-discerning implies 2-recording.
+   - Corollary 17 shape: the recording level is within 2 of the
+     discerning level from below, and never above it.
+   - Every witness the recording checker emits must self-validate. *)
+
+open Rcons_check
+
+let table_gen ~max_states ~max_ops =
+  QCheck2.Gen.(
+    let* num_states = int_range 2 max_states in
+    let* num_ops = int_range 1 max_ops in
+    let* num_resps = int_range 1 2 in
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed; num_states; num_ops |] in
+    return (Rcons_spec.Finite_type.random ~num_resps ~num_states ~num_ops rng))
+
+let print_table (t : Rcons_spec.Finite_type.table) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%d states, %d ops:" t.num_states t.num_ops);
+  Array.iteri
+    (fun q row ->
+      Array.iteri
+        (fun o (q', r) -> Buffer.add_string buf (Printf.sprintf " q%d-o%d->(q%d,r%d)" q o q' r))
+        row)
+    t.transition;
+  Buffer.contents buf
+
+let mk_test ?(count = 60) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print:print_table (table_gen ~max_states:4 ~max_ops:2) prop)
+
+let obs5 table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> (not (Recording.is_recording ot n)) || Discerning.is_discerning ot n)
+    [ 2; 3; 4 ]
+
+let obs6_recording_monotone table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> (not (Recording.is_recording ot n)) || Recording.is_recording ot (n - 1))
+    [ 3; 4 ]
+
+let discerning_monotone table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> (not (Discerning.is_discerning ot n)) || Discerning.is_discerning ot (n - 1))
+    [ 3; 4 ]
+
+let thm16 table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n -> (not (Discerning.is_discerning ot n)) || Recording.is_recording ot (n - 2))
+    [ 4; 5 ]
+
+let prop18 table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  (not (Discerning.is_discerning ot 3)) || Recording.is_recording ot 2
+
+let corollary17_shape table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  let to_int = function Classify.Finite n -> n | Classify.At_least n -> n in
+  let d = to_int (Classify.max_discerning ~limit:5 ot) in
+  let r = to_int (Classify.max_recording ~limit:5 ot) in
+  r <= d && d - 2 <= r
+
+let witnesses_validate table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n ->
+      match Recording.witness ot n with
+      | None -> true
+      | Some cert -> Certificate.validate_recording cert)
+    [ 2; 3; 4 ]
+
+(* The recording property is decided identically when teams are swapped:
+   candidate enumeration already collapses the symmetry, so check it via
+   explicit candidates on random tables. *)
+let swap_symmetry table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  match ot with
+  | Rcons_spec.Object_type.Pack (module T) ->
+      let ops = T.update_ops in
+      let q0 = List.hd T.candidate_initial_states in
+      List.for_all
+        (fun o1 ->
+          List.for_all
+            (fun o2 ->
+              let c1 = Recording.check_candidate (module T) ~q0 ~ops_a:[ o1 ] ~ops_b:[ o2 ] in
+              let c2 = Recording.check_candidate (module T) ~q0 ~ops_a:[ o2 ] ~ops_b:[ o1 ] in
+              Option.is_some c1 = Option.is_some c2)
+            ops)
+        ops
+
+let suite =
+  [
+    mk_test "Observation 5: recording => discerning" obs5;
+    mk_test "Observation 6: recording downward closed" obs6_recording_monotone;
+    mk_test "discerning downward closed" discerning_monotone;
+    mk_test ~count:40 "Theorem 16: n-discerning => (n-2)-recording" thm16;
+    mk_test "Proposition 18: 3-discerning => 2-recording" prop18;
+    mk_test ~count:40 "Corollary 17 shape: d - 2 <= r <= d" corollary17_shape;
+    mk_test "recording witnesses self-validate" witnesses_validate;
+    mk_test "2-recording is team-swap symmetric" swap_symmetry;
+  ]

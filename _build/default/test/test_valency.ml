@@ -1,0 +1,181 @@
+(* Tests of the Appendix H / Figure 8 impossibility machinery
+   (experiment E8). *)
+
+open Rcons_spec
+open Rcons_valency
+
+let stack_t = Stack.spec ~domain:2 ~readable:false
+let canon = Impossibility.strip_common_affixes
+
+let classify_stack ?crash_budget q o1 o2 =
+  let (module T) = stack_t in
+  Pair_class.classify (module T) ~canon ?crash_budget q o1 o2
+
+(* --- individual Figure 8 cases --- *)
+
+let test_pop_pop_commutes () =
+  (* Figure 8(a) *)
+  match classify_stack [ 0; 1 ] Stack.Pop Stack.Pop with
+  | Pair_class.Commute -> ()
+  | k -> Alcotest.fail (Format.asprintf "expected commute, got %a" Pair_class.pp_kind k)
+
+let test_push_pop_empty_overwrites () =
+  (* Figure 8(b): on the empty stack, push(v) overwrites pop *)
+  match classify_stack [] (Stack.Push 0) Stack.Pop with
+  | Pair_class.Overwrite `Op1_overwrites -> ()
+  | k -> Alcotest.fail (Format.asprintf "expected overwrite, got %a" Pair_class.pp_kind k)
+
+let test_push_pop_nonempty_crash_confined () =
+  (* Figure 8(c): one solo pop converges the two extensions; one crash *)
+  match classify_stack [ 1 ] (Stack.Push 0) Stack.Pop with
+  | Pair_class.Crash_confined _ -> ()
+  | k -> Alcotest.fail (Format.asprintf "expected crash-confined, got %a" Pair_class.pp_kind k)
+
+let test_push_push_needs_two_crashes () =
+  (* Figure 8(f): the two pushed elements differ in order; popping them
+     diverges twice, so the argument consumes two crashes *)
+  match classify_stack [] (Stack.Push 0) (Stack.Push 1) with
+  | Pair_class.Crash_confined { crashes; _ } ->
+      Alcotest.(check bool) "at least two crashes" true (crashes >= 2)
+  | k -> Alcotest.fail (Format.asprintf "expected crash-confined, got %a" Pair_class.pp_kind k)
+
+let test_same_push_commutes () =
+  match classify_stack [ 0 ] (Stack.Push 1) (Stack.Push 1) with
+  | Pair_class.Commute -> ()
+  | k -> Alcotest.fail (Format.asprintf "expected commute, got %a" Pair_class.pp_kind k)
+
+(* --- full sweeps --- *)
+
+let test_stack_fully_conclusive () =
+  let r = Impossibility.analyse_stack () in
+  Alcotest.(check bool) "rcons(stack) = 1" true r.Impossibility.conclusive;
+  Alcotest.(check bool) "non-trivial sweep" true (List.length r.Impossibility.lines > 50)
+
+let test_queue_fully_conclusive () =
+  let r = Impossibility.analyse_queue () in
+  Alcotest.(check bool) "rcons(queue) = 1" true r.Impossibility.conclusive
+
+let test_tas_conclusive () =
+  (* Golab showed rcons(TAS) = 1; our sweep agrees: the single TAS op
+     commutes with itself *)
+  let r = Impossibility.analyse Test_and_set.t in
+  Alcotest.(check bool) "rcons(TAS) = 1" true r.Impossibility.conclusive
+
+let test_swap_inconclusive () =
+  (* the readable swap register permanently records the LAST updater, so
+     a solo reader can always tell the two extensions apart: the sweep
+     must stay inconclusive (whether 2-recording is necessary for
+     2-process RC is the paper's open question, Section 5) *)
+  let r = Impossibility.analyse Swap.default in
+  Alcotest.(check bool) "readable swap must not classify" false r.Impossibility.conclusive
+
+let test_flip_bit_conclusive () =
+  let r = Impossibility.analyse Flip_bit.t in
+  Alcotest.(check bool) "rcons(flip) = 1" true r.Impossibility.conclusive
+
+let test_max_register_conclusive () =
+  (* readable, cons = 2, yet the state is order-oblivious: all critical
+     configurations commute, so rcons(max register) = 1 -- a readable
+     type where the sweep settles the open [1,2] interval *)
+  let r = Impossibility.analyse Max_register.default in
+  Alcotest.(check bool) "rcons(max-reg) = 1" true r.Impossibility.conclusive
+
+let test_fetch_add_conclusive () =
+  let r = Impossibility.analyse Fetch_add.default in
+  Alcotest.(check bool) "rcons(f&a) = 1" true r.Impossibility.conclusive
+
+(* Types that DO solve 2-process RC must not classify: soundness of the
+   whole approach depends on these staying inconclusive. *)
+let test_sticky_inconclusive () =
+  let r = Impossibility.analyse Sticky_bit.t in
+  Alcotest.(check bool) "sticky bit must not classify" false r.Impossibility.conclusive
+
+let test_cas_inconclusive () =
+  let r = Impossibility.analyse Cas.default in
+  Alcotest.(check bool) "CAS must not classify" false r.Impossibility.conclusive
+
+let test_consensus_obj_inconclusive () =
+  let r = Impossibility.analyse Consensus_obj.default in
+  Alcotest.(check bool) "consensus object must not classify" false r.Impossibility.conclusive
+
+let test_sn_inconclusive () =
+  (* S_2 solves 2-process RC (Proposition 21) *)
+  let r = Impossibility.analyse (Sn.make 2) in
+  Alcotest.(check bool) "S_2 must not classify" false r.Impossibility.conclusive
+
+(* Soundness cross-check over the catalogue: no type with a 2-recording
+   witness AND readability may be fully conclusive. *)
+let test_no_false_impossibility () =
+  List.iter
+    (fun e ->
+      let ot = e.Catalogue.ot in
+      if Object_type.readable ot && Rcons_check.Recording.is_recording ot 2 then begin
+        let r = Impossibility.analyse ot in
+        Alcotest.(check bool)
+          (Object_type.name ot ^ " is RC-capable, must stay inconclusive")
+          false r.Impossibility.conclusive
+      end)
+    Catalogue.all
+
+(* --- canonicalization --- *)
+
+let test_strip_common_affixes () =
+  Alcotest.(check (pair (list int) (list int))) "prefix" ([ 1 ], [ 2 ])
+    (canon [ 0; 1 ] [ 0; 2 ]);
+  Alcotest.(check (pair (list int) (list int))) "suffix" ([ 1 ], [ 2 ])
+    (canon [ 1; 5; 6 ] [ 2; 5; 6 ]);
+  Alcotest.(check (pair (list int) (list int))) "both" ([ 1 ], [ 2 ])
+    (canon [ 9; 1; 5 ] [ 9; 2; 5 ]);
+  Alcotest.(check (pair (list int) (list int))) "equal lists vanish" ([], [])
+    (canon [ 3; 4 ] [ 3; 4 ]);
+  Alcotest.(check (pair (list int) (list int))) "swapped middle survives" ([ 1; 2 ], [ 2; 1 ])
+    (canon [ 0; 1; 2; 3 ] [ 0; 2; 1; 3 ])
+
+let test_crash_budget_zero_strict () =
+  (* with no crash budget, only response-equal confinement is accepted:
+     push/pop on a non-empty stack diverges at the convergence pop, so it
+     needs at least one crash *)
+  match classify_stack ~crash_budget:0 [ 1 ] (Stack.Push 0) Stack.Pop with
+  | Pair_class.Inconclusive -> ()
+  | k -> Alcotest.fail (Format.asprintf "expected inconclusive at budget 0, got %a" Pair_class.pp_kind k)
+
+let test_reachable_states_grow_with_depth () =
+  let (module T) = stack_t in
+  let s2 = Impossibility.reachable_states (module T) ~state_depth:2 in
+  let s3 = Impossibility.reachable_states (module T) ~state_depth:3 in
+  Alcotest.(check bool) "monotone" true (List.length s3 > List.length s2)
+
+let contains_substring hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_summary_format () =
+  let r = Impossibility.analyse_stack () in
+  let s = Format.asprintf "%a" Impossibility.summary r in
+  Alcotest.(check bool) "mentions conclusion" true (contains_substring s "rcons = 1")
+
+let suite =
+  [
+    Alcotest.test_case "Fig 8a: pop/pop commute" `Quick test_pop_pop_commutes;
+    Alcotest.test_case "Fig 8b: push overwrites pop on empty" `Quick test_push_pop_empty_overwrites;
+    Alcotest.test_case "Fig 8c: push/pop crash-confined" `Quick test_push_pop_nonempty_crash_confined;
+    Alcotest.test_case "Fig 8f: push/push needs two crashes" `Quick test_push_push_needs_two_crashes;
+    Alcotest.test_case "same push commutes" `Quick test_same_push_commutes;
+    Alcotest.test_case "stack sweep conclusive (rcons = 1)" `Quick test_stack_fully_conclusive;
+    Alcotest.test_case "queue sweep conclusive (rcons = 1)" `Quick test_queue_fully_conclusive;
+    Alcotest.test_case "TAS sweep conclusive" `Quick test_tas_conclusive;
+    Alcotest.test_case "readable swap stays inconclusive" `Quick test_swap_inconclusive;
+    Alcotest.test_case "flip bit sweep conclusive" `Quick test_flip_bit_conclusive;
+    Alcotest.test_case "max register sweep conclusive" `Quick test_max_register_conclusive;
+    Alcotest.test_case "fetch&add sweep conclusive" `Quick test_fetch_add_conclusive;
+    Alcotest.test_case "sticky bit stays inconclusive" `Quick test_sticky_inconclusive;
+    Alcotest.test_case "CAS stays inconclusive" `Quick test_cas_inconclusive;
+    Alcotest.test_case "consensus object stays inconclusive" `Quick test_consensus_obj_inconclusive;
+    Alcotest.test_case "S_2 stays inconclusive" `Quick test_sn_inconclusive;
+    Alcotest.test_case "no false impossibilities on the catalogue" `Quick test_no_false_impossibility;
+    Alcotest.test_case "strip_common_affixes" `Quick test_strip_common_affixes;
+    Alcotest.test_case "crash budget 0 is strict" `Quick test_crash_budget_zero_strict;
+    Alcotest.test_case "reachable states grow with depth" `Quick test_reachable_states_grow_with_depth;
+    Alcotest.test_case "summary format" `Quick test_summary_format;
+  ]
