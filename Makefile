@@ -1,0 +1,33 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test quick bench parallel docs clean
+
+all: build
+
+build:
+	dune build @all
+
+# Full suite, including the exhaustive model-checking tiers (minutes).
+test:
+	dune runtest
+
+# Fast tier: skips the suites dominated by bounded exhaustive
+# exploration (sets RCONS_QUICK via the @quick alias in test/dune).
+quick:
+	dune build @quick
+
+# Regenerate every experiment table (E1-E11).
+bench:
+	dune exec bench/main.exe
+
+# Sequential-vs-parallel comparison; rewrites BENCH_parallel.json.
+parallel:
+	dune exec bench/main.exe -- --parallel
+
+# API docs (requires odoc in the switch).
+docs:
+	dune build @doc
+	@echo "open _build/default/_doc/_html/index.html"
+
+clean:
+	dune clean

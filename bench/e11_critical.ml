@@ -16,9 +16,9 @@ let one_shot_mk () =
   let body pid () = outs.(pid) <- Some (Rcons.Algo.One_shot.decide c pid) in
   (Sim.create ~n:2 body, fun () -> outs)
 
-let fig2_mk ot name_for_errors =
+let fig2_mk ?domains ot name_for_errors =
   ignore name_for_errors;
-  let cert = Option.get (Rcons.Check.Recording.witness ot 2) in
+  let cert = Option.get (Rcons.Check.Recording.witness ?domains ot 2) in
   fun () ->
     let tc = Rcons.Algo.Team_consensus.create cert in
     let outs = Array.make 2 None in
@@ -28,7 +28,7 @@ let fig2_mk ot name_for_errors =
     in
     (Sim.create ~n:2 body, fun () -> outs)
 
-let run () =
+let run ?domains () =
   Util.section "E11 (Figure 3): critical executions of real algorithms";
   List.iter
     (fun (name, mk) ->
@@ -36,9 +36,9 @@ let run () =
       Util.row "[%s]  (%.2fs)@.%a@." name dt Rcons.Valency.Critical.pp_report report)
     [
       ("one-shot consensus object", one_shot_mk);
-      ("Figure 2 on S_2", fig2_mk (Rcons.Spec.Sn.make 2) "S_2");
-      ("Figure 2 on the sticky bit", fig2_mk Rcons.Spec.Sticky_bit.t "sticky");
-      ("Figure 2 on CAS", fig2_mk Rcons.Spec.Cas.default "cas");
+      ("Figure 2 on S_2", fig2_mk ?domains (Rcons.Spec.Sn.make 2) "S_2");
+      ("Figure 2 on the sticky bit", fig2_mk ?domains Rcons.Spec.Sticky_bit.t "sticky");
+      ("Figure 2 on CAS", fig2_mk ?domains Rcons.Spec.Cas.default "cas");
     ];
   Util.row
     "At every critical execution both processes are poised on the same consensus@.";

@@ -10,12 +10,16 @@
    - T_n: rcons < cons = n (Corollary 20); S_n: rcons = cons = n
      (Proposition 21). *)
 
-let run () =
-  Util.section "E1 (Figure 1): discerning/recording levels and cons/rcons bounds";
+let run ?(domains = 1) () =
+  Util.section
+    (if domains <= 1 then "E1 (Figure 1): discerning/recording levels and cons/rcons bounds"
+     else
+       Printf.sprintf
+         "E1 (Figure 1): discerning/recording levels and cons/rcons bounds [%d domains]" domains);
   Util.row "%-20s %-9s %-11s %-10s %-8s %-8s %s@." "type" "readable" "discerning" "recording"
     "cons" "rcons" "check-time";
   let print ot limit =
-    let r, dt = Util.time_it (fun () -> Rcons.classify ~limit ot) in
+    let r, dt = Util.time_it (fun () -> Rcons.classify ~domains ~limit ot) in
     Util.row "%-20s %-9b %-11s %-10s %-8s %-8s %.3fs@." r.Rcons.Check.Classify.type_name
       r.Rcons.Check.Classify.is_readable
       (Util.level_str r.Rcons.Check.Classify.discerning)

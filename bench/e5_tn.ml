@@ -6,7 +6,7 @@
    this is a theory paper, and these decisions are the computation its
    evaluation calls for). *)
 
-let run () =
+let run ?(domains = 1) () =
   Util.section "E5 (Figure 5): T_n is n-discerning but not (n-1)-recording";
   Util.row "%-6s %-14s %-18s %-18s %-14s %-7s %-8s %s@." "n" "n-discerning"
     "(n+1)-discerning" "(n-1)-recording" "(n-2)-recording" "cons" "rcons" "time";
@@ -15,12 +15,12 @@ let run () =
       let t = Rcons.Spec.Tn.make n in
       let (d_n, d_n1, r_n1, r_n2), dt =
         Util.time_it (fun () ->
-            ( Rcons.Check.Discerning.is_discerning t n,
-              Rcons.Check.Discerning.is_discerning t (n + 1),
-              Rcons.Check.Recording.is_recording t (n - 1),
-              Rcons.Check.Recording.is_recording t (n - 2) ))
+            ( Rcons.Check.Discerning.is_discerning ~domains t n,
+              Rcons.Check.Discerning.is_discerning ~domains t (n + 1),
+              Rcons.Check.Recording.is_recording ~domains t (n - 1),
+              Rcons.Check.Recording.is_recording ~domains t (n - 2) ))
       in
-      let report = Rcons.classify ~limit:(n + 1) t in
+      let report = Rcons.classify ~domains ~limit:(n + 1) t in
       Util.row "%-6d %-14b %-18b %-18b %-14b %-7s %-8s %.2fs@." n d_n d_n1 r_n1 r_n2
         (Util.bounds_str report.Rcons.Check.Classify.cons)
         (Util.bounds_str report.Rcons.Check.Classify.rcons)

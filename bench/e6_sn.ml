@@ -22,7 +22,7 @@ let dynamic_check n cert =
   done;
   (!ok, iters)
 
-let run () =
+let run ?(domains = 1) () =
   Util.section "E6 (Figure 6): S_n populates level n of both hierarchies";
   Util.row "%-6s %-14s %-18s %-7s %-8s %-18s %s@." "n" "n-recording" "(n+1)-discerning" "cons"
     "rcons" "n-process RC runs" "time";
@@ -31,11 +31,11 @@ let run () =
       let t = Rcons.Spec.Sn.make n in
       let (rec_n, disc_n1, cert), dt =
         Util.time_it (fun () ->
-            ( Rcons.Check.Recording.is_recording t n,
-              Rcons.Check.Discerning.is_discerning t (n + 1),
-              Rcons.Check.Recording.witness t n ))
+            ( Rcons.Check.Recording.is_recording ~domains t n,
+              Rcons.Check.Discerning.is_discerning ~domains t (n + 1),
+              Rcons.Check.Recording.witness ~domains t n ))
       in
-      let report = Rcons.classify ~limit:(n + 1) t in
+      let report = Rcons.classify ~domains ~limit:(n + 1) t in
       let ok, iters = dynamic_check n (Option.get cert) in
       Util.row "%-6d %-14b %-18b %-7s %-8s %8d/%-9d %.2fs@." n rec_n disc_n1
         (Util.bounds_str report.Rcons.Check.Classify.cons)

@@ -1,0 +1,86 @@
+(* Sequential-vs-parallel wall-clock comparison for the domain-pool
+   engine, written to BENCH_parallel.json so the performance trajectory
+   of the parallel check/explore paths is measurable across commits.
+
+   Every workload is run twice -- [domains = 1] and [domains = N] -- and
+   the outputs are compared: the "identical" field is the determinism
+   contract checked on real workloads, not just asserted.  Speedups are
+   only meaningful when the machine actually exposes multiple cores;
+   "cores" records what the OCaml runtime saw, so a 1-core CI box
+   reporting a ~1.0x ratio is interpretable rather than alarming. *)
+
+let classify_workload name ot limit =
+  ( name,
+    fun domains ->
+      let render r = Format.asprintf "%a" Rcons.Check.Classify.pp_report r in
+      let seq, seq_t = Util.time_it (fun () -> Rcons.classify ~limit ot) in
+      let par, par_t = Util.time_it (fun () -> Rcons.classify ~domains ~limit ot) in
+      (seq_t, par_t, render seq = render par) )
+
+let explore_workload name ot ~max_crashes =
+  ( name,
+    fun domains ->
+      let cert = Option.get (Rcons.Check.Recording.witness ot 2) in
+      let mk () =
+        let inputs = [| 111; 222 |] in
+        let outputs = Rcons.Algo.Outputs.make ~inputs in
+        let tc = Rcons.Algo.Team_consensus.create cert in
+        let body pid () =
+          let team, slot =
+            if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0)
+          in
+          Rcons.Algo.Outputs.record outputs pid
+            (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
+        in
+        ( Rcons.Runtime.Sim.create ~n:2 body,
+          fun () -> Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
+      in
+      let seq, seq_t = Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes ~mk ()) in
+      let par, par_t =
+        Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes ~domains ~mk ())
+      in
+      (seq_t, par_t, seq = par) )
+
+let workloads =
+  [
+    classify_workload "classify T_6 (limit 7)" (Rcons.Spec.Tn.make 6) 7;
+    classify_workload "classify S_4 (limit 5)" (Rcons.Spec.Sn.make 4) 5;
+    classify_workload "classify sticky-bit (limit 6)" Rcons.Spec.Sticky_bit.t 6;
+    explore_workload "explore Figure 2 on S_2 (2 crashes)" (Rcons.Spec.Sn.make 2) ~max_crashes:2;
+  ]
+
+let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
+  Util.section
+    (Printf.sprintf "Parallel engine: sequential vs %d domains (machine has %d core(s))" domains
+       (Rcons.Par.Pool.available_domains ()));
+  Util.row "%-40s %-10s %-10s %-9s %s@." "workload" "seq" "par" "speedup" "identical";
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let seq_t, par_t, identical = f domains in
+        let speedup = if par_t > 0. then seq_t /. par_t else 0. in
+        Util.row "%-40s %8.3fs %8.3fs %8.2fx %b@." name seq_t par_t speedup identical;
+        (name, seq_t, par_t, speedup, identical))
+      workloads
+  in
+  let oc = open_out out in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"domains\": %d,\n" domains;
+  p "  \"cores\": %d,\n" (Rcons.Par.Pool.available_domains ());
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, seq_t, par_t, speedup, identical) ->
+      p "    {\"name\": %S, \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
+        name seq_t par_t speedup identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n}\n";
+  close_out oc;
+  Util.row "@.wrote %s@." out;
+  if List.for_all (fun (_, _, _, _, identical) -> identical) rows then
+    Util.row "all parallel results identical to sequential ones@."
+  else begin
+    Util.row "DETERMINISM VIOLATION: some parallel result differs from its sequential run@.";
+    exit 1
+  end

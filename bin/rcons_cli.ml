@@ -46,13 +46,24 @@ let type_conv =
 
 let default_types () = List.map (fun e -> e.Rcons.Spec.Catalogue.ot) Rcons.Spec.Catalogue.all
 
+(* Shared --domains flag: every answer is independent of it (the domain
+   pool's determinism contract); it only changes wall-clock time. *)
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains"; "j" ]
+        ~doc:
+          "Number of OCaml 5 domains for the witness searches / the schedule explorer (1 = \
+           sequential; results are identical either way).")
+
 (* --- classify --- *)
 
 let classify_cmd =
-  let run limit types =
+  let run limit domains types =
     let types = if types = [] then default_types () else types in
     List.iter
-      (fun ot -> Format.printf "%a@." Rcons.Check.Classify.pp_report (Rcons.classify ~limit ot))
+      (fun ot ->
+        Format.printf "%a@." Rcons.Check.Classify.pp_report (Rcons.classify ~domains ~limit ot))
       types;
     0
   in
@@ -60,7 +71,7 @@ let classify_cmd =
   let types = Arg.(value & pos_all type_conv [] & info [] ~docv:"TYPE") in
   Cmd.v
     (Cmd.info "classify" ~doc:"Discerning/recording levels and cons/rcons bounds (experiment E1)")
-    Term.(const run $ limit $ types)
+    Term.(const run $ limit $ domains_arg $ types)
 
 (* --- solve --- *)
 
@@ -133,8 +144,8 @@ let impossible_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run ot max_crashes =
-    match Rcons.Check.Recording.witness ot 2 with
+  let run ot max_crashes domains =
+    match Rcons.Check.Recording.witness ~domains ot 2 with
     | None ->
         Format.eprintf "%s has no 2-recording witness@." (Rcons.Spec.Object_type.name ot);
         1
@@ -154,7 +165,7 @@ let explore_cmd =
             fun () ->
               Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
         in
-        (match Rcons.Runtime.Explore.explore ~max_crashes ~mk () with
+        (match Rcons.Runtime.Explore.explore ~max_crashes ~domains ~mk () with
         | stats ->
             Format.printf
               "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
@@ -171,7 +182,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Exhaustively model-check Figure 2 on the type's 2-recording certificate")
-    Term.(const run $ ot $ max_crashes)
+    Term.(const run $ ot $ max_crashes $ domains_arg)
 
 (* --- critical --- *)
 

@@ -49,26 +49,33 @@ let mem_state (type s o r)
     (module T : Object_type.S with type state = s and type op = o and type resp = r) q qs =
   List.exists (fun q' -> T.compare_state q q' = 0) qs
 
-(* Definition 4, literally. *)
-let is_recording (Object_type.Pack (module T)) n =
-  if n < 2 then invalid_arg "Brute_force.is_recording";
-  List.exists
-    (fun q0 ->
-      List.exists
-        (fun ops_list ->
-          let ops = Array.of_list ops_list in
-          List.exists
-            (fun team_a ->
-              let team_b = List.filter (fun i -> not (List.mem i team_a)) (List.init n Fun.id) in
-              let q_a = q_set (module T) ~q0 ~ops ~team_x:team_a in
-              let q_b = q_set (module T) ~q0 ~ops ~team_x:team_b in
-              let disjoint = not (List.exists (fun q -> mem_state (module T) q q_b) q_a) in
-              let cond2 = (not (mem_state (module T) q0 q_a)) || List.length team_b = 1 in
-              let cond3 = (not (mem_state (module T) q0 q_b)) || List.length team_a = 1 in
-              disjoint && cond2 && cond3)
-            (partitions n))
-        (assignments n T.update_ops))
+(* The outer candidate space (initial state x ordered assignment) shared
+   by both oracles, as an array so that the sweep can be fanned out
+   across domains.  Existence is order-independent, so parallelizing a
+   boolean [exists] is trivially deterministic. *)
+let outer_candidates (type s o r)
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) n =
+  List.concat_map
+    (fun q0 -> List.map (fun ops_list -> (q0, Array.of_list ops_list)) (assignments n T.update_ops))
     T.candidate_initial_states
+  |> Array.of_list
+
+(* Definition 4, literally. *)
+let is_recording ?domains (Object_type.Pack (module T)) n =
+  if n < 2 then invalid_arg "Brute_force.is_recording";
+  let candidates = outer_candidates (module T) n in
+  Rcons_par.Pool.exists ?domains (Array.length candidates) (fun ci ->
+      let q0, ops = candidates.(ci) in
+      List.exists
+        (fun team_a ->
+          let team_b = List.filter (fun i -> not (List.mem i team_a)) (List.init n Fun.id) in
+          let q_a = q_set (module T) ~q0 ~ops ~team_x:team_a in
+          let q_b = q_set (module T) ~q0 ~ops ~team_x:team_b in
+          let disjoint = not (List.exists (fun q -> mem_state (module T) q q_b) q_a) in
+          let cond2 = (not (mem_state (module T) q0 q_a)) || List.length team_b = 1 in
+          let cond3 = (not (mem_state (module T) q0 q_b)) || List.length team_a = 1 in
+          disjoint && cond2 && cond3)
+        (partitions n))
 
 (* R_{X,j} by the letter of Definition 2. *)
 let r_set (type s o r)
@@ -91,25 +98,21 @@ let r_set (type s o r)
          (Option.get !resp_j, final))
 
 (* Definition 2, literally. *)
-let is_discerning (Object_type.Pack (module T)) n =
+let is_discerning ?domains (Object_type.Pack (module T)) n =
   if n < 2 then invalid_arg "Brute_force.is_discerning";
   let mem_pair (r, q) pairs =
     List.exists (fun (r', q') -> T.compare_resp r r' = 0 && T.compare_state q q' = 0) pairs
   in
-  List.exists
-    (fun q0 ->
+  let candidates = outer_candidates (module T) n in
+  Rcons_par.Pool.exists ?domains (Array.length candidates) (fun ci ->
+      let q0, ops = candidates.(ci) in
       List.exists
-        (fun ops_list ->
-          let ops = Array.of_list ops_list in
-          List.exists
-            (fun team_a ->
-              let team_b = List.filter (fun i -> not (List.mem i team_a)) (List.init n Fun.id) in
-              List.for_all
-                (fun j ->
-                  let r_a = r_set (module T) ~q0 ~ops ~team_x:team_a ~j in
-                  let r_b = r_set (module T) ~q0 ~ops ~team_x:team_b ~j in
-                  not (List.exists (fun p -> mem_pair p r_b) r_a))
-                (List.init n Fun.id))
-            (partitions n))
-        (assignments n T.update_ops))
-    T.candidate_initial_states
+        (fun team_a ->
+          let team_b = List.filter (fun i -> not (List.mem i team_a)) (List.init n Fun.id) in
+          List.for_all
+            (fun j ->
+              let r_a = r_set (module T) ~q0 ~ops ~team_x:team_a ~j in
+              let r_b = r_set (module T) ~q0 ~ops ~team_x:team_b ~j in
+              not (List.exists (fun p -> mem_pair p r_b) r_a))
+            (List.init n Fun.id))
+        (partitions n))

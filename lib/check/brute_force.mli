@@ -7,10 +7,14 @@
     independent: property-based tests compare the two on random small
     types, guarding the symmetry arguments used by the fast code. *)
 
-val is_recording : Rcons_spec.Object_type.t -> int -> bool
+val is_recording : ?domains:int -> Rcons_spec.Object_type.t -> int -> bool
 (** Definition 4, literally.  Use only for small n and small universes.
+    [?domains] fans the (initial state, assignment) sweep across that
+    many OCaml 5 domains; existence is order-independent, so the answer
+    cannot depend on it.
     @raise Invalid_argument if [n < 2]. *)
 
-val is_discerning : Rcons_spec.Object_type.t -> int -> bool
-(** Definition 2, literally.
+val is_discerning : ?domains:int -> Rcons_spec.Object_type.t -> int -> bool
+(** Definition 2, literally; same [?domains] contract as
+    {!is_recording}.
     @raise Invalid_argument if [n < 2]. *)

@@ -65,6 +65,22 @@ let pp_recording ppf (Recording ((module T), d)) =
     (Rcons_spec.Object_type.pp_list T.pp_state)
     d.q_b
 
+let pp_discerning ppf (Discerning ((module T), d)) =
+  let pp_pair ppf (r, s) = Format.fprintf ppf "(%a,%a)" T.pp_resp r T.pp_state s in
+  let pp_proc ppf (team, op) = Format.fprintf ppf "%a:%a" Rcons_spec.Team.pp team T.pp_op op in
+  Format.fprintf ppf "@[<v>type %s, q0 = %a@,procs: %a@," T.name T.pp_state d.dq0
+    (Rcons_spec.Object_type.pp_list pp_proc)
+    (Array.to_list d.procs);
+  Array.iteri
+    (fun j (ra, rb) ->
+      Format.fprintf ppf "R_A,%d = %a  R_B,%d = %a@," j
+        (Rcons_spec.Object_type.pp_list pp_pair)
+        ra j
+        (Rcons_spec.Object_type.pp_list pp_pair)
+        rb)
+    (Array.map2 (fun a b -> (a, b)) d.r_a d.r_b);
+  Format.fprintf ppf "@]"
+
 (* Re-validate a recording certificate against Definition 4 from scratch.
    Used by tests to guard against checker bugs: the certificate must be
    self-consistent independently of how the search produced it. *)

@@ -48,8 +48,19 @@ val recording_teams : recording -> int * int
 (** Sizes [(|A|, |B|)] of the certificate's two teams. *)
 
 val discerning_size : discerning -> int
+(** Number of processes in the certificate's assignment. *)
+
 val discerning_teams : discerning -> int * int
+(** Sizes [(|A|, |B|)] of the certificate's two teams. *)
+
 val pp_recording : Format.formatter -> recording -> unit
+(** Render a recording certificate, including its Q-sets.  The rendering
+    is canonical: two certificates print identically iff they carry the
+    same data, which the parallel-determinism tests rely on. *)
+
+val pp_discerning : Format.formatter -> discerning -> unit
+(** Render a discerning certificate, including every per-process R-set;
+    canonical in the same sense as {!pp_recording}. *)
 
 val validate_recording : recording -> bool
 (** Re-check the certificate against Definition 4 from scratch

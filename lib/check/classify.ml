@@ -31,8 +31,11 @@ let max_level ~limit prop =
   in
   scan 2
 
-let max_discerning ?(limit = 8) ot = max_level ~limit (Discerning.is_discerning ot)
-let max_recording ?(limit = 8) ot = max_level ~limit (Recording.is_recording ot)
+let max_discerning ?domains ?(limit = 8) ot =
+  max_level ~limit (Discerning.is_discerning ?domains ot)
+
+let max_recording ?domains ?(limit = 8) ot =
+  max_level ~limit (Recording.is_recording ?domains ot)
 
 (* Interval [lower, upper] with [upper = None] meaning "no finite upper
    bound established". *)
@@ -51,20 +54,20 @@ let pp_bounds ppf { lower; upper } =
    (the paper's stack and queue, test-and-set) the intervals below are
    therefore [None]; their rcons is settled by the valency analysis of
    Appendix H instead. *)
-let cons_bounds ?limit ot =
+let cons_bounds ?domains ?limit ot =
   if not (Object_type.readable ot) then None
   else
-    match max_discerning ?limit ot with
+    match max_discerning ?domains ?limit ot with
     | Finite n -> Some { lower = n; upper = Some n }
     | At_least n -> Some { lower = n; upper = None }
 
-let rcons_bounds ?limit ot =
+let rcons_bounds ?domains ?limit ot =
   if not (Object_type.readable ot) then None
   else
     let cons_upper =
-      match cons_bounds ?limit ot with Some { upper; _ } -> upper | None -> None
+      match cons_bounds ?domains ?limit ot with Some { upper; _ } -> upper | None -> None
     in
-    match max_recording ?limit ot with
+    match max_recording ?domains ?limit ot with
     | Finite k ->
         (* Theorem 8: a readable k-recording type has rcons >= k.
            Theorem 14: not (k+1)-recording => RC unsolvable for k+2, so
@@ -84,14 +87,14 @@ type report = {
   rcons : bounds option;
 }
 
-let classify ?limit ot =
+let classify ?domains ?limit ot =
   {
     type_name = Object_type.name ot;
     is_readable = Object_type.readable ot;
-    discerning = max_discerning ?limit ot;
-    recording = max_recording ?limit ot;
-    cons = cons_bounds ?limit ot;
-    rcons = rcons_bounds ?limit ot;
+    discerning = max_discerning ?domains ?limit ot;
+    recording = max_recording ?domains ?limit ot;
+    cons = cons_bounds ?domains ?limit ot;
+    rcons = rcons_bounds ?domains ?limit ot;
   }
 
 let pp_bounds_option ppf = function

@@ -24,10 +24,13 @@ val max_level : limit:int -> (int -> bool) -> level
     false (one process can always decide alone).
     @raise Invalid_argument if [limit < 2]. *)
 
-val max_discerning : ?limit:int -> Rcons_spec.Object_type.t -> level
-(** Default [limit] is 8. *)
+val max_discerning : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> level
+(** Default [limit] is 8; [?domains] (default 1) fans each per-level
+    witness search across that many OCaml 5 domains — the reported level
+    is independent of [domains]. *)
 
-val max_recording : ?limit:int -> Rcons_spec.Object_type.t -> level
+val max_recording : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> level
+(** Same knobs as {!max_discerning}, for the n-recording property. *)
 
 (** Interval [lower, upper]; [upper = None] means no finite upper bound
     was established. *)
@@ -35,11 +38,11 @@ type bounds = { lower : int; upper : int option }
 
 val pp_bounds : Format.formatter -> bounds -> unit
 
-val cons_bounds : ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+val cons_bounds : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> bounds option
 (** [None] for non-readable types: Theorem 3 ties the discerning level
     to cons only in the presence of a READ operation. *)
 
-val rcons_bounds : ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+val rcons_bounds : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> bounds option
 (** [None] for non-readable types (Theorem 8 needs the READ; the
     Theorem 14 upper bound alone is not an interval). *)
 
@@ -52,6 +55,9 @@ type report = {
   rcons : bounds option;
 }
 
-val classify : ?limit:int -> Rcons_spec.Object_type.t -> report
+val classify : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> report
+(** The full report.  [?domains] parallelizes the underlying witness
+    searches without changing any field of the result. *)
+
 val pp_bounds_option : Format.formatter -> bounds option -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -52,7 +52,10 @@ let check_candidate (type s o r)
     Some { Certificate.dq0 = q0; procs; r_a; r_b }
   end
 
-let witness (Object_type.Pack (module T)) n : Certificate.discerning option =
+(* As in {!Recording.witness}, the candidate space (initial state x team
+   split x operation multisets) is fanned out across [domains];
+   Pool.find_first keeps the result identical to the sequential scan. *)
+let witness ?domains (Object_type.Pack (module T)) n : Certificate.discerning option =
   if n < 2 then invalid_arg "Discerning.witness: n must be >= 2";
   let candidates =
     List.concat_map
@@ -65,12 +68,12 @@ let witness (Object_type.Pack (module T)) n : Certificate.discerning option =
             |> List.map (fun (ops_a, ops_b) -> (q0, ops_a, ops_b)))
           (Enumerate.team_splits n))
       T.candidate_initial_states
+    |> Array.of_list
   in
-  List.find_map
-    (fun (q0, ops_a, ops_b) ->
+  Rcons_par.Pool.find_first ?domains (Array.length candidates) (fun i ->
+      let q0, ops_a, ops_b = candidates.(i) in
       match check_candidate (module T) ~q0 ~ops_a ~ops_b with
       | Some data -> Some (Certificate.Discerning ((module T), data))
       | None -> None)
-    candidates
 
-let is_discerning ot n = Option.is_some (witness ot n)
+let is_discerning ?domains ot n = Option.is_some (witness ?domains ot n)

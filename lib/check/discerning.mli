@@ -16,8 +16,15 @@ val check_candidate :
   ops_a:'o list ->
   ops_b:'o list ->
   ('s, 'o, 'r) Certificate.discerning_data option
+(** Decide one candidate assignment; [Some data] iff every tracked
+    process has disjoint R-sets (Definition 2). *)
 
-val witness : Rcons_spec.Object_type.t -> int -> Certificate.discerning option
-(** @raise Invalid_argument if [n < 2]. *)
+val witness : ?domains:int -> Rcons_spec.Object_type.t -> int -> Certificate.discerning option
+(** [witness t n]: a certificate that [t] is n-discerning, or [None].
+    [?domains] fans the candidate sweep out across that many OCaml 5
+    domains (default 1 = sequential) without changing which certificate
+    is returned.
+    @raise Invalid_argument if [n < 2]. *)
 
-val is_discerning : Rcons_spec.Object_type.t -> int -> bool
+val is_discerning : ?domains:int -> Rcons_spec.Object_type.t -> int -> bool
+(** [Option.is_some] of {!witness}. *)

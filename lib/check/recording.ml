@@ -41,8 +41,12 @@ let check_candidate (type s o r)
   else None
 
 (* Find a witness that T is n-recording, or None if no candidate over the
-   declared universes satisfies Definition 4. *)
-let witness (Object_type.Pack (module T)) n : Certificate.recording option =
+   declared universes satisfies Definition 4.  The candidate space is
+   partitioned by initial state x team split x operation multisets and
+   fanned out across [domains] (default: sequential); Pool.find_first
+   guarantees the first candidate in enumeration order wins, so the
+   returned certificate is identical to the sequential one. *)
+let witness ?domains (Object_type.Pack (module T)) n : Certificate.recording option =
   if n < 2 then invalid_arg "Recording.witness: n must be >= 2";
   let candidates =
     List.concat_map
@@ -55,12 +59,12 @@ let witness (Object_type.Pack (module T)) n : Certificate.recording option =
             |> List.map (fun (ops_a, ops_b) -> (q0, ops_a, ops_b)))
           (Enumerate.team_splits n))
       T.candidate_initial_states
+    |> Array.of_list
   in
-  List.find_map
-    (fun (q0, ops_a, ops_b) ->
+  Rcons_par.Pool.find_first ?domains (Array.length candidates) (fun i ->
+      let q0, ops_a, ops_b = candidates.(i) in
       match check_candidate (module T) ~q0 ~ops_a ~ops_b with
       | Some data -> Some (Certificate.Recording ((module T), data))
       | None -> None)
-    candidates
 
-let is_recording ot n = Option.is_some (witness ot n)
+let is_recording ?domains ot n = Option.is_some (witness ?domains ot n)

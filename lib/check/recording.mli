@@ -22,9 +22,14 @@ val check_candidate :
 (** Decide one candidate assignment; [Some data] iff it satisfies all
     three conditions of Definition 4. *)
 
-val witness : Rcons_spec.Object_type.t -> int -> Certificate.recording option
+val witness : ?domains:int -> Rcons_spec.Object_type.t -> int -> Certificate.recording option
 (** [witness t n]: a certificate that [t] is n-recording, or [None] if
     no candidate over the declared universes satisfies Definition 4.
+    [?domains] fans the candidate sweep out across that many OCaml 5
+    domains (default 1 = sequential); the certificate returned is the
+    first in enumeration order regardless of [domains]
+    ({!Rcons_par.Pool.find_first}'s determinism contract).
     @raise Invalid_argument if [n < 2]. *)
 
-val is_recording : Rcons_spec.Object_type.t -> int -> bool
+val is_recording : ?domains:int -> Rcons_spec.Object_type.t -> int -> bool
+(** [Option.is_some] of {!witness}. *)

@@ -27,10 +27,12 @@ module Algo = Rcons_algo
 module Universal = Rcons_universal
 module History = Rcons_history
 module Valency = Rcons_valency
+module Par = Rcons_par
 
 (* Where does a type sit in the two hierarchies?  Decides the n-discerning
    and n-recording levels up to [limit] and derives interval bounds on
-   cons(T) and rcons(T). *)
+   cons(T) and rcons(T).  [domains] fans the underlying witness searches
+   across OCaml 5 domains without changing the report. *)
 let classify = Check.Classify.classify
 
 (* Build an n-process recoverable-consensus decision function from any
@@ -38,8 +40,8 @@ let classify = Check.Classify.classify
    Appendix B).  Returns None when the checker finds no n-recording
    witness.  The resulting [decide pid v] must be run inside a simulated
    process (see {!Runtime.Sim}); it tolerates crashes and recoveries. *)
-let solve_rc ot ~n =
-  match Check.Recording.witness ot n with
+let solve_rc ?domains ot ~n =
+  match Check.Recording.witness ?domains ot n with
   | None -> None
   | Some cert -> Some (Algo.Tournament.recoverable_consensus cert ~n)
 

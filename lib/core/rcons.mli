@@ -17,7 +17,9 @@
        of Figure 7, with derived recoverable objects.}
     {- {!History}: operation histories and linearizability checking.}
     {- {!Valency}: the Appendix H impossibility analysis
-       (rcons(stack) = 1).}} *)
+       (rcons(stack) = 1).}
+    {- {!Par}: the work-sharing domain pool behind every [?domains]
+       knob, with its deterministic-merge contract.}} *)
 
 module Spec = Rcons_spec
 module Check = Rcons_check
@@ -26,18 +28,23 @@ module Algo = Rcons_algo
 module Universal = Rcons_universal
 module History = Rcons_history
 module Valency = Rcons_valency
+module Par = Rcons_par
 
-val classify : ?limit:int -> Spec.Object_type.t -> Check.Classify.report
+val classify : ?domains:int -> ?limit:int -> Spec.Object_type.t -> Check.Classify.report
 (** Where does a type sit in the two hierarchies?  Decides the
     n-discerning and n-recording levels up to [limit] (default 8) and
-    derives interval bounds on cons(T) and rcons(T). *)
+    derives interval bounds on cons(T) and rcons(T).  [domains]
+    (default 1) fans each witness search across that many OCaml 5
+    domains; the report is independent of it. *)
 
-val solve_rc : Spec.Object_type.t -> n:int -> (int -> 'v -> 'v) option
+val solve_rc : ?domains:int -> Spec.Object_type.t -> n:int -> (int -> 'v -> 'v) option
 (** Build an n-process recoverable-consensus decision function from any
     readable type that is n-recording (Theorem 8 + the tournament of
     Appendix B); [None] when the checker finds no n-recording witness.
     The resulting [decide pid v] must run inside a simulated process
-    ({!Runtime.Sim}); it tolerates crashes and recoveries. *)
+    ({!Runtime.Sim}); it tolerates crashes and recoveries.  [domains]
+    parallelizes the witness search; the certificate found -- and hence
+    the derived algorithm -- does not depend on it. *)
 
 val make_recoverable :
   ?history:('o, 'r) History.History.t ->

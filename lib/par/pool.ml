@@ -1,0 +1,144 @@
+(* Work-sharing domain pool with deterministic result merging.
+
+   Every combinator runs a function over the index range [0, n) and merges
+   per-index results so the outcome does not depend on the number of
+   domains: [?domains:1] (the default) and any larger value produce the
+   same answer, bit for bit.  Work distribution is dynamic — a shared
+   atomic cursor hands out contiguous chunks of indices in increasing
+   order — so imbalanced indices do not idle domains; determinism comes
+   from the merge, never from the schedule.
+
+   With [domains <= 1] (or a trivially small range) everything runs inline
+   on the calling domain: no spawns, no atomics, just the plain
+   left-to-right loop.  That inline path is what callers get by default,
+   so threading [?domains] through an existing API cannot perturb the
+   sequential behaviour. *)
+
+let available_domains () = max 1 (Domain.recommended_domain_count ())
+
+let resolve_domains = function
+  | None -> 1
+  | Some d when d <= 1 -> 1
+  | Some d -> min d (4 * available_domains ())
+
+(* Run [body wid] for wid in [0, k): k-1 spawned domains plus the calling
+   one.  All domains are joined before returning; the first exception
+   observed (caller's own first, then spawn order) is re-raised. *)
+let run_workers k body =
+  if k <= 1 then body 0
+  else begin
+    let spawned = Array.init (k - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in
+    let first_exn = ref None in
+    let note = function
+      | None -> ()
+      | Some _ as e -> if !first_exn = None then first_exn := e
+    in
+    note (try body 0; None with e -> Some e);
+    Array.iter (fun d -> note (try Domain.join d; None with e -> Some e)) spawned;
+    match !first_exn with None -> () | Some e -> raise e
+  end
+
+(* Chunks are claimed in increasing order; small chunks keep the
+   cancellation watermark of [find_first] tight, large enough ones keep
+   the cursor off the hot path. *)
+let chunk_for n k = max 1 (min 64 (n / (k * 4)))
+
+let map ?domains n f =
+  let k = min (resolve_domains domains) n in
+  if k <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let chunk = chunk_for n k in
+    run_workers k (fun _wid ->
+        let rec loop () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n then begin
+            let stop = min n (start + chunk) in
+            for i = start to stop - 1 do
+              results.(i) <- Some (f i)
+            done;
+            loop ()
+          end
+        in
+        loop ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let find_first ?domains n f =
+  let k = min (resolve_domains domains) n in
+  if k <= 1 then begin
+    let rec scan i =
+      if i >= n then None else match f i with Some _ as r -> r | None -> scan (i + 1)
+    in
+    scan 0
+  end
+  else begin
+    let next = Atomic.make 0 in
+    (* Lowest index known to succeed; indices at or above it can never win
+       the merge, so workers skip them. *)
+    let best = Atomic.make max_int in
+    let rec lower i =
+      let b = Atomic.get best in
+      if i < b && not (Atomic.compare_and_set best b i) then lower i
+    in
+    let per_worker = Array.make k None in
+    let chunk = chunk_for n k in
+    run_workers k (fun wid ->
+        let rec loop () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < n && start < Atomic.get best then begin
+            let stop = min n (start + chunk) in
+            let rec scan i =
+              if i < stop && i < Atomic.get best then
+                match f i with
+                | Some v ->
+                    lower i;
+                    per_worker.(wid) <- Some (i, v)
+                | None -> scan (i + 1)
+            in
+            scan start;
+            (* The cursor only moves forward, so after a hit every index
+               this worker could still claim is larger: stop. *)
+            match per_worker.(wid) with None -> loop () | Some _ -> ()
+          end
+        in
+        loop ());
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Some (i, _), Some (j, _) when j < i -> r
+        | None, r -> r
+        | acc, _ -> acc)
+      None per_worker
+    |> Option.map snd
+  end
+
+let exists ?domains n f =
+  let k = min (resolve_domains domains) n in
+  if k <= 1 then begin
+    let rec scan i = i < n && (f i || scan (i + 1)) in
+    scan 0
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let found = Atomic.make false in
+    let chunk = chunk_for n k in
+    run_workers k (fun _wid ->
+        let rec loop () =
+          if not (Atomic.get found) then begin
+            let start = Atomic.fetch_and_add next chunk in
+            if start < n then begin
+              let stop = min n (start + chunk) in
+              let rec scan i = i < stop && not (Atomic.get found) && (f i || scan (i + 1)) in
+              if scan start then Atomic.set found true;
+              loop ()
+            end
+          end
+        in
+        loop ());
+    Atomic.get found
+  end
+
+let fold ?domains n ~map:m ~fold ~init =
+  Array.fold_left fold init (map ?domains n m)

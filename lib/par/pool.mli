@@ -1,0 +1,56 @@
+(** Work-sharing domain pool with deterministic result merging.
+
+    All combinators evaluate a function on the index range [0, n) and
+    combine the per-index results so that the outcome is {e independent of
+    the number of domains}: running with [?domains:1] (the default) and
+    with any larger value yields the same value, bit for bit.  This is the
+    determinism contract the parallel decision procedures
+    ({!Rcons_check.Recording}, {!Rcons_check.Discerning}) and the parallel
+    schedule explorer ({!Rcons_runtime.Explore}) rely on.
+
+    Work distribution is dynamic (a shared atomic cursor hands out
+    contiguous index chunks in increasing order), so load imbalance
+    between indices does not idle domains; determinism comes from the
+    merge step, never from the schedule.  With [domains <= 1], or when the
+    range is trivially small, everything runs inline on the calling domain
+    with no spawns and no atomics — the sequential path is the plain
+    left-to-right loop it always was.
+
+    The user function may be called from any domain, at most once per
+    index.  It must be pure with respect to shared state (the searches it
+    runs build their own local structures), and exceptions it raises are
+    re-raised in the caller after all domains have been joined. *)
+
+val available_domains : unit -> int
+(** The runtime's recommended domain count for this machine
+    ([Domain.recommended_domain_count ()]); at least 1. *)
+
+val resolve_domains : int option -> int
+(** [resolve_domains d] normalizes a user-facing [?domains] knob:
+    [None] and values [<= 1] mean sequential (returns 1); [Some k] is
+    clamped to at most [4 * available_domains ()] so a generous CLI flag
+    cannot fork-bomb the runtime. *)
+
+val map : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [map ~domains n f] is [Array.init n f] evaluated on up to [domains]
+    domains.  Result order is index order regardless of execution
+    order. *)
+
+val find_first : ?domains:int -> int -> (int -> 'a option) -> 'a option
+(** [find_first ~domains n f]: the value of [f i] for the {e smallest}
+    [i] with [f i <> None] — exactly what a sequential left-to-right
+    [find_map] over the range returns.  Parallel domains share the index
+    range dynamically; an atomic lowest-success-so-far watermark lets
+    them skip indices that can no longer win, so the search degrades
+    gracefully to "evaluate everything below the answer" in the worst
+    case and cancels early in the good case. *)
+
+val exists : ?domains:int -> int -> (int -> bool) -> bool
+(** [exists ~domains n f]: does any index satisfy [f]?  Order-independent
+    (a bool is a bool), so cancellation fires on the first success found
+    by {e any} domain. *)
+
+val fold : ?domains:int -> int -> map:(int -> 'a) -> fold:('b -> 'a -> 'b) -> init:'b -> 'b
+(** [fold ~domains n ~map ~fold ~init]: map every index in parallel, then
+    fold the results sequentially in index order — a deterministic
+    map-reduce for merging per-shard statistics. *)

@@ -10,7 +10,18 @@
    Pruning: crashing a process that has not taken a step since its last
    (re)start is a no-op in the model (it would restart at the beginning,
    where it already is), so such choices are skipped; this also prevents
-   consecutive duplicate crashes. *)
+   consecutive duplicate crashes.
+
+   Parallel mode ([domains > 1]): the tree is walked sequentially down to
+   [frontier_depth]; the nodes of that frontier -- in DFS order, which
+   with the fixed choice ordering is lexicographic order on schedules --
+   are then distributed across OCaml 5 domains, each re-executing its
+   subtree on its own fresh systems built by [mk].  Per-subtree statistics
+   are merged in frontier order, and if any subtree finds a violation the
+   one with the smallest frontier index wins (with an atomic watermark
+   cancelling subtrees that can no longer win), so the schedule reported
+   is exactly the one the sequential DFS would have raised first: results
+   of completed explorations are bit-identical to the sequential path. *)
 
 type choice = Step_choice of int | Crash_choice of int
 
@@ -42,12 +53,23 @@ exception Budget_exceeded of stats
    bounds so that this does not happen in CI, but a runaway configuration
    fails fast instead of hanging. *)
 
-let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ~mk () =
-  let schedules = ref 0 and nodes = ref 0 and max_depth = ref 0 in
-  let budget_check () =
-    if !nodes > max_nodes then
-      raise (Budget_exceeded { schedules = !schedules; nodes = !nodes; max_depth = !max_depth })
-  in
+(* Per-walker statistics; one per domain in parallel mode, merged in
+   frontier order at the end. *)
+type counter = { mutable c_schedules : int; mutable c_nodes : int; mutable c_max_depth : int }
+
+let fresh_counter () = { c_schedules = 0; c_nodes = 0; c_max_depth = 0 }
+
+exception Cancelled
+(* Internal: a parallel subtree walker learned that a smaller frontier
+   index already holds a violation, so its own result cannot win. *)
+
+let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?domains
+    ?(frontier_depth = 4) ~mk () =
+  let workers = Rcons_par.Pool.resolve_domains domains in
+  let frontier_depth = max 1 frontier_depth in
+  (* The node budget is shared across every domain so that parallel runs
+     respect the same global bound as sequential ones. *)
+  let nodes_total = Atomic.make 0 in
   let replay prefix =
     let t, check = mk () in
     List.iter
@@ -76,26 +98,127 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ~
     in
     collect (n - 1) []
   in
-  let rec go prefix depth crashes_used =
-    if depth > max_steps then raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix));
-    if depth > !max_depth then max_depth := depth;
-    let t, _check = replay prefix in
-    let cs = choices t crashes_used in
-    (* Release the replayed system's pending fibers before recursing:
-       children replay their own copies. *)
-    Sim.abandon t;
-    match cs with
-    | [] -> incr schedules
-    | cs ->
-        List.iter
-          (fun c ->
-            incr nodes;
-            budget_check ();
-            let crashes_used' =
-              match c with Crash_choice _ -> crashes_used + 1 | Step_choice _ -> crashes_used
-            in
-            go (c :: prefix) (depth + 1) crashes_used')
-          cs
+  (* One DFS walker.  [stop_depth = Some d] turns nodes at depth d into
+     frontier emissions instead of recursing (phase 1 of the parallel
+     split); [cancelled] is polled at every node by parallel subtree
+     walkers.  The [stop_depth = None], no-cancellation instantiation is
+     the plain sequential explorer. *)
+  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) cnt prefix0
+      depth0 crashes0 =
+    let rec go prefix depth crashes_used =
+      if cancelled () then raise Cancelled;
+      if depth > max_steps then
+        raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix));
+      if depth > cnt.c_max_depth then cnt.c_max_depth <- depth;
+      match stop_depth with
+      | Some d when depth >= d -> emit prefix crashes_used
+      | _ -> (
+          let t, _check = replay prefix in
+          let cs = choices t crashes_used in
+          (* Release the replayed system's pending fibers before recursing:
+             children replay their own copies. *)
+          Sim.abandon t;
+          match cs with
+          | [] -> cnt.c_schedules <- cnt.c_schedules + 1
+          | cs ->
+              List.iter
+                (fun c ->
+                  cnt.c_nodes <- cnt.c_nodes + 1;
+                  let total = Atomic.fetch_and_add nodes_total 1 + 1 in
+                  if total > max_nodes then
+                    raise
+                      (Budget_exceeded
+                         {
+                           schedules = cnt.c_schedules;
+                           nodes = total;
+                           max_depth = cnt.c_max_depth;
+                         });
+                  let crashes_used' =
+                    match c with
+                    | Crash_choice _ -> crashes_used + 1
+                    | Step_choice _ -> crashes_used
+                  in
+                  go (c :: prefix) (depth + 1) crashes_used')
+                cs)
+    in
+    go prefix0 depth0 crashes0
   in
-  go [] 0 0;
-  { schedules = !schedules; nodes = !nodes; max_depth = !max_depth }
+  if workers <= 1 then begin
+    let cnt = fresh_counter () in
+    walk cnt [] 0 0;
+    { schedules = cnt.c_schedules; nodes = cnt.c_nodes; max_depth = cnt.c_max_depth }
+  end
+  else begin
+    (* Phase 1: sequential walk down to the frontier.  A violation at
+       depth < frontier_depth does NOT abort immediately: in DFS order it
+       comes after the complete subtrees of every frontier node emitted
+       before it, so those subtrees must still be searched -- one of them
+       may contain the violation the sequential explorer would have
+       reported first. *)
+    let frontier_rev = ref [] in
+    let cnt0 = fresh_counter () in
+    let phase1_violation =
+      match
+        walk ~stop_depth:frontier_depth
+          ~emit:(fun prefix crashes -> frontier_rev := (prefix, crashes) :: !frontier_rev)
+          cnt0 [] 0 0
+      with
+      | () -> None
+      | exception Violation (msg, sched) -> Some (msg, sched)
+    in
+    let frontier = Array.of_list (List.rev !frontier_rev) in
+    let nf = Array.length frontier in
+    (* Phase 2: fan the frontier subtrees out across domains.  [best] is
+       the smallest frontier index known to hold a violation; subtrees at
+       larger indices cancel themselves. *)
+    let best = Atomic.make max_int in
+    let rec lower i =
+      let b = Atomic.get best in
+      if i < b && not (Atomic.compare_and_set best b i) then lower i
+    in
+    let results =
+      Rcons_par.Pool.map ~domains:workers nf (fun i ->
+          if Atomic.get best < i then None
+          else
+            let prefix, crashes = frontier.(i) in
+            let cnt = fresh_counter () in
+            match walk ~cancelled:(fun () -> Atomic.get best < i) cnt prefix frontier_depth crashes with
+            | () ->
+                Some
+                  (Ok
+                     {
+                       schedules = cnt.c_schedules;
+                       nodes = cnt.c_nodes;
+                       max_depth = cnt.c_max_depth;
+                     })
+            | exception Cancelled -> None
+            | exception Violation (msg, sched) ->
+                lower i;
+                Some (Error (msg, sched)))
+    in
+    (* Merge in frontier order: the first subtree violation is exactly the
+       first violation of the sequential DFS; a phase-1 violation orders
+       after every emitted subtree. *)
+    let first_violation =
+      Array.to_seq results
+      |> Seq.filter_map (function Some (Error v) -> Some v | _ -> None)
+      |> Seq.uncons
+    in
+    (match first_violation with
+    | Some ((msg, sched), _) -> raise (Violation (msg, sched))
+    | None -> ());
+    (match phase1_violation with Some (msg, sched) -> raise (Violation (msg, sched)) | None -> ());
+    Array.fold_left
+      (fun acc r ->
+        match r with
+        | Some (Ok s) ->
+            {
+              schedules = acc.schedules + s.schedules;
+              nodes = acc.nodes + s.nodes;
+              max_depth = max acc.max_depth s.max_depth;
+            }
+        | Some (Error _) -> acc
+        | None -> acc)
+      { schedules = cnt0.c_schedules; nodes = cnt0.c_nodes; max_depth = cnt0.c_max_depth }
+      results
+  end

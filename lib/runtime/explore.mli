@@ -9,7 +9,19 @@
 
     Pruning: crashing a process that has not stepped since its last
     (re)start is a no-op in the model and is skipped, which also prunes
-    consecutive duplicate crashes. *)
+    consecutive duplicate crashes.
+
+    {2 Parallel exploration}
+
+    With [?domains > 1] the schedule tree is split at [frontier_depth]:
+    the top of the tree is walked sequentially, and each frontier subtree
+    is re-executed on its own domain with its own fresh systems.
+    Statistics are merged in frontier (= DFS = lexicographic) order and
+    the violation reported, if any, is the one the sequential DFS would
+    have raised first, so completed runs are bit-identical to
+    [?domains:1].  The only caveat is {!Budget_exceeded}: the global
+    [max_nodes] bound is enforced across all domains, but the statistics
+    payload of the exception reflects the domain that tripped it. *)
 
 type choice = Step_choice of int | Crash_choice of int
 
@@ -19,12 +31,16 @@ val pp_schedule : Format.formatter -> choice list -> unit
 exception Violation of string * choice list
 (** An invariant violation, with the schedule that triggered it. *)
 
+(** Exploration totals: completed schedules (leaves), tree edges visited,
+    and the deepest point reached. *)
 type stats = { schedules : int; nodes : int; max_depth : int }
 
 exception Violation_found of string
 (** Raised by invariant checkers (via {!fail}) inside [mk]'s checker. *)
 
 val fail : string -> 'a
+(** Raise {!Violation_found}: how an invariant checker reports a
+    violation to the explorer (and to the random drivers' sweeps). *)
 
 exception Budget_exceeded of stats
 (** The exploration tree exceeded [max_nodes]; fail fast instead of
@@ -32,15 +48,25 @@ exception Budget_exceeded of stats
     exploration: no violation found within the budget. *)
 
 val apply_choice : Sim.t -> choice -> unit
+(** Replay one schedule choice against a system. *)
 
 val explore :
   ?max_crashes:int ->
   ?max_steps:int ->
   ?max_nodes:int ->
+  ?domains:int ->
+  ?frontier_depth:int ->
   mk:(unit -> Sim.t * (unit -> unit)) ->
   unit ->
   stats
 (** [explore ~mk ()] where [mk ()] builds a fresh system together with an
     invariant checker (raising via {!fail}).  Exceeding [max_steps] on a
     single schedule raises {!Violation} ("wait-freedom"); defaults:
-    [max_crashes = 1], [max_steps = 10_000], [max_nodes = 20_000_000]. *)
+    [max_crashes = 1], [max_steps = 10_000], [max_nodes = 20_000_000].
+
+    [?domains] (default 1 = sequential) distributes frontier subtrees
+    across that many OCaml 5 domains; [?frontier_depth] (default 4,
+    clamped to >= 1) is the depth at which the tree is split.  [mk] is
+    then called concurrently from several domains, so it must build
+    genuinely fresh, unshared state on every call -- which the replay
+    semantics already require. *)

@@ -1,29 +1,46 @@
 (* Entry point for the whole test suite.  Each sub-file exports a [suite]
    value; run everything under one Alcotest binary so that `dune runtest`
-   covers the full repository. *)
+   covers the full repository.
+
+   Setting RCONS_QUICK (the `dune build @quick` alias does) drops the
+   suites dominated by bounded exhaustive exploration -- they are the
+   model-checking tier, minutes of work, and the quick tier is for the
+   edit-compile-test loop.  Alcotest's own `Slow marking still applies
+   within the remaining suites. *)
+
+let quick = Sys.getenv_opt "RCONS_QUICK" <> None
+
+(* [true] marks suites whose cost is dominated by the exhaustive
+   schedule explorer. *)
+let suites =
+  [
+    ("spec", Test_spec.suite, false);
+    ("misc", Test_misc.suite, false);
+    ("enumerate", Test_enumerate.suite, false);
+    ("search", Test_search.suite, false);
+    ("checkers", Test_checkers.suite, false);
+    ("theorems", Test_theorems.suite, false);
+    ("oracle", Test_oracle.suite, false);
+    ("runtime", Test_runtime.suite, false);
+    ("team-consensus", Test_team_consensus.suite, true);
+    ("tournament", Test_tournament.suite, true);
+    ("simultaneous", Test_simultaneous.suite, false);
+    ("recoverable-cas", Test_rcas.suite, false);
+    ("history", Test_history.suite, false);
+    ("lin-oracle", Test_lin_oracle.suite, false);
+    ("conditions", Test_conditions.suite, false);
+    ("universal", Test_universal.suite, false);
+    ("valency", Test_valency.suite, false);
+    ("critical", Test_critical.suite, false);
+    ("robustness", Test_robustness.suite, false);
+    ("injection", Test_injection.suite, true);
+    ("integration", Test_integration.suite, true);
+    ("parallel", Test_parallel.suite, true);
+  ]
 
 let () =
   Alcotest.run "rcons"
-    [
-      ("spec", Test_spec.suite);
-      ("misc", Test_misc.suite);
-      ("enumerate", Test_enumerate.suite);
-      ("search", Test_search.suite);
-      ("checkers", Test_checkers.suite);
-      ("theorems", Test_theorems.suite);
-      ("oracle", Test_oracle.suite);
-      ("runtime", Test_runtime.suite);
-      ("team-consensus", Test_team_consensus.suite);
-      ("tournament", Test_tournament.suite);
-      ("simultaneous", Test_simultaneous.suite);
-      ("recoverable-cas", Test_rcas.suite);
-      ("history", Test_history.suite);
-      ("lin-oracle", Test_lin_oracle.suite);
-      ("conditions", Test_conditions.suite);
-      ("universal", Test_universal.suite);
-      ("valency", Test_valency.suite);
-      ("critical", Test_critical.suite);
-      ("robustness", Test_robustness.suite);
-      ("injection", Test_injection.suite);
-      ("integration", Test_integration.suite);
-    ]
+    (List.filter_map
+       (fun (name, suite, exhaustive) ->
+         if quick && exhaustive then None else Some (name, suite))
+       suites)

@@ -1,0 +1,218 @@
+(* Determinism of the parallel engine: everything computed with
+   [?domains > 1] must be byte-equal to its sequential counterpart --
+   witness certificates across the whole catalogue, classification
+   reports, explorer statistics, and the violation schedule found on a
+   seeded broken algorithm.  A qcheck meta-test extends the guarantee to
+   random finite types.
+
+   The machine running the suite may have a single core; correctness of
+   the deterministic merge (Rcons_par.Pool) does not depend on real
+   parallel execution, only on multiple domains actually running the
+   sharded code paths, which they do regardless of core count. *)
+
+open Rcons_check
+open Rcons_runtime
+
+let domains = 4
+
+(* --- the pool primitives themselves --- *)
+
+let test_pool_map () =
+  let f i = (i * 37) mod 101 in
+  Alcotest.(check (array int)) "map = Array.init" (Array.init 1000 f)
+    (Rcons_par.Pool.map ~domains 1000 f);
+  Alcotest.(check (array int)) "empty" [||] (Rcons_par.Pool.map ~domains 0 f)
+
+let test_pool_find_first () =
+  (* Many hits: the smallest index must win even though later hits are
+     found first by other domains. *)
+  let f i = if i mod 7 = 3 then Some (i * 2) else None in
+  Alcotest.(check (option int)) "first hit wins" (Some 6) (Rcons_par.Pool.find_first ~domains 1000 f);
+  Alcotest.(check (option int)) "no hit" None (Rcons_par.Pool.find_first ~domains 1000 (fun _ -> None));
+  Alcotest.(check (option int)) "late single hit" (Some 999)
+    (Rcons_par.Pool.find_first ~domains 1000 (fun i -> if i = 999 then Some i else None))
+
+let test_pool_exists () =
+  Alcotest.(check bool) "exists" true (Rcons_par.Pool.exists ~domains 1000 (fun i -> i = 997));
+  Alcotest.(check bool) "not exists" false (Rcons_par.Pool.exists ~domains 1000 (fun _ -> false))
+
+let test_pool_fold () =
+  let total = Rcons_par.Pool.fold ~domains 1000 ~map:(fun i -> i) ~fold:( + ) ~init:0 in
+  Alcotest.(check int) "fold sum" (999 * 1000 / 2) total
+
+let test_pool_exn_propagates () =
+  Alcotest.check_raises "exception crosses domains" (Failure "boom") (fun () ->
+      ignore (Rcons_par.Pool.map ~domains 100 (fun i -> if i = 50 then failwith "boom" else i)))
+
+(* --- witness determinism across the catalogue --- *)
+
+let show_rec = function
+  | None -> "none"
+  | Some c -> Format.asprintf "%a" Certificate.pp_recording c
+
+let show_disc = function
+  | None -> "none"
+  | Some c -> Format.asprintf "%a" Certificate.pp_discerning c
+
+let test_witnesses_catalogue () =
+  List.iter
+    (fun e ->
+      let ot = e.Rcons_spec.Catalogue.ot in
+      let name = Rcons_spec.Object_type.name ot in
+      List.iter
+        (fun n ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s recording witness n=%d" name n)
+            (show_rec (Recording.witness ot n))
+            (show_rec (Recording.witness ~domains ot n));
+          Alcotest.(check string)
+            (Printf.sprintf "%s discerning witness n=%d" name n)
+            (show_disc (Discerning.witness ot n))
+            (show_disc (Discerning.witness ~domains ot n)))
+        [ 2; 3 ])
+    Rcons_spec.Catalogue.all
+
+let test_witnesses_separating_types () =
+  List.iter
+    (fun (name, ot, n) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s recording witness n=%d" name n)
+        (show_rec (Recording.witness ot n))
+        (show_rec (Recording.witness ~domains ot n)))
+    [
+      ("S_4", Rcons_spec.Sn.make 4, 4);
+      ("T_5", Rcons_spec.Tn.make 5, 3);
+      ("T_5 (no witness)", Rcons_spec.Tn.make 5, 4);
+    ]
+
+let test_classify_reports () =
+  List.iter
+    (fun (name, ot) ->
+      let seq = Classify.classify ~limit:4 ot in
+      let par = Classify.classify ~domains ~limit:4 ot in
+      Alcotest.(check bool) (name ^ ": classify report identical") true (seq = par))
+    [
+      ("sticky", Rcons_spec.Sticky_bit.t);
+      ("cas", Rcons_spec.Cas.default);
+      ("T_4", Rcons_spec.Tn.make 4);
+      ("swap", Rcons_spec.Swap.default);
+      ("stack", Rcons_spec.Stack.default);
+    ]
+
+let test_brute_force_agrees () =
+  List.iter
+    (fun (name, ot) ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s brute recording n=%d" name n)
+            (Brute_force.is_recording ot n)
+            (Brute_force.is_recording ~domains ot n);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s brute discerning n=%d" name n)
+            (Brute_force.is_discerning ot n)
+            (Brute_force.is_discerning ~domains ot n))
+        [ 2; 3 ])
+    [ ("tas", Rcons_spec.Test_and_set.t); ("flip", Rcons_spec.Flip_bit.t) ]
+
+(* --- explorer determinism --- *)
+
+let stats_eq = Alcotest.testable
+    (fun ppf (s : Explore.stats) ->
+      Format.fprintf ppf "{schedules=%d; nodes=%d; max_depth=%d}" s.schedules s.nodes s.max_depth)
+    ( = )
+
+let team_mk ?faithful cert () =
+  let sys = Helpers.team_system ?faithful cert () in
+  (sys.Helpers.sim, sys.Helpers.check)
+
+let test_explore_stats_identical () =
+  let cert = Helpers.cert_of (Rcons_spec.Sn.make 2) 2 in
+  let seq = Explore.explore ~max_crashes:1 ~mk:(team_mk cert) () in
+  List.iter
+    (fun frontier_depth ->
+      let par = Explore.explore ~max_crashes:1 ~domains ~frontier_depth ~mk:(team_mk cert) () in
+      Alcotest.check stats_eq
+        (Printf.sprintf "merged stats = sequential stats (frontier %d)" frontier_depth)
+        seq par)
+    [ 1; 3; 7 ]
+
+let test_explore_sticky_identical () =
+  (* A different algorithm shape than S_2: the sticky bit's 2-recording
+     certificate exercises the q0-free path of Figure 2. *)
+  let cert = Helpers.cert_of Rcons_spec.Sticky_bit.t 2 in
+  let seq = Explore.explore ~max_crashes:1 ~mk:(team_mk cert) () in
+  let par = Explore.explore ~max_crashes:1 ~domains ~mk:(team_mk cert) () in
+  Alcotest.check stats_eq "sticky-bit one-crash stats" seq par
+
+(* The broken Figure 2 variant (no |B| = 1 guard) must be caught on the
+   same schedule, whatever the domain count: the parallel explorer
+   surfaces the violation the sequential DFS would have raised first. *)
+let test_explore_violation_schedule_identical () =
+  let cert = Helpers.cert_of Rcons_spec.Sticky_bit.t 3 in
+  let run ?domains ?frontier_depth () =
+    match Explore.explore ?domains ?frontier_depth ~max_crashes:0 ~mk:(team_mk ~faithful:false cert) () with
+    | (_ : Explore.stats) -> Alcotest.fail "expected a violation"
+    | exception Explore.Violation (msg, sched) ->
+        Format.asprintf "%s at %a" msg Explore.pp_schedule sched
+  in
+  let seq = run () in
+  List.iter
+    (fun frontier_depth ->
+      Alcotest.(check string)
+        (Printf.sprintf "violation schedule (frontier %d)" frontier_depth)
+        seq
+        (run ~domains ~frontier_depth ()))
+    [ 1; 4 ]
+
+(* --- qcheck meta-test on random finite types --- *)
+
+let table_gen =
+  QCheck2.Gen.(
+    let* num_states = int_range 2 3 in
+    let* num_ops = int_range 1 2 in
+    let* num_resps = int_range 1 2 in
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed; num_states; num_ops; 13 |] in
+    return (Rcons_spec.Finite_type.random ~num_resps ~num_states ~num_ops rng))
+
+let print_table (t : Rcons_spec.Finite_type.table) =
+  Format.asprintf "%d states %d ops %s" t.num_states t.num_ops
+    (String.concat ";"
+       (Array.to_list t.transition
+       |> List.concat_map (fun row ->
+              Array.to_list row |> List.map (fun (q, r) -> Printf.sprintf "%d/%d" q r))))
+
+let parallel_agrees table =
+  let ot = Rcons_spec.Finite_type.of_table table in
+  List.for_all
+    (fun n ->
+      show_rec (Recording.witness ot n) = show_rec (Recording.witness ~domains ot n)
+      && show_disc (Discerning.witness ot n) = show_disc (Discerning.witness ~domains ot n))
+    [ 2; 3 ]
+
+let qcheck_parallel =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:30 ~name:"parallel witness = sequential witness (random types)"
+       ~print:print_table table_gen parallel_agrees)
+
+let suite =
+  [
+    Alcotest.test_case "pool: map" `Quick test_pool_map;
+    Alcotest.test_case "pool: find_first" `Quick test_pool_find_first;
+    Alcotest.test_case "pool: exists" `Quick test_pool_exists;
+    Alcotest.test_case "pool: fold" `Quick test_pool_fold;
+    Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exn_propagates;
+    Alcotest.test_case "catalogue witnesses byte-equal" `Quick test_witnesses_catalogue;
+    Alcotest.test_case "separating-type witnesses byte-equal" `Quick
+      test_witnesses_separating_types;
+    Alcotest.test_case "classify reports identical" `Quick test_classify_reports;
+    Alcotest.test_case "brute-force oracle identical" `Quick test_brute_force_agrees;
+    Alcotest.test_case "explorer stats identical (incl. frontier sweep)" `Quick
+      test_explore_stats_identical;
+    Alcotest.test_case "explorer sticky-bit stats identical" `Quick
+      test_explore_sticky_identical;
+    Alcotest.test_case "violation schedule identical to sequential" `Quick
+      test_explore_violation_schedule_identical;
+    qcheck_parallel;
+  ]
