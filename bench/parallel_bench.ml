@@ -2,65 +2,159 @@
    engine, written to BENCH_parallel.json so the performance trajectory
    of the parallel check/explore paths is measurable across commits.
 
-   Every workload is run twice -- [domains = 1] and [domains = N] -- and
-   the outputs are compared: the "identical" field is the determinism
-   contract checked on real workloads, not just asserted.  Speedups are
-   only meaningful when the machine actually exposes multiple cores;
-   "cores" records what the OCaml runtime saw, so a 1-core CI box
-   reporting a ~1.0x ratio is interpretable rather than alarming. *)
+   Every workload is run across a domains scaling curve (1, 2, 4, 8) and
+   all outputs are compared against the sequential run: the "identical"
+   field is the determinism contract checked on real workloads, not just
+   asserted.  Speedups are only meaningful when the machine actually
+   exposes multiple cores; "cores" records what the OCaml runtime saw, so
+   a 1-core CI box reporting sub-1.0x ratios is interpretable rather than
+   alarming (the curve then measures pool overhead, not parallelism).
+
+   Explore workloads additionally report state-space deduplication
+   counters -- raw vs dedup node counts, hit rate, distinct states, and a
+   seq-vs-par dedup identity check -- so the effect of [~dedup:true] on
+   each workload is tracked alongside its wall-clock numbers. *)
+
+let domain_points = [ 1; 2; 4; 8 ]
+
+type dedup_stats = {
+  raw_nodes : int;
+  dd_nodes : int;
+  dd_hits : int;
+  dd_states : int;
+  dd_identical : bool; (* dedup seq = dedup par (stats, bit for bit) *)
+}
+
+(* A workload runs at a given domain count and yields (seconds, canonical
+   rendering of the result); renderings are compared across the curve. *)
+type workload = {
+  w_name : string;
+  w_run : int -> float * string;
+  w_dedup : (int -> int -> dedup_stats) option; (* raw_nodes -> domains -> stats *)
+}
 
 let classify_workload name ot limit =
-  ( name,
-    fun domains ->
-      let render r = Format.asprintf "%a" Rcons.Check.Classify.pp_report r in
-      let seq, seq_t = Util.time_it (fun () -> Rcons.classify ~limit ot) in
-      let par, par_t = Util.time_it (fun () -> Rcons.classify ~domains ~limit ot) in
-      (seq_t, par_t, render seq = render par) )
+  {
+    w_name = name;
+    w_run =
+      (fun domains ->
+        let r, t = Util.time_it (fun () -> Rcons.classify ~domains ~limit ot) in
+        (t, Format.asprintf "%a" Rcons.Check.Classify.pp_report r));
+    w_dedup = None;
+  }
+
+let team_mk ot () =
+  let cert = Option.get (Rcons.Check.Recording.witness ot 2) in
+  let inputs = [| 111; 222 |] in
+  let outputs = Rcons.Algo.Outputs.make ~inputs in
+  let tc = Rcons.Algo.Team_consensus.create cert in
+  let body pid () =
+    let team, slot = if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0) in
+    Rcons.Algo.Outputs.record outputs pid
+      (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
+  in
+  ( Rcons.Runtime.Sim.create ~n:2 body,
+    fun () -> Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
+
+let render_stats (s : Rcons.Runtime.Explore.stats) =
+  Printf.sprintf "{schedules=%d; nodes=%d; max_depth=%d; dedup_hits=%d; distinct_states=%d}"
+    s.schedules s.nodes s.max_depth s.dedup_hits s.distinct_states
 
 let explore_workload name ot ~max_crashes =
-  ( name,
-    fun domains ->
-      let cert = Option.get (Rcons.Check.Recording.witness ot 2) in
-      let mk () =
-        let inputs = [| 111; 222 |] in
-        let outputs = Rcons.Algo.Outputs.make ~inputs in
-        let tc = Rcons.Algo.Team_consensus.create cert in
-        let body pid () =
-          let team, slot =
-            if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0)
-          in
-          Rcons.Algo.Outputs.record outputs pid
-            (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
+  let mk = team_mk ot in
+  {
+    w_name = name;
+    w_run =
+      (fun domains ->
+        let s, t =
+          Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes ~domains ~mk ())
         in
-        ( Rcons.Runtime.Sim.create ~n:2 body,
-          fun () -> Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
-      in
-      let seq, seq_t = Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes ~mk ()) in
-      let par, par_t =
-        Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes ~domains ~mk ())
-      in
-      (seq_t, par_t, seq = par) )
+        (t, render_stats s));
+    w_dedup =
+      Some
+        (fun raw_nodes domains ->
+          let dd_seq = Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~mk () in
+          let dd_par =
+            Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~domains ~mk ()
+          in
+          {
+            raw_nodes;
+            dd_nodes = dd_seq.nodes;
+            dd_hits = dd_seq.dedup_hits;
+            dd_states = dd_seq.distinct_states;
+            dd_identical = dd_seq = dd_par;
+          });
+  }
 
 let workloads =
   [
     classify_workload "classify T_6 (limit 7)" (Rcons.Spec.Tn.make 6) 7;
     classify_workload "classify S_4 (limit 5)" (Rcons.Spec.Sn.make 4) 5;
     classify_workload "classify sticky-bit (limit 6)" Rcons.Spec.Sticky_bit.t 6;
+    explore_workload "explore Figure 2 on S_2 (1 crash)" (Rcons.Spec.Sn.make 2) ~max_crashes:1;
     explore_workload "explore Figure 2 on S_2 (2 crashes)" (Rcons.Spec.Sn.make 2) ~max_crashes:2;
   ]
 
+type row = {
+  r_name : string;
+  r_seq : float;
+  r_par : float;
+  r_identical : bool;
+  r_curve : (int * float) list;
+  r_dedup : dedup_stats option;
+}
+
+(* Raw [nodes] from a rendered stats string, for the dedup reduction
+   ratio (avoids re-running the raw exploration a third time). *)
+let nodes_of_rendering s =
+  match String.index_opt s ';' with
+  | None -> 0
+  | Some _ -> (
+      try Scanf.sscanf s "{schedules=%d; nodes=%d" (fun _ n -> n) with _ -> 0)
+
 let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   Util.section
-    (Printf.sprintf "Parallel engine: sequential vs %d domains (machine has %d core(s))" domains
+    (Printf.sprintf "Parallel engine: domains scaling curve %s (machine has %d core(s))"
+       (String.concat "/" (List.map string_of_int domain_points))
        (Rcons.Par.Pool.available_domains ()));
-  Util.row "%-40s %-10s %-10s %-9s %s@." "workload" "seq" "par" "speedup" "identical";
+  Util.row "%-40s %-10s %-10s %-9s %s@." "workload" "seq" (Printf.sprintf "par(%d)" domains)
+    "speedup" "identical";
   let rows =
     List.map
-      (fun (name, f) ->
-        let seq_t, par_t, identical = f domains in
+      (fun w ->
+        let curve = List.map (fun d -> (d, w.w_run d)) domain_points in
+        let curve =
+          if List.mem_assoc domains curve then curve
+          else curve @ [ (domains, w.w_run domains) ]
+        in
+        let _, (seq_t, seq_render) = List.find (fun (d, _) -> d = 1) curve in
+        let _, (par_t, _) = List.find (fun (d, _) -> d = domains) curve in
+        let identical = List.for_all (fun (_, (_, r)) -> r = seq_render) curve in
+        let dedup =
+          Option.map (fun f -> f (nodes_of_rendering seq_render) domains) w.w_dedup
+        in
         let speedup = if par_t > 0. then seq_t /. par_t else 0. in
-        Util.row "%-40s %8.3fs %8.3fs %8.2fx %b@." name seq_t par_t speedup identical;
-        (name, seq_t, par_t, speedup, identical))
+        Util.row "%-40s %8.3fs %8.3fs %8.2fx %b@." w.w_name seq_t par_t speedup identical;
+        List.iter
+          (fun (d, (t, _)) ->
+            Util.row "    domains=%d %8.3fs %8.2fx@." d t (if t > 0. then seq_t /. t else 0.))
+          curve;
+        (match dedup with
+        | None -> ()
+        | Some dd ->
+            Util.row "    dedup: %d -> %d nodes (%.1fx), %d hits, %d distinct states, par identical=%b@."
+              dd.raw_nodes dd.dd_nodes
+              (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
+               else 0.)
+              dd.dd_hits dd.dd_states dd.dd_identical);
+        {
+          r_name = w.w_name;
+          r_seq = seq_t;
+          r_par = par_t;
+          r_identical = identical && Option.fold ~none:true ~some:(fun d -> d.dd_identical) dedup;
+          r_curve = List.map (fun (d, (t, _)) -> (d, t)) curve;
+          r_dedup = dedup;
+        })
       workloads
   in
   let oc = open_out out in
@@ -70,15 +164,32 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   p "  \"cores\": %d,\n" (Rcons.Par.Pool.available_domains ());
   p "  \"workloads\": [\n";
   List.iteri
-    (fun i (name, seq_t, par_t, speedup, identical) ->
-      p "    {\"name\": %S, \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b}%s\n"
-        name seq_t par_t speedup identical
-        (if i = List.length rows - 1 then "" else ","))
+    (fun i r ->
+      let speedup = if r.r_par > 0. then r.r_seq /. r.r_par else 0. in
+      p "    {\"name\": %S, \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f, \"identical\": %b,\n"
+        r.r_name r.r_seq r.r_par speedup r.r_identical;
+      p "     \"scaling\": [%s]%s\n"
+        (String.concat ", "
+           (List.map (fun (d, t) -> Printf.sprintf "{\"domains\": %d, \"s\": %.4f}" d t) r.r_curve))
+        (match r.r_dedup with None -> "" | Some _ -> ",");
+      (match r.r_dedup with
+      | None -> ()
+      | Some dd ->
+          p
+            "     \"dedup\": {\"raw_nodes\": %d, \"dedup_nodes\": %d, \"dedup_hits\": %d, \
+             \"distinct_states\": %d, \"hit_rate\": %.4f, \"node_reduction\": %.1f, \
+             \"identical\": %b}\n"
+            dd.raw_nodes dd.dd_nodes dd.dd_hits dd.dd_states
+            (if dd.dd_nodes > 0 then float_of_int dd.dd_hits /. float_of_int dd.dd_nodes else 0.)
+            (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
+             else 0.)
+            dd.dd_identical);
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n}\n";
   close_out oc;
   Util.row "@.wrote %s@." out;
-  if List.for_all (fun (_, _, _, _, identical) -> identical) rows then
+  if List.for_all (fun r -> r.r_identical) rows then
     Util.row "all parallel results identical to sequential ones@."
   else begin
     Util.row "DETERMINISM VIOLATION: some parallel result differs from its sequential run@.";

@@ -144,7 +144,7 @@ let impossible_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run ot max_crashes domains =
+  let run ot max_crashes domains dedup =
     match Rcons.Check.Recording.witness ~domains ot 2 with
     | None ->
         Format.eprintf "%s has no 2-recording witness@." (Rcons.Spec.Object_type.name ot);
@@ -165,12 +165,16 @@ let explore_cmd =
             fun () ->
               Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
         in
-        (match Rcons.Runtime.Explore.explore ~max_crashes ~domains ~mk () with
+        (match Rcons.Runtime.Explore.explore ~max_crashes ~domains ~dedup ~mk () with
         | stats ->
             Format.printf
               "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
               stats.Rcons.Runtime.Explore.schedules stats.Rcons.Runtime.Explore.nodes
-              stats.Rcons.Runtime.Explore.max_depth
+              stats.Rcons.Runtime.Explore.max_depth;
+            if dedup then
+              Format.printf "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
+                stats.Rcons.Runtime.Explore.distinct_states
+                stats.Rcons.Runtime.Explore.dedup_hits
         | exception Rcons.Runtime.Explore.Violation (msg, sched) ->
             Format.printf "VIOLATION: %s at %a@." msg Rcons.Runtime.Explore.pp_schedule sched);
         0
@@ -179,10 +183,18 @@ let explore_cmd =
   let max_crashes =
     Arg.(value & opt int 1 & info [ "max-crashes" ] ~doc:"Crash budget for the explorer.")
   in
+  let dedup =
+    Arg.(
+      value & flag
+      & info [ "dedup" ]
+          ~doc:
+            "Deduplicate states by canonical fingerprint: much faster on multi-crash budgets, \
+             but node/schedule counts then refer to the state graph, not the raw schedule tree.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Exhaustively model-check Figure 2 on the type's 2-recording certificate")
-    Term.(const run $ ot $ max_crashes $ domains_arg)
+    Term.(const run $ ot $ max_crashes $ domains_arg $ dedup)
 
 (* --- critical --- *)
 

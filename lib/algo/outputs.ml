@@ -5,7 +5,13 @@
 
 type 'v t = { inputs : 'v array; outputs : 'v list array }
 
-let make ~inputs = { inputs; outputs = Array.map (fun _ -> []) inputs }
+(* The log is part of the state the explorer's invariants read, so it
+   registers with the active Heap arena (if any): two executions only
+   share a fingerprint when their output histories agree too. *)
+let make ~inputs =
+  let t = { inputs; outputs = Array.map (fun _ -> []) inputs } in
+  Rcons_runtime.Heap.register (fun () -> Rcons_runtime.Heap.digest t.outputs);
+  t
 let record t i v = t.outputs.(i) <- v :: t.outputs.(i)
 let all t = Array.to_list t.outputs |> List.concat
 let decided t i = t.outputs.(i) <> []

@@ -54,20 +54,22 @@ let pp_bounds ppf { lower; upper } =
    (the paper's stack and queue, test-and-set) the intervals below are
    therefore [None]; their rcons is settled by the valency analysis of
    Appendix H instead. *)
-let cons_bounds ?domains ?limit ot =
-  if not (Object_type.readable ot) then None
+(* Pure derivations from already-computed levels, so that callers (and
+   [classify] in particular) run each exhaustive scan exactly once. *)
+let cons_bounds_of ~readable discerning =
+  if not readable then None
   else
-    match max_discerning ?domains ?limit ot with
+    match discerning with
     | Finite n -> Some { lower = n; upper = Some n }
     | At_least n -> Some { lower = n; upper = None }
 
-let rcons_bounds ?domains ?limit ot =
-  if not (Object_type.readable ot) then None
+let rcons_bounds_of ~readable ~discerning recording =
+  if not readable then None
   else
     let cons_upper =
-      match cons_bounds ?domains ?limit ot with Some { upper; _ } -> upper | None -> None
+      match cons_bounds_of ~readable discerning with Some { upper; _ } -> upper | None -> None
     in
-    match max_recording ?domains ?limit ot with
+    match recording with
     | Finite k ->
         (* Theorem 8: a readable k-recording type has rcons >= k.
            Theorem 14: not (k+1)-recording => RC unsolvable for k+2, so
@@ -78,6 +80,16 @@ let rcons_bounds ?domains ?limit ot =
         Some { lower = max 1 k; upper = Some (max 1 upper) }
     | At_least k -> Some { lower = k; upper = None }
 
+let cons_bounds ?domains ?limit ot =
+  cons_bounds_of ~readable:(Object_type.readable ot) (max_discerning ?domains ?limit ot)
+
+let rcons_bounds ?domains ?limit ot =
+  let readable = Object_type.readable ot in
+  if not readable then None
+  else
+    let discerning = max_discerning ?domains ?limit ot in
+    rcons_bounds_of ~readable ~discerning (max_recording ?domains ?limit ot)
+
 type report = {
   type_name : string;
   is_readable : bool;
@@ -87,14 +99,20 @@ type report = {
   rcons : bounds option;
 }
 
+(* One discerning scan and one recording scan per report; the bounds are
+   pure derivations of the levels.  (An earlier version re-ran the
+   discerning scan three times and the recording scan twice per call.) *)
 let classify ?domains ?limit ot =
+  let readable = Object_type.readable ot in
+  let discerning = max_discerning ?domains ?limit ot in
+  let recording = max_recording ?domains ?limit ot in
   {
     type_name = Object_type.name ot;
-    is_readable = Object_type.readable ot;
-    discerning = max_discerning ?domains ?limit ot;
-    recording = max_recording ?domains ?limit ot;
-    cons = cons_bounds ?domains ?limit ot;
-    rcons = rcons_bounds ?domains ?limit ot;
+    is_readable = readable;
+    discerning;
+    recording;
+    cons = cons_bounds_of ~readable discerning;
+    rcons = rcons_bounds_of ~readable ~discerning recording;
   }
 
 let pp_bounds_option ppf = function

@@ -38,6 +38,14 @@ type bounds = { lower : int; upper : int option }
 
 val pp_bounds : Format.formatter -> bounds -> unit
 
+val cons_bounds_of : readable:bool -> level -> bounds option
+(** Pure derivation of the cons interval from an already-computed
+    discerning level; [None] when not readable. *)
+
+val rcons_bounds_of : readable:bool -> discerning:level -> level -> bounds option
+(** Pure derivation of the rcons interval from already-computed
+    discerning and recording levels; [None] when not readable. *)
+
 val cons_bounds : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> bounds option
 (** [None] for non-readable types: Theorem 3 ties the discerning level
     to cons only in the presence of a READ operation. *)
@@ -56,8 +64,10 @@ type report = {
 }
 
 val classify : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> report
-(** The full report.  [?domains] parallelizes the underlying witness
-    searches without changing any field of the result. *)
+(** The full report, from exactly one discerning scan and one recording
+    scan (the bounds are derived, not re-searched).  [?domains]
+    parallelizes the underlying witness searches without changing any
+    field of the result. *)
 
 val pp_bounds_option : Format.formatter -> bounds option -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,55 @@
+(* Sharded concurrent visited set for the deduplicating explorer.
+
+   Keys are state fingerprints (short digest strings).  The set is an
+   array of shards, each a mutex-protected hash table; a key's shard is
+   chosen by hash, so concurrent walkers only contend when they touch
+   the same slice of the state space at the same instant.  [add] is the
+   atomic claim operation: exactly one caller per key ever sees [true],
+   which is what gives the parallel explorer its exactly-once expansion
+   discipline (and hence schedule-order-independent statistics).
+
+   The structure is deliberately simple -- lock + Hashtbl per shard
+   beats a lock-free list here because the critical section is a single
+   probe/insert and shard counts are sized to make contention rare. *)
+
+type shard = { lock : Mutex.t; mutable table : (string, unit) Hashtbl.t }
+
+type t = { mask : int; shards : shard array }
+
+let default_shards = 64
+
+let create ?(shards = default_shards) () =
+  let rec pow2 n = if n >= shards || n >= 4096 then n else pow2 (n * 2) in
+  let n = pow2 1 in
+  {
+    mask = n - 1;
+    shards = Array.init n (fun _ -> { lock = Mutex.create (); table = Hashtbl.create 256 });
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key land t.mask)
+
+let add t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let fresh = not (Hashtbl.mem s.table key) in
+  if fresh then Hashtbl.add s.table key ();
+  Mutex.unlock s.lock;
+  fresh
+
+let mem t key =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.mem s.table key in
+  Mutex.unlock s.lock;
+  r
+
+let cardinal t =
+  Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Hashtbl.reset s.table;
+      Mutex.unlock s.lock)
+    t.shards

@@ -1,0 +1,28 @@
+(** Sharded concurrent visited set for the deduplicating explorer.
+
+    Keys are state fingerprints (short digest strings).  Shards are
+    mutex-protected hash tables selected by key hash, so concurrent
+    walkers rarely contend.  {!add} is an atomic claim: exactly one
+    caller per key ever sees [true], giving the parallel explorer its
+    exactly-once expansion discipline — the foundation of its
+    schedule-order-independent statistics. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [create ?shards ()]: an empty set with [shards] (default 64,
+    rounded up to a power of two, capped at 4096) independent
+    buckets. *)
+
+val add : t -> string -> bool
+(** [add t key] inserts [key]; [true] iff it was not already present.
+    Atomic with respect to concurrent [add]s of the same key: exactly
+    one claimant wins. *)
+
+val mem : t -> string -> bool
+
+val cardinal : t -> int
+(** Number of distinct keys.  Only meaningful once concurrent adders
+    have quiesced (the explorer reads it after joining its walkers). *)
+
+val clear : t -> unit

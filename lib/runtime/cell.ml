@@ -3,7 +3,15 @@
 
 type 'a t = { mutable contents : 'a }
 
-let make v = { contents = v }
+(* A cell whose state is digested through some enclosing container's
+   registration (Growable) rather than its own. *)
+let make_unregistered v = { contents = v }
+
+let make v =
+  let c = { contents = v } in
+  Heap.register (fun () -> Heap.digest c.contents);
+  c
+
 let read c = Sim.step ~label:"register" (fun () -> c.contents)
 let write c v = Sim.step ~label:"register" (fun () -> c.contents <- v)
 

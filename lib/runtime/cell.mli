@@ -1,9 +1,19 @@
 (** Shared read/write registers in the simulated non-volatile memory.
-    Every {!read}/{!write} is one atomic step of the calling process. *)
+    Every {!read}/{!write} is one atomic step of the calling process.
+
+    {!make} registers the cell's contents with the active {!Heap} arena
+    (if any) so state fingerprints cover it; cell contents must therefore
+    be plain data (digestable with {!Heap.digest}). *)
 
 type 'a t
 
 val make : 'a -> 'a t
+
+val make_unregistered : 'a -> 'a t
+(** A cell that does {e not} register with the active {!Heap} arena;
+    for containers (e.g. {!Growable}) that register one canonical digest
+    for all their entries instead. *)
+
 val read : 'a t -> 'a
 val write : 'a t -> 'a -> unit
 

@@ -7,10 +7,29 @@
    so backtracking re-executes the schedule prefix from scratch on a fresh
    system; process bodies must therefore be deterministic.
 
+   Spine reuse: the first child of every node continues the parent's live
+   system instead of replaying its prefix from the root, so the leftmost
+   descent of each subtree is free and only backtracking (later siblings)
+   pays the O(depth) replay.
+
    Pruning: crashing a process that has not taken a step since its last
    (re)start is a no-op in the model (it would restart at the beginning,
    where it already is), so such choices are skipped; this also prevents
    consecutive duplicate crashes.
+
+   Deduplication ([dedup = true]): two schedules that reach the same
+   global state -- same non-volatile heap (via [Heap] arenas and
+   [Sim.fingerprint]) and same per-process control state -- have identical
+   futures, so the schedule tree is explored as a state graph: a sharded
+   concurrent visited set ([Rcons_par.Visited]) claims each fingerprint
+   exactly once, the claimant expands the state's children, and every
+   later encounter is counted as a dedup hit and pruned.  Because the
+   fingerprint includes cumulative per-process step/crash counts, the
+   state graph is graded by depth, so the set of expanded states and
+   walked edges -- and therefore every statistic -- is independent of
+   visit order and of the domain count.  Statistics change meaning under
+   dedup ([nodes] counts state-graph edges, not tree edges), which is why
+   it is off by default: raw counts are what the paper-facing tables use.
 
    Parallel mode ([domains > 1]): the tree is walked sequentially down to
    [frontier_depth]; the nodes of that frontier -- in DFS order, which
@@ -21,7 +40,13 @@
    one with the smallest frontier index wins (with an atomic watermark
    cancelling subtrees that can no longer win), so the schedule reported
    is exactly the one the sequential DFS would have raised first: results
-   of completed explorations are bit-identical to the sequential path. *)
+   of completed explorations are bit-identical to the sequential path.
+   With [dedup = true] the walkers instead share the visited set (their
+   statistics are order-independent, see above); if any walker finds a
+   violation the run falls back to one sequential deduplicating pass,
+   whose first violation is deterministic -- so seq and par dedup runs
+   report identical stats and identical violation schedules, though the
+   dedup violation schedule may differ from the raw-mode one. *)
 
 type choice = Step_choice of int | Crash_choice of int
 
@@ -34,7 +59,13 @@ let pp_schedule ppf cs =
 
 exception Violation of string * choice list
 
-type stats = { schedules : int; nodes : int; max_depth : int }
+type stats = {
+  schedules : int;
+  nodes : int;
+  max_depth : int;
+  dedup_hits : int; (* 0 unless [dedup] *)
+  distinct_states : int; (* 0 unless [dedup] *)
+}
 
 let apply_choice t = function
   | Step_choice i -> ignore (Sim.step_proc t i)
@@ -55,22 +86,33 @@ exception Budget_exceeded of stats
 
 (* Per-walker statistics; one per domain in parallel mode, merged in
    frontier order at the end. *)
-type counter = { mutable c_schedules : int; mutable c_nodes : int; mutable c_max_depth : int }
+type counter = {
+  mutable c_schedules : int;
+  mutable c_nodes : int;
+  mutable c_max_depth : int;
+  mutable c_dedup_hits : int;
+}
 
-let fresh_counter () = { c_schedules = 0; c_nodes = 0; c_max_depth = 0 }
+let fresh_counter () = { c_schedules = 0; c_nodes = 0; c_max_depth = 0; c_dedup_hits = 0 }
 
 exception Cancelled
-(* Internal: a parallel subtree walker learned that a smaller frontier
-   index already holds a violation, so its own result cannot win. *)
+(* Internal: a parallel subtree walker learned that its result can no
+   longer matter (a smaller frontier index holds a violation in raw mode;
+   any walker does in dedup mode). *)
 
 let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?domains
-    ?(frontier_depth = 4) ~mk () =
+    ?(frontier_depth = 4) ?(dedup = false) ~mk () =
   let workers = Rcons_par.Pool.resolve_domains domains in
   let frontier_depth = max 1 frontier_depth in
   (* The node budget is shared across every domain so that parallel runs
      respect the same global bound as sequential ones. *)
   let nodes_total = Atomic.make 0 in
   let replay prefix =
+    (* Fingerprinting needs every system under its own arena; the arena
+       stays active while the system runs so that lazily created objects
+       keep registering (the explorer runs one system at a time per
+       domain).  The arena active before [explore] is restored on exit. *)
+    if dedup then Heap.activate (Heap.create ());
     let t, check = mk () in
     List.iter
       (fun c ->
@@ -83,6 +125,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
       (List.rev prefix);
     (t, check)
   in
+  let fp_of t = Digest.string (Sim.fingerprint t) in
   let choices t crashes_used =
     let n = Sim.num_procs t in
     let rec collect i acc =
@@ -98,55 +141,227 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     in
     collect (n - 1) []
   in
-  (* One DFS walker.  [stop_depth = Some d] turns nodes at depth d into
-     frontier emissions instead of recursing (phase 1 of the parallel
-     split); [cancelled] is polled at every node by parallel subtree
-     walkers.  The [stop_depth = None], no-cancellation instantiation is
-     the plain sequential explorer. *)
-  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) cnt prefix0
-      depth0 crashes0 =
-    let rec go prefix depth crashes_used =
-      if cancelled () then raise Cancelled;
-      if depth > max_steps then
-        raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix));
-      if depth > cnt.c_max_depth then cnt.c_max_depth <- depth;
-      match stop_depth with
-      | Some d when depth >= d -> emit prefix crashes_used
-      | _ -> (
-          let t, _check = replay prefix in
-          let cs = choices t crashes_used in
-          (* Release the replayed system's pending fibers before recursing:
-             children replay their own copies. *)
-          Sim.abandon t;
-          match cs with
-          | [] -> cnt.c_schedules <- cnt.c_schedules + 1
-          | cs ->
-              List.iter
-                (fun c ->
-                  cnt.c_nodes <- cnt.c_nodes + 1;
-                  let total = Atomic.fetch_and_add nodes_total 1 + 1 in
-                  if total > max_nodes then
-                    raise
-                      (Budget_exceeded
-                         {
-                           schedules = cnt.c_schedules;
-                           nodes = total;
-                           max_depth = cnt.c_max_depth;
-                         });
-                  let crashes_used' =
-                    match c with
-                    | Crash_choice _ -> crashes_used + 1
-                    | Step_choice _ -> crashes_used
-                  in
-                  go (c :: prefix) (depth + 1) crashes_used')
-                cs)
+  (* One DFS walker over the schedule tree (or, with [visited], the state
+     graph).  [stop_depth = Some d] turns nodes at depth d into frontier
+     emissions instead of recursions (phase 1 of the parallel split);
+     [cancelled] is polled at every node by parallel subtree walkers.
+     [sys], when given, is a live system already positioned after
+     [prefix0]; the walker owns it (spine reuse).  The [stop_depth =
+     None], no-cancellation, no-visited instantiation is the plain
+     sequential explorer. *)
+  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) ?visited ?sys cnt
+      prefix0 depth0 crashes0 =
+    let budget_stats total =
+      {
+        schedules = cnt.c_schedules;
+        nodes = total;
+        max_depth = cnt.c_max_depth;
+        dedup_hits = cnt.c_dedup_hits;
+        distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
+      }
     in
-    go prefix0 depth0 crashes0
+    (* Expand one node: [sys] is live, positioned after [prefix], and is
+       consumed (handed to the first child, or abandoned at a leaf / on an
+       exception before the first child takes it). *)
+    let rec expand (t, check) prefix depth crashes_used =
+      let cs = choices t crashes_used in
+      match cs with
+      | [] ->
+          Sim.abandon t;
+          cnt.c_schedules <- cnt.c_schedules + 1
+      | cs ->
+          let live = ref (Some (t, check)) in
+          let take_live () =
+            match !live with
+            | Some sys ->
+                live := None;
+                sys
+            | None -> assert false
+          in
+          let abandon_live () = match !live with Some (t, _) -> Sim.abandon t | None -> () in
+          (try
+             List.iteri
+               (fun k c ->
+                 cnt.c_nodes <- cnt.c_nodes + 1;
+                 let total = Atomic.fetch_and_add nodes_total 1 + 1 in
+                 if total > max_nodes then raise (Budget_exceeded (budget_stats total));
+                 if cancelled () then raise Cancelled;
+                 let depth' = depth + 1 in
+                 let prefix' = c :: prefix in
+                 if depth' > max_steps then
+                   raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix'));
+                 if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
+                 let crashes' =
+                   match c with
+                   | Crash_choice _ -> crashes_used + 1
+                   | Step_choice _ -> crashes_used
+                 in
+                 let frontier = match stop_depth with Some d -> depth' >= d | None -> false in
+                 match visited with
+                 | None ->
+                     if frontier then emit prefix' crashes'
+                     else
+                       let sys' =
+                         if k = 0 then begin
+                           let t, check = take_live () in
+                           apply_choice t c;
+                           (match check () with
+                           | () -> ()
+                           | exception Violation_found msg ->
+                               Sim.abandon t;
+                               raise (Violation (msg, List.rev prefix')));
+                           (t, check)
+                         end
+                         else replay prefix'
+                       in
+                       expand sys' prefix' depth' crashes'
+                 | Some vset ->
+                     (* Dedup mode: position the child system even at the
+                        frontier (its fingerprint must be claimed before
+                        emission so phase 2 expands it exactly once). *)
+                     let sys' =
+                       if k = 0 then begin
+                         let t, check = take_live () in
+                         apply_choice t c;
+                         (match check () with
+                         | () -> ()
+                         | exception Violation_found msg ->
+                             Sim.abandon t;
+                             raise (Violation (msg, List.rev prefix')));
+                         (t, check)
+                       end
+                       else replay prefix'
+                     in
+                     if Rcons_par.Visited.add vset (fp_of (fst sys')) then
+                       if frontier then begin
+                         Sim.abandon (fst sys');
+                         emit prefix' crashes'
+                       end
+                       else expand sys' prefix' depth' crashes'
+                     else begin
+                       cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
+                       Sim.abandon (fst sys')
+                     end)
+               cs
+           with e ->
+             abandon_live ();
+             raise e)
+    in
+    (* Node entry checks, in the seed explorer's order. *)
+    if cancelled () then begin
+      (match sys with Some (t, _) -> Sim.abandon t | None -> ());
+      raise Cancelled
+    end;
+    if depth0 > max_steps then begin
+      (match sys with Some (t, _) -> Sim.abandon t | None -> ());
+      raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix0))
+    end;
+    if depth0 > cnt.c_max_depth then cnt.c_max_depth <- depth0;
+    match stop_depth with
+    | Some d when depth0 >= d ->
+        (match sys with Some (t, _) -> Sim.abandon t | None -> ());
+        emit prefix0 crashes0
+    | _ ->
+        let sys = match sys with Some s -> s | None -> replay prefix0 in
+        expand sys prefix0 depth0 crashes0
   in
-  if workers <= 1 then begin
+  (* Claim the root state in the visited set and hand its live system to
+     the walker (the root is expanded, never reached through an edge). *)
+  let claim_root vset =
+    let t, check = replay [] in
+    ignore (Rcons_par.Visited.add vset (fp_of t));
+    (t, check)
+  in
+  let stats_of ?visited cnt =
+    {
+      schedules = cnt.c_schedules;
+      nodes = cnt.c_nodes;
+      max_depth = cnt.c_max_depth;
+      dedup_hits = cnt.c_dedup_hits;
+      distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
+    }
+  in
+  let run_seq_dedup () =
+    let visited = Rcons_par.Visited.create () in
     let cnt = fresh_counter () in
-    walk cnt [] 0 0;
-    { schedules = cnt.c_schedules; nodes = cnt.c_nodes; max_depth = cnt.c_max_depth }
+    let sys = claim_root visited in
+    walk ~visited ~sys cnt [] 0 0;
+    stats_of ~visited cnt
+  in
+  let saved_arena = Heap.current () in
+  let restore_arena () =
+    match saved_arena with Some a -> Heap.activate a | None -> Heap.deactivate ()
+  in
+  Fun.protect ~finally:restore_arena @@ fun () ->
+  if workers <= 1 then
+    if dedup then run_seq_dedup ()
+    else begin
+      let cnt = fresh_counter () in
+      walk cnt [] 0 0;
+      stats_of cnt
+    end
+  else if dedup then begin
+    (* Parallel dedup: walkers share the visited set; exactly-once
+       expansion makes all statistics schedule-order independent, so no
+       watermark is needed for pass runs.  Any violation falls back to
+       the deterministic sequential dedup pass (see header comment). *)
+    let visited = Rcons_par.Visited.create () in
+    let frontier_rev = ref [] in
+    let cnt0 = fresh_counter () in
+    let violated = Atomic.make false in
+    let phase1 =
+      match
+        let sys = claim_root visited in
+        walk ~stop_depth:frontier_depth
+          ~emit:(fun prefix crashes -> frontier_rev := (prefix, crashes) :: !frontier_rev)
+          ~visited ~sys cnt0 [] 0 0
+      with
+      | () -> Ok ()
+      | exception Violation _ -> Error ()
+    in
+    match phase1 with
+    | Error () -> run_seq_dedup ()
+    | Ok () -> (
+        let frontier = Array.of_list (List.rev !frontier_rev) in
+        let nf = Array.length frontier in
+        let results =
+          Rcons_par.Pool.map ~domains:workers nf (fun i ->
+              if Atomic.get violated then None
+              else
+                let prefix, crashes = frontier.(i) in
+                let cnt = fresh_counter () in
+                match
+                  walk
+                    ~cancelled:(fun () -> Atomic.get violated)
+                    ~visited cnt prefix frontier_depth crashes
+                with
+                | () -> Some (Ok cnt)
+                | exception Cancelled -> None
+                | exception Violation _ ->
+                    Atomic.set violated true;
+                    Some (Error ()))
+        in
+        match
+          Array.exists (function Some (Error ()) -> true | _ -> false) results
+        with
+        | true -> run_seq_dedup ()
+        | false ->
+            let merged =
+              Array.fold_left
+                (fun acc r ->
+                  match r with
+                  | Some (Ok c) ->
+                      {
+                        acc with
+                        schedules = acc.schedules + c.c_schedules;
+                        nodes = acc.nodes + c.c_nodes;
+                        max_depth = max acc.max_depth c.c_max_depth;
+                        dedup_hits = acc.dedup_hits + c.c_dedup_hits;
+                      }
+                  | Some (Error ()) | None -> acc)
+                (stats_of cnt0) results
+            in
+            { merged with distinct_states = Rcons_par.Visited.cardinal visited })
   end
   else begin
     (* Phase 1: sequential walk down to the frontier.  A violation at
@@ -183,14 +398,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
             let prefix, crashes = frontier.(i) in
             let cnt = fresh_counter () in
             match walk ~cancelled:(fun () -> Atomic.get best < i) cnt prefix frontier_depth crashes with
-            | () ->
-                Some
-                  (Ok
-                     {
-                       schedules = cnt.c_schedules;
-                       nodes = cnt.c_nodes;
-                       max_depth = cnt.c_max_depth;
-                     })
+            | () -> Some (Ok (stats_of cnt))
             | exception Cancelled -> None
             | exception Violation (msg, sched) ->
                 lower i;
@@ -213,12 +421,12 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         match r with
         | Some (Ok s) ->
             {
+              acc with
               schedules = acc.schedules + s.schedules;
               nodes = acc.nodes + s.nodes;
               max_depth = max acc.max_depth s.max_depth;
             }
         | Some (Error _) -> acc
         | None -> acc)
-      { schedules = cnt0.c_schedules; nodes = cnt0.c_nodes; max_depth = cnt0.c_max_depth }
-      results
+      (stats_of cnt0) results
   end

@@ -5,23 +5,54 @@
     unfinished process (at most [max_crashes] crashes) -- and runs the
     user invariant after every choice.  OCaml continuations are one-shot,
     so backtracking re-executes the schedule prefix on a fresh system;
-    process bodies must be deterministic.
+    process bodies must be deterministic.  The first child of each node
+    continues the parent's live system instead of replaying ("spine
+    reuse"), so the leftmost descent of every subtree is free.
 
     Pruning: crashing a process that has not stepped since its last
     (re)start is a no-op in the model and is skipped, which also prunes
     consecutive duplicate crashes.
+
+    {2 Deduplication}
+
+    With [?dedup:true] the tree is explored as a {e state graph}: every
+    reached state is fingerprinted ({!Sim.fingerprint} -- non-volatile
+    heap snapshot plus per-process control state) and a concurrent
+    visited set ({!Rcons_par.Visited}) ensures each distinct state is
+    expanded exactly once; later encounters count as {!stats.dedup_hits}
+    and are pruned.  Two schedules reaching the same fingerprint have
+    identical futures, so pass/violation outcomes are preserved, but the
+    statistics change meaning: [nodes] counts state-graph edges walked
+    (not tree edges), [schedules] counts final states reached, and
+    [distinct_states] reports the visited-set size.  Because the
+    fingerprint includes cumulative per-process step/crash counts the
+    state graph is graded by depth, making every statistic independent
+    of visit order -- see the parallel contract below.  Dedup is {b off
+    by default}: raw tree counts are what the paper-facing tables
+    report, and fingerprinting requires all shared state to live in
+    registered containers ({!Cell}, {!Growable}, {!Sim_obj}, the output
+    logs).
 
     {2 Parallel exploration}
 
     With [?domains > 1] the schedule tree is split at [frontier_depth]:
     the top of the tree is walked sequentially, and each frontier subtree
     is re-executed on its own domain with its own fresh systems.
-    Statistics are merged in frontier (= DFS = lexicographic) order and
-    the violation reported, if any, is the one the sequential DFS would
-    have raised first, so completed runs are bit-identical to
-    [?domains:1].  The only caveat is {!Budget_exceeded}: the global
-    [max_nodes] bound is enforced across all domains, but the statistics
-    payload of the exception reflects the domain that tripped it. *)
+
+    In raw mode, statistics are merged in frontier (= DFS =
+    lexicographic) order and the violation reported, if any, is the one
+    the sequential DFS would have raised first, so completed runs are
+    bit-identical to [?domains:1].  In dedup mode, walkers share the
+    visited set; exactly-once expansion makes the merged statistics
+    identical to the sequential dedup run on any domain count, and a
+    violation found by any walker triggers one sequential deduplicating
+    re-run whose first violation is, again, deterministic.  (The dedup
+    violation schedule can differ from the raw-mode one -- dedup prunes
+    some paths to a violating state -- but never between dedup runs.)
+
+    The only caveat is {!Budget_exceeded}: the global [max_nodes] bound
+    is enforced across all domains, but the statistics payload of the
+    exception reflects the domain that tripped it. *)
 
 type choice = Step_choice of int | Crash_choice of int
 
@@ -31,9 +62,19 @@ val pp_schedule : Format.formatter -> choice list -> unit
 exception Violation of string * choice list
 (** An invariant violation, with the schedule that triggered it. *)
 
-(** Exploration totals: completed schedules (leaves), tree edges visited,
-    and the deepest point reached. *)
-type stats = { schedules : int; nodes : int; max_depth : int }
+(** Exploration totals.  [schedules] counts completed schedules (leaves;
+    under dedup, distinct final states), [nodes] counts tree edges
+    visited (under dedup, state-graph edges walked), [max_depth] is the
+    deepest point reached.  [dedup_hits] (edges pruned because their
+    target state was already claimed) and [distinct_states] (visited-set
+    size, root included) are [0] unless [dedup] was on. *)
+type stats = {
+  schedules : int;
+  nodes : int;
+  max_depth : int;
+  dedup_hits : int;
+  distinct_states : int;
+}
 
 exception Violation_found of string
 (** Raised by invariant checkers (via {!fail}) inside [mk]'s checker. *)
@@ -56,6 +97,7 @@ val explore :
   ?max_nodes:int ->
   ?domains:int ->
   ?frontier_depth:int ->
+  ?dedup:bool ->
   mk:(unit -> Sim.t * (unit -> unit)) ->
   unit ->
   stats
@@ -69,4 +111,9 @@ val explore :
     clamped to >= 1) is the depth at which the tree is split.  [mk] is
     then called concurrently from several domains, so it must build
     genuinely fresh, unshared state on every call -- which the replay
-    semantics already require. *)
+    semantics already require.
+
+    [?dedup] (default [false]) turns on state-space deduplication (see
+    above).  Each replayed system is then built under a fresh {!Heap}
+    arena; the arena active before the call, if any, is restored on
+    exit. *)

@@ -3,17 +3,35 @@
    sequence C_1, C_2, ... of Figure 4; footnote 2 explicitly allows an
    unbounded number of objects).  Entries are created on demand with a
    default generator; creation itself is not a process step -- only reads
-   and writes of entries are. *)
+   and writes of entries are.
+
+   Fingerprinting: the whole array registers one canonical digest with
+   the active Heap arena -- the materialized entries sorted by index,
+   with entries still holding their default value elided.  Two
+   executions that materialized different subsets of the (conceptually
+   always-existing) array but wrote the same values therefore digest
+   identically. *)
 
 type 'a t = { default : int -> 'a; table : (int, 'a Cell.t) Hashtbl.t }
 
-let make default = { default; table = Hashtbl.create 16 }
+let make default =
+  let t = { default; table = Hashtbl.create 16 } in
+  Heap.register (fun () ->
+      Hashtbl.fold
+        (fun i c acc ->
+          let d = Heap.digest (Cell.peek c) in
+          if String.equal d (Heap.digest (t.default i)) then acc else (i, d) :: acc)
+        t.table []
+      |> List.sort compare
+      |> List.map (fun (i, d) -> Printf.sprintf "%d=%d:%s" i (String.length d) d)
+      |> String.concat ";");
+  t
 
 let cell t i =
   match Hashtbl.find_opt t.table i with
   | Some c -> c
   | None ->
-      let c = Cell.make (t.default i) in
+      let c = Cell.make_unregistered (t.default i) in
       Hashtbl.add t.table i c;
       c
 

@@ -2,7 +2,12 @@
     (D[1..inf] and the consensus instances C_1, C_2, ... of Figure 4;
     footnote 2 allows unboundedly many objects).  Entries materialize on
     demand with a deterministic default, as if the whole array had
-    existed from the start; only reads and writes of entries are steps. *)
+    existed from the start; only reads and writes of entries are steps.
+
+    The array registers one canonical digest with the active {!Heap}
+    arena (entries sorted by index, default-valued entries elided), so
+    state fingerprints do not depend on which default entries happen to
+    have been materialized. *)
 
 type 'a t
 

@@ -1,0 +1,47 @@
+(* Registry of the simulated non-volatile heap, for state fingerprinting.
+
+   Shared objects (Cell, Growable, Sim_obj, the algorithm-level output
+   logs) live in ordinary OCaml values closed over by process bodies, so
+   the simulator cannot enumerate them by itself.  When an arena is
+   active on the current domain, every object constructor registers a
+   digest thunk for its non-volatile state; [snapshot] then concatenates
+   the digests in registration order, which is deterministic because
+   system builders are deterministic.  With no active arena (the default,
+   and always the case outside [Explore ~dedup:true]) registration is a
+   no-op, so ordinary simulations pay nothing.
+
+   The arena is domain-local: each parallel explorer walker builds and
+   runs one system at a time on its own domain, and lazily created
+   objects (Growable entries, the consensus instances of Figure 4) must
+   keep registering into the arena of the system currently executing. *)
+
+type t = { mutable digests : (unit -> string) list (* reverse registration order *) }
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let create () = { digests = [] }
+let activate a = Domain.DLS.set key (Some a)
+let deactivate () = Domain.DLS.set key None
+let current () = Domain.DLS.get key
+let active () = Domain.DLS.get key <> None
+
+let register f =
+  match Domain.DLS.get key with None -> () | Some a -> a.digests <- f :: a.digests
+
+(* Canonical digest of a plain-data value: with sharing expanded
+   ([No_sharing]) the marshalled bytes coincide with structural equality;
+   [Closures] keeps it total on values capturing functions (code pointers
+   are stable within one binary, which is all one exploration spans). *)
+let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
+
+(* Length-prefix each digest so object boundaries are unambiguous. *)
+let snapshot a =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      let d = f () in
+      Buffer.add_string b (string_of_int (String.length d));
+      Buffer.add_char b ':';
+      Buffer.add_string b d)
+    a.digests;
+  Buffer.contents b

@@ -1,0 +1,54 @@
+(** Registry of the simulated non-volatile heap, for state fingerprinting.
+
+    Shared objects live in ordinary OCaml values closed over by process
+    bodies, so the simulator cannot enumerate them by itself.  While an
+    arena is {!activate}d on the current domain, the shared-object
+    constructors ({!Cell.make}, {!Growable.make}, {!Sim_obj.make}, the
+    algorithm output logs) {!register} a digest thunk for their
+    non-volatile state; {!snapshot} concatenates the digests in
+    registration order.  Registration order is deterministic because
+    system builders are deterministic, which is what makes
+    {!Sim.fingerprint} replay-stable.
+
+    With no active arena — the default, and always the case outside
+    [Explore.explore ~dedup:true] — {!register} is a no-op, so ordinary
+    simulations pay nothing.
+
+    The active arena is domain-local ([Domain.DLS]): each parallel
+    explorer walker builds and runs one system at a time on its own
+    domain, and objects created lazily {e during} execution (Growable
+    entries, the on-demand consensus instances of Figure 4) keep
+    registering into the arena of the system currently running. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, empty arena (not yet active). *)
+
+val activate : t -> unit
+(** Make [a] the current domain's active arena; replaces any previous
+    one.  Callers that nest (the explorer) save {!current} and restore
+    it when done. *)
+
+val deactivate : unit -> unit
+(** No active arena on this domain (registration becomes a no-op). *)
+
+val current : unit -> t option
+
+val active : unit -> bool
+
+val register : (unit -> string) -> unit
+(** Register a digest thunk for one non-volatile object into the active
+    arena; no-op if none.  The thunk is called at every {!snapshot}, so
+    it must digest the object's {e current} state. *)
+
+val digest : 'a -> string
+(** Canonical digest of a plain-data value (Marshal with sharing
+    expanded): byte equality coincides with structural equality.  Values
+    capturing closures are digested by code pointer, which is stable
+    within one binary. *)
+
+val snapshot : t -> string
+(** The concatenated (length-prefixed) digests of every registered
+    object, in registration order: the non-volatile half of a state
+    fingerprint. *)

@@ -28,18 +28,26 @@ let step ?label f = Effect.perform (Step (label, f))
 type proc = {
   id : int;
   body : unit -> unit;
+  tracing : bool; (* record the volatile observation trace (fingerprinting)? *)
   mutable resume : (unit -> unit) option; (* None = this run has finished *)
   mutable discard : (unit -> unit) option; (* unwinds a pending continuation *)
   mutable pending_label : string option; (* label of the suspended access *)
   mutable started : bool; (* has taken a step since its last (re)start *)
   mutable crash_count : int;
   mutable step_count : int;
+  mutable trace : string list;
+      (* digests of the values this run's steps returned, most recent
+         first; cleared on (re)start.  A deterministic body's local state
+         -- continuation, program counter included -- is a function of
+         this sequence, which is what makes [fingerprint] a sound basis
+         for deduplication. *)
 }
 
 type event = Stepped of int | Crash_event of int
 
 type t = {
   procs : proc array;
+  heap : Heap.t option; (* arena active at creation; None = no fingerprinting *)
   mutable total_steps : int;
   mutable events : event list; (* most recent first *)
 }
@@ -60,7 +68,12 @@ let run_body p =
               Some
                 (fun (k : (a, _) continuation) ->
                   p.pending_label <- label;
-                  p.resume <- Some (fun () -> continue k (f ()));
+                  p.resume <-
+                    Some
+                      (fun () ->
+                        let v = f () in
+                        if p.tracing then p.trace <- Heap.digest v :: p.trace;
+                        continue k v);
                   p.discard <-
                     Some
                       (fun () ->
@@ -74,27 +87,31 @@ let arm p =
   p.started <- false;
   p.discard <- None;
   p.pending_label <- None;
+  p.trace <- [];
   p.resume <- Some (fun () -> run_body p)
 
 let create ~n body_of =
+  let heap = Heap.current () in
   let procs =
     Array.init n (fun id ->
         let p =
           {
             id;
             body = body_of id;
+            tracing = heap <> None;
             resume = None;
             discard = None;
             pending_label = None;
             started = false;
             crash_count = 0;
             step_count = 0;
+            trace = [];
           }
         in
         arm p;
         p)
   in
-  { procs; total_steps = 0; events = [] }
+  { procs; heap; total_steps = 0; events = [] }
 
 let num_procs t = Array.length t.procs
 let finished t i = t.procs.(i).resume = None
@@ -153,3 +170,56 @@ let abandon t =
       p.discard <- None;
       p.resume <- None)
     t.procs
+
+(* Canonical fingerprint of the global state: per-process control state
+   plus the non-volatile heap snapshot.
+
+   Per process it records the cumulative step and crash counts, whether
+   the current run has finished, and for unfinished runs the label it is
+   poised on together with the volatile observation trace.  The trace
+   pins the process's whole local state: a deterministic body re-executed
+   from its last (re)start against the same sequence of step results
+   reaches the same continuation.  The cumulative counts make the state
+   graph graded -- every schedule choice increments exactly one of them,
+   so the depth of a state is a function of its fingerprint and the
+   deduplicating explorer's statistics are schedule-order independent.
+
+   Equal fingerprints therefore imply equal futures: same pending
+   continuations, same shared heap, same remaining crash budget
+   (crashes used = sum of the per-process crash counts). *)
+let fingerprint t =
+  let arena =
+    match t.heap with
+    | Some a -> a
+    | None ->
+        invalid_arg
+          "Sim.fingerprint: system was not created under an active Heap arena"
+  in
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun p ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int p.step_count);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int p.crash_count);
+      match p.resume with
+      | None -> Buffer.add_char b 'F'
+      | Some _ ->
+          Buffer.add_char b (if p.started then 'R' else 'I');
+          (match p.pending_label with
+          | None -> ()
+          | Some l ->
+              Buffer.add_char b '#';
+              Buffer.add_string b l);
+          List.iter
+            (fun d ->
+              Buffer.add_char b '.';
+              Buffer.add_string b (string_of_int (String.length d));
+              Buffer.add_char b ':';
+              Buffer.add_string b d)
+            p.trace)
+    t.procs;
+  Buffer.add_char b '@';
+  Buffer.add_string b (Heap.snapshot arena);
+  Buffer.contents b
+

@@ -78,3 +78,21 @@ val abandon : t -> unit
     captured effect continuation leaks its fiber stack, so code that
     builds and discards many systems (the explorer) must call this
     before dropping a system. *)
+
+val fingerprint : t -> string
+(** Canonical fingerprint of the global state, for the deduplicating
+    explorer: the non-volatile heap snapshot of the {!Heap} arena the
+    system was created under, plus each process's control state --
+    cumulative step/crash counts, finished flag, pending label, and the
+    {e volatile observation trace} (digests of the values its steps
+    returned since its last (re)start, which pin a deterministic body's
+    continuation).  Equal fingerprints imply equal futures, provided all
+    shared state lives in registered containers ({!Cell}, {!Growable},
+    {!Sim_obj}, the output logs) and step results are plain data.
+
+    Stable under replay: re-executing the same schedule against a fresh
+    system from the same deterministic builder yields the same
+    fingerprint.
+
+    @raise Invalid_argument if the system was created with no active
+    {!Heap} arena (fingerprinting off). *)

@@ -5,12 +5,19 @@
 
 type ('s, 'o, 'r) t = { mutable state : 's; apply_spec : 's -> 'o -> 's * 'r; obj_name : string }
 
+let register t digest = Heap.register (fun () -> digest t.state)
+
 let make (type s o r)
     (module T : Rcons_spec.Object_type.S with type state = s and type op = o and type resp = r)
     init =
-  { state = init; apply_spec = T.apply; obj_name = T.name }
+  let t = { state = init; apply_spec = T.apply; obj_name = T.name } in
+  register t T.digest_state;
+  t
 
-let of_apply ?(name = "object") ~apply init = { state = init; apply_spec = apply; obj_name = name }
+let of_apply ?(name = "object") ~apply init =
+  let t = { state = init; apply_spec = apply; obj_name = name } in
+  register t Heap.digest;
+  t
 
 let apply t op =
   Sim.step ~label:t.obj_name (fun () ->

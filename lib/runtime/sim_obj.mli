@@ -1,7 +1,11 @@
 (** A shared object of a given sequential type in the simulated
     non-volatile memory.  {!apply} performs one update atomically (one
     step); {!read} is the READ of readable types, returning the entire
-    state without changing it. *)
+    state without changing it.
+
+    Both constructors register the object's state with the active
+    {!Heap} arena (if any): {!make} digests via the type's own
+    [digest_state], {!of_apply} via the generic {!Heap.digest}. *)
 
 type ('s, 'o, 'r) t
 

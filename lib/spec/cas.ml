@@ -20,6 +20,7 @@ let make ~domain : Object_type.t =
         if Stdlib.compare q expected = 0 then (Some v, true) else (q, false)
 
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q

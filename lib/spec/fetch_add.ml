@@ -14,6 +14,7 @@ let make ~modulus ~increments : Object_type.t =
       let name = Printf.sprintf "fetch&add(mod %d)" modulus
       let apply q (Add k) = ((q + k) mod modulus, q)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state = Object_type.pp_int

@@ -39,6 +39,7 @@ let of_table t : Object_type.t =
       let name = t.table_name
       let apply q op = t.transition.(q).(op)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Format.fprintf ppf "q%d" q

@@ -17,6 +17,7 @@ let t : Object_type.t =
       let name = "flip-bit"
       let apply q Flip = (not q, q)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state = Object_type.pp_bool

@@ -21,6 +21,7 @@ let make ~domain : Object_type.t =
       let name = Printf.sprintf "max-register(%d)" domain
       let apply q (Write_max v) = (max q v, q)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state = Object_type.pp_int

@@ -23,6 +23,12 @@ module type S = sig
   val compare_op : op -> op -> int
   val compare_resp : resp -> resp -> int
 
+  val digest_state : state -> string
+  (** Canonical byte representation of a state: two states digest equally
+      iff they compare equal.  Used by the explorer's state-space
+      deduplication to fingerprint non-volatile memory; {!val:digest} is a
+      valid implementation for any state made of plain data. *)
+
   val pp_state : Format.formatter -> state -> unit
   val pp_op : Format.formatter -> op -> unit
   val pp_resp : Format.formatter -> resp -> unit
@@ -40,6 +46,12 @@ module type S = sig
 end
 
 type t = Pack : (module S with type state = 's and type op = 'o and type resp = 'r) -> t
+
+(* Canonical digest for plain-data values: structural equality coincides
+   with byte equality of the marshalled form once sharing is expanded
+   ([No_sharing]); [Closures] keeps the digest total on states that happen
+   to capture functions (code pointers are stable within a binary). *)
+let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
 
 let name (Pack (module T)) = T.name
 let readable (Pack (module T)) = T.readable

@@ -27,6 +27,15 @@ module type S = sig
 
   val compare_op : op -> op -> int
   val compare_resp : resp -> resp -> int
+
+  val digest_state : state -> string
+  (** Canonical byte representation of a state: two states digest equally
+      iff {!compare_state} says they are equal.  The explorer's state
+      deduplication fingerprints non-volatile objects with it.  For states
+      made of plain data (every catalogue type), {!Object_type.digest} is
+      a valid implementation; types whose state has non-canonical
+      representations (e.g. unsorted sets) must canonicalize here. *)
+
   val pp_state : Format.formatter -> state -> unit
   val pp_op : Format.formatter -> op -> unit
   val pp_resp : Format.formatter -> resp -> unit
@@ -53,6 +62,11 @@ type t = Pack : (module S with type state = 's and type op = 'o and type resp = 
 
 val name : t -> string
 val readable : t -> bool
+
+val digest : 'a -> string
+(** Canonical digest for plain-data values ([Marshal] with sharing
+    expanded): byte equality of digests coincides with structural
+    equality.  The default [digest_state] of the whole catalogue. *)
 
 val equal_state :
   (module S with type state = 's and type op = 'o and type resp = 'r) -> 's -> 's -> bool

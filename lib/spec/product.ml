@@ -39,6 +39,11 @@ let make (Object_type.Pack (module T1)) (Object_type.Pack (module T2)) : Object_
       let compare_op = lift_compare T1.compare_op T2.compare_op
       let compare_resp = lift_compare T1.compare_resp T2.compare_resp
 
+      (* Length-prefixed so component digests cannot run into each other. *)
+      let digest_state (s1, s2) =
+        let d1 = T1.digest_state s1 and d2 = T2.digest_state s2 in
+        Printf.sprintf "%d:%s%d:%s" (String.length d1) d1 (String.length d2) d2
+
       let pp_state ppf (s1, s2) =
         Format.fprintf ppf "(%a,%a)" T1.pp_state s1 T2.pp_state s2
 

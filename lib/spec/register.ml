@@ -18,6 +18,7 @@ let make ~domain : Object_type.t =
       let name = Printf.sprintf "register(%d)" domain
       let apply _q (Write v) = (Some v, ())
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q

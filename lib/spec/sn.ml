@@ -33,6 +33,7 @@ let make n : Object_type.t =
             ({ winner; row }, Ack)
 
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Format.fprintf ppf "(%a,%d)" Team.pp q.winner q.row

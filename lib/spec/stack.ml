@@ -29,6 +29,7 @@ let spec ~domain ~readable :
         | Pop, v :: rest -> (rest, Popped (Some v))
 
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Object_type.pp_list Object_type.pp_int ppf q

@@ -20,6 +20,7 @@ let t : Object_type.t =
         | Some w -> (Some w, w)
 
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q

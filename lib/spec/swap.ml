@@ -14,6 +14,7 @@ let make ~domain : Object_type.t =
       let name = Printf.sprintf "swap(%d)" domain
       let apply q (Swap v) = (Some v, q)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state ppf q = Object_type.pp_option Object_type.pp_int ppf q

@@ -19,6 +19,7 @@ let t : Object_type.t =
       let name = "test-and-set"
       let apply q Tas = (true, q)
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Stdlib.compare
       let pp_state = Object_type.pp_bool

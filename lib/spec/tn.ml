@@ -40,6 +40,7 @@ let make n : Object_type.t =
             (q', w)
 
       let compare_state = Stdlib.compare
+      let digest_state = Object_type.digest
       let compare_op = Stdlib.compare
       let compare_resp = Team.compare
 

@@ -36,6 +36,7 @@ let suites =
     ("injection", Test_injection.suite, true);
     ("integration", Test_integration.suite, true);
     ("parallel", Test_parallel.suite, true);
+    ("dedup", Test_dedup.suite, true);
   ]
 
 let () =
