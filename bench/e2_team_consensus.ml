@@ -26,11 +26,16 @@ let system cert =
   (Sim.create ~n body, outputs)
 
 let sweep name cert ~iters ~crash_prob ~seed =
-  let rng = Random.State.make [| seed |] in
+  (* One adversary per sweep: its private RNG threads through all
+     [iters] runs, reproducible from the seed. *)
+  let adv =
+    Adversary.create ~seed:(Util.seed seed)
+      (Adversary.Uniform { crash_prob; max_crashes = 10 })
+  in
   let ok = ref 0 and steps = ref 0 and crashes = ref 0 in
   for _ = 1 to iters do
     let sim, outputs = system cert in
-    crashes := !crashes + Drivers.random ~crash_prob ~max_crashes:10 ~rng sim;
+    crashes := !crashes + (Adversary.run ~record:false adv sim).Adversary.crashes;
     steps := !steps + Sim.total_steps sim;
     if Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs then
       incr ok

@@ -11,6 +11,9 @@
 
 open Rcons.Runtime
 
+let uniform rng crash_prob =
+  Adversary.of_rng ~rng (Adversary.Uniform { crash_prob; max_crashes = 6 })
+
 let run_recoverable rng crash_prob =
   let cert = Option.get (Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 2) in
   let inputs = [| 1; 2 |] in
@@ -18,7 +21,7 @@ let run_recoverable rng crash_prob =
   let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n:2 in
   let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
   let sim = Sim.create ~n:2 body in
-  ignore (Drivers.random ~crash_prob ~max_crashes:6 ~rng sim);
+  ignore (Adversary.run ~record:false (uniform rng crash_prob) sim);
   Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
 
 let run_baseline rng crash_prob =
@@ -28,7 +31,7 @@ let run_baseline rng crash_prob =
   let decide = Rcons.Algo.Tournament.standard_consensus cert ~n:2 in
   let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
   let sim = Sim.create ~n:2 body in
-  match Drivers.random ~crash_prob ~max_crashes:6 ~rng sim with
+  match Adversary.run ~record:false (uniform rng crash_prob) sim with
   | _ -> Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
   | exception Invalid_argument _ -> false
 
@@ -38,7 +41,7 @@ let run () =
   Util.row "%-12s %-24s %s@." "crash-rate" "Figure 2 (sticky bit)" "Ruppert baseline (swap)";
   List.iter
     (fun crash_prob ->
-      let rng = Random.State.make [| 42 |] in
+      let rng = Random.State.make [| Util.seed 42 |] in
       let ok_rc = ref 0 and ok_base = ref 0 in
       for _ = 1 to iters do
         if run_recoverable rng crash_prob then incr ok_rc;
@@ -46,25 +49,26 @@ let run () =
       done;
       Util.row "%-12.2f %6d/%-17d %6d/%d@." crash_prob !ok_rc iters !ok_base iters)
     [ 0.0; 0.05; 0.1; 0.2; 0.4 ];
-  (* negative control: the broken Figure 2 variant is caught *)
-  let cert = Option.get (Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 3) in
-  let size_a, size_b = Rcons.Check.Certificate.recording_teams cert in
-  let n = size_a + size_b in
-  let mk () =
-    let inputs = Array.init n (fun i -> if i < size_a then 111 else 222) in
-    let outputs = Rcons.Algo.Outputs.make ~inputs in
-    let tc = Rcons.Algo.Team_consensus.create ~faithful:false cert in
-    let body pid () =
-      let team, slot =
-        if pid < size_a then (Rcons.Spec.Team.A, pid) else (Rcons.Spec.Team.B, pid - size_a)
-      in
-      Rcons.Algo.Outputs.record outputs pid
-        (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
-    in
-    (Sim.create ~n body, fun () -> Rcons.Algo.Outputs.check_exn ~fail:Explore.fail outputs)
-  in
-  (match Explore.explore ~max_crashes:0 ~mk () with
+  (* negative control: the broken Figure 2 variant is caught, the raw
+     violating schedule is shrunk to a 1-minimal witness, and the result
+     is saved as a replayable artifact under _counterexamples/. *)
+  let module Cex = Rcons.Counterexample in
+  let w = Cex.team2 ~faithful:false ~level:3 "sticky" in
+  let mk = match Cex.mk w with Ok mk -> mk | Error e -> failwith e in
+  (match Explore.explore ~max_crashes:0 ~mk ~fingerprint:(Cex.fingerprint w) () with
   | _ -> Util.row "@.negative control FAILED: broken variant not caught@."
-  | exception Explore.Violation (msg, schedule) ->
-      Util.row "@.negative control: Figure 2 without the |B|=1 guard -> %s@." msg;
-      Util.row "  counterexample schedule: %a@." Explore.pp_schedule schedule)
+  | exception Explore.Violation v ->
+      Util.row "@.negative control: Figure 2 without the |B|=1 guard -> %s@." v.Explore.v_msg;
+      Util.row "  raw counterexample: %d choices@." (List.length v.Explore.v_schedule);
+      let cex = Cex.of_violation w v in
+      (match Cex.minimize cex with
+      | Error e -> Util.row "  shrink FAILED: %s@." e
+      | Ok min ->
+          Util.row "  shrunk to %d: %a@."
+            (List.length min.Cex.schedule)
+            Explore.pp_schedule min.Cex.schedule;
+          (try Unix.mkdir "_counterexamples" 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let file = Filename.concat "_counterexamples" "e3_negative.json" in
+          Cex.save ~file min;
+          Util.row "  artifact: %s (rcons_cli explore --replay %s)@." file file))

@@ -21,11 +21,12 @@ let run_once ~n ~crash_events ~seed =
   let rc = Simultaneous_rc.create ~n ~make_consensus in
   let body pid () = Outputs.record outputs pid (Simultaneous_rc.decide rc pid inputs.(pid)) in
   let sim = Sim.create ~n body in
-  let rng = Random.State.make [| seed |] in
+  let rng = Random.State.make [| Util.seed seed |] in
   let crash_at =
     List.init crash_events (fun i -> 2 + (i * (4 + Random.State.int rng 5)))
   in
-  Drivers.simultaneous ~crash_at sim;
+  ignore
+    (Adversary.run ~record:false (Adversary.create (Adversary.Simultaneous { crash_at })) sim);
   let ok = Outputs.agreement_ok outputs && Outputs.validity_ok outputs in
   (ok, Simultaneous_rc.rounds_used rc, Sim.total_steps sim)
 

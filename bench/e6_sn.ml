@@ -8,7 +8,10 @@ open Rcons.Runtime
 
 let dynamic_check n cert =
   let iters = 200 in
-  let rng = Random.State.make [| n |] in
+  let adv =
+    Adversary.create ~seed:(Util.seed n)
+      (Adversary.Uniform { crash_prob = 0.2; max_crashes = 2 * n })
+  in
   let ok = ref 0 in
   for _ = 1 to iters do
     let inputs = Array.init n (fun i -> 100 + i) in
@@ -16,7 +19,7 @@ let dynamic_check n cert =
     let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n in
     let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
     let sim = Sim.create ~n body in
-    ignore (Drivers.random ~crash_prob:0.2 ~max_crashes:(2 * n) ~rng sim);
+    ignore (Adversary.run ~record:false adv sim);
     if Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs then
       incr ok
   done;

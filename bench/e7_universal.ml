@@ -22,8 +22,11 @@ let run_workload ~n ~ops_per_proc ~crash_prob ~make_rc ~seed =
   in
   let runner = Script.create u ~n ~max_ops:ops_per_proc in
   let sim = Sim.create ~n (fun pid () -> Script.run runner pid scripts.(pid)) in
-  let rng = Random.State.make [| seed |] in
-  let crashes = Drivers.random ~crash_prob ~max_crashes:(3 * n) ~rng sim in
+  let adv =
+    Adversary.create ~seed:(Util.seed seed)
+      (Adversary.Uniform { crash_prob; max_crashes = 3 * n })
+  in
+  let crashes = (Adversary.run ~record:false adv sim).Adversary.crashes in
   let lin =
     Rcons.History.Linearizability.check_history (Derived.lin_spec Derived.counter) history
   in
@@ -75,29 +78,19 @@ let strictness_series () =
     (fun crash_prob ->
       let iters = 300 in
       let rec_ok = ref 0 and strict_ok = ref 0 in
-      let rng = Random.State.make [| 19 |] in
+      let rng = Random.State.make [| Util.seed 19 |] in
       for _ = 1 to iters do
         let history = Rcons.History.History.create () in
         let u = Runiversal.create ~history ~n:2 Derived.counter in
         let scripts = [| [| Derived.Incr; Derived.Incr |]; [| Derived.Incr; Derived.Get |] |] in
         let runner = Script.create u ~n:2 ~max_ops:2 in
         let sim = Sim.create ~n:2 (fun pid () -> Script.run runner pid scripts.(pid)) in
-        (* drive manually so crashes land in the history too *)
-        let crashes = ref 0 in
-        while not (Sim.all_finished sim) do
-          if !crashes < 6 && Random.State.float rng 1.0 < crash_prob then begin
-            let victim = Random.State.int rng 2 in
-            if Sim.started sim victim && not (Sim.finished sim victim) then begin
-              Sim.crash sim victim;
-              Rcons.History.History.crash history ~pid:victim;
-              incr crashes
-            end
-          end
-          else begin
-            let unfinished = List.filter (fun i -> not (Sim.finished sim i)) [ 0; 1 ] in
-            ignore (Sim.step_proc sim (List.nth unfinished (Random.State.int rng (List.length unfinished))))
-          end
-        done;
+        (* the [on_crash] hook lands crashes in the history too *)
+        let adv = Adversary.of_rng ~rng (Adversary.Uniform { crash_prob; max_crashes = 6 }) in
+        ignore
+          (Adversary.run ~record:false
+             ~on_crash:(fun pid -> Rcons.History.History.crash history ~pid)
+             adv sim);
         let v = Rcons.History.Conditions.classify spec history in
         if v.Rcons.History.Conditions.recoverable then incr rec_ok;
         if v.Rcons.History.Conditions.strict then incr strict_ok

@@ -17,8 +17,11 @@ let dynamic_check cert n =
   let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n in
   let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
   let sim = Sim.create ~n body in
-  let rng = Random.State.make [| 77 |] in
-  ignore (Drivers.random ~crash_prob:0.2 ~max_crashes:(2 * n) ~rng sim);
+  let adv =
+    Adversary.create ~seed:(Util.seed 77)
+      (Adversary.Uniform { crash_prob = 0.2; max_crashes = 2 * n })
+  in
+  ignore (Adversary.run ~record:false adv sim);
   Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
 
 let run () =

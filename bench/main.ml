@@ -13,7 +13,10 @@
    so `E1`, `e1` and `--e1` all select the hierarchy table.  The
    [--domains N] flag fans the decision procedures of E1/E5/E6/E11 out
    across N OCaml 5 domains; every table is identical to the sequential
-   one (the pool's determinism contract), only the check-times change. *)
+   one (the pool's determinism contract), only the check-times change.
+   [--seed N] offsets every experiment's adversary seeds by N (default 0
+   = the EXPERIMENTS.md tables); the exhaustive results are seed-free
+   and do not change. *)
 
 let experiments ~domains =
   [
@@ -47,8 +50,14 @@ let () =
     | "--domains" :: v :: rest | "-j" :: v :: rest ->
         domains := int_of_string v;
         strip_domains rest
+    | "--seed" :: v :: rest ->
+        Util.seed_offset := int_of_string v;
+        strip_domains rest
     | arg :: rest when String.length arg > 10 && String.sub arg 0 10 = "--domains=" ->
         domains := int_of_string (String.sub arg 10 (String.length arg - 10));
+        strip_domains rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--seed=" ->
+        Util.seed_offset := int_of_string (String.sub arg 7 (String.length arg - 7));
         strip_domains rest
     | arg :: rest -> arg :: strip_domains rest
   in

@@ -13,3 +13,10 @@ let time_it f =
 
 let level_str l = Format.asprintf "%a" Rcons.Check.Classify.pp_level l
 let bounds_str b = Format.asprintf "%a" Rcons.Check.Classify.pp_bounds_option b
+
+(* Global seed offset ([--seed N] in main): every experiment derives its
+   adversary seeds through [seed], so one flag reruns the whole harness
+   on fresh randomness.  The default offset 0 reproduces EXPERIMENTS.md
+   exactly. *)
+let seed_offset = ref 0
+let seed base = base + !seed_offset

@@ -11,34 +11,12 @@
 open Cmdliner
 
 let parse_type name =
-  let catalogue_alias =
-    [
-      ("register", "register(2)");
-      ("tas", "test-and-set");
-      ("swap", "swap(2)");
-      ("faa", "fetch&add(mod 8)");
-      ("stack", "stack(2)");
-      ("queue", "queue(2)");
-      ("readable-stack", "readable-stack(2)");
-      ("readable-queue", "readable-queue(2)");
-      ("sticky", "sticky-bit");
-      ("cas", "compare&swap(2)");
-      ("consensus", "consensus-object");
-    ]
-  in
-  match List.assoc_opt name catalogue_alias with
-  | Some canonical -> Ok (Rcons.Spec.Catalogue.find canonical).Rcons.Spec.Catalogue.ot
-  | None -> (
-      let parametric mk rest =
-        match int_of_string_opt rest with
-        | Some n when n >= 2 -> Ok (mk n)
-        | Some _ | None -> Error (`Msg (Printf.sprintf "bad parameter in %S" name))
-      in
-      match name.[0] with
-      | 'S' -> parametric Rcons.Spec.Sn.make (String.sub name 1 (String.length name - 1))
-      | 'T' -> parametric Rcons.Spec.Tn.make (String.sub name 1 (String.length name - 1))
-      | _ | (exception Invalid_argument _) ->
-          Error (`Msg (Printf.sprintf "unknown type %S" name)))
+  (* One shared resolver (also used by counterexample artifacts), so a
+     type name means the same thing on the command line and in a
+     committed witness file. *)
+  match Rcons.Spec.Catalogue.of_name name with
+  | Ok ot -> Ok ot
+  | Error msg -> Error (`Msg msg)
 
 let type_conv =
   let printer ppf ot = Format.pp_print_string ppf (Rcons.Spec.Object_type.name ot) in
@@ -144,42 +122,100 @@ let impossible_cmd =
 (* --- explore --- *)
 
 let explore_cmd =
-  let run ot max_crashes domains dedup =
-    match Rcons.Check.Recording.witness ~domains ot 2 with
-    | None ->
-        Format.eprintf "%s has no 2-recording witness@." (Rcons.Spec.Object_type.name ot);
-        1
-    | Some cert ->
-        let mk () =
-          let inputs = [| 111; 222 |] in
-          let outputs = Rcons.Algo.Outputs.make ~inputs in
-          let tc = Rcons.Algo.Team_consensus.create cert in
-          let body pid () =
-            let team, slot =
-              if pid = 0 then (Rcons.Spec.Team.A, 0) else (Rcons.Spec.Team.B, 0)
-            in
-            Rcons.Algo.Outputs.record outputs pid
-              (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
-          in
-          ( Rcons.Runtime.Sim.create ~n:2 body,
-            fun () ->
-              Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
-        in
-        (match Rcons.Runtime.Explore.explore ~max_crashes ~domains ~dedup ~mk () with
-        | stats ->
-            Format.printf
-              "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
-              stats.Rcons.Runtime.Explore.schedules stats.Rcons.Runtime.Explore.nodes
-              stats.Rcons.Runtime.Explore.max_depth;
-            if dedup then
-              Format.printf "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
-                stats.Rcons.Runtime.Explore.distinct_states
-                stats.Rcons.Runtime.Explore.dedup_hits
-        | exception Rcons.Runtime.Explore.Violation (msg, sched) ->
-            Format.printf "VIOLATION: %s at %a@." msg Rcons.Runtime.Explore.pp_schedule sched);
-        0
+  let module E = Rcons.Runtime.Explore in
+  let module Cex = Rcons.Counterexample in
+  let replay_artifact file =
+    match Cex.load ~file with
+    | exception (Sys_error msg | Invalid_argument msg) ->
+        Format.eprintf "cannot load %s: %s@." file msg;
+        2
+    | cex -> (
+        Format.printf "replaying %s: %d-choice schedule%s on %s (%s)@." file
+          (List.length cex.Cex.schedule)
+          (match cex.Cex.shrunk_from with
+          | Some n -> Printf.sprintf " (shrunk from %d)" n
+          | None -> "")
+          cex.Cex.workload.Cex.type_name
+          (if cex.Cex.workload.Cex.faithful then "faithful" else "broken variant");
+        match Cex.replay cex with
+        | `Violated msg ->
+            Format.printf "violation reproduced: %s@." msg;
+            0
+        | `Passed ->
+            Format.printf "STALE WITNESS: the schedule no longer violates@.";
+            1
+        | exception Invalid_argument msg ->
+            Format.eprintf "%s@." msg;
+            2)
   in
-  let ot = Arg.(required & opt (some type_conv) None & info [ "type" ] ~doc:"Object type.") in
+  let run name max_crashes domains dedup broken level node_budget time_budget checkpoint resume
+      save_cex replay_file =
+    match (replay_file, name) with
+    | Some file, _ -> replay_artifact file
+    | None, None ->
+        Format.eprintf "one of --type or --replay is required@.";
+        2
+    | None, Some name -> (
+        let w = Cex.team2 ~faithful:(not broken) ~level name in
+        match Cex.mk w with
+        | Error e ->
+            Format.eprintf "%s@." e;
+            1
+        | Ok mk -> (
+            let resume_from = Option.map (fun file -> E.load_checkpoint ~file) resume in
+            match
+              E.explore ~max_crashes ~domains ~dedup ?node_budget ?time_budget ?resume_from
+                ~fingerprint:(Cex.fingerprint w) ~mk ()
+            with
+            | stats ->
+                Format.printf "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
+                  stats.E.schedules stats.E.nodes stats.E.max_depth;
+                if dedup then
+                  Format.printf
+                    "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
+                    stats.E.distinct_states stats.E.dedup_hits;
+                0
+            | exception E.Interrupted cp ->
+                let file = Option.value checkpoint ~default:"explore.ckpt.json" in
+                E.save_checkpoint ~file cp;
+                let s = E.checkpoint_stats cp in
+                Format.printf
+                  "interrupted: %d schedules, %d nodes explored so far; checkpoint -> %s@.resume \
+                   with: rcons explore --type %s --max-crashes %d%s --resume %s@."
+                  s.E.schedules s.E.nodes file name max_crashes
+                  (if dedup then " --dedup" else "")
+                  file;
+                3
+            | exception E.Violation v ->
+                Format.printf "VIOLATION: %s at %a@." v.E.v_msg E.pp_schedule v.E.v_schedule;
+                (match v.E.v_provenance with
+                | Some p -> Format.printf "provenance: %a@." Rcons.Runtime.Schedule.pp_provenance p
+                | None -> ());
+                (match save_cex with
+                | None -> ()
+                | Some file -> (
+                    let cex = Cex.of_violation w v in
+                    match Cex.minimize cex with
+                    | Ok m ->
+                        Cex.save ~file m;
+                        Format.printf "shrunk %d -> %d choices; witness -> %s@."
+                          (List.length cex.Cex.schedule)
+                          (List.length m.Cex.schedule)
+                          file
+                    | Error e ->
+                        Cex.save ~file cex;
+                        Format.printf "shrink failed (%s); unshrunk witness -> %s@." e file));
+                0
+            | exception Invalid_argument msg ->
+                Format.eprintf "%s@." msg;
+                2))
+  in
+  let type_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "type" ] ~doc:"Object type (catalogue name, alias, or S<n>/T<n>).")
+  in
   let max_crashes =
     Arg.(value & opt int 1 & info [ "max-crashes" ] ~doc:"Crash budget for the explorer.")
   in
@@ -191,10 +227,77 @@ let explore_cmd =
             "Deduplicate states by canonical fingerprint: much faster on multi-crash budgets, \
              but node/schedule counts then refer to the state graph, not the raw schedule tree.")
   in
+  let broken =
+    Arg.(
+      value & flag
+      & info [ "broken" ]
+          ~doc:
+            "Drop the |B| = 1 guard of Figure 2 line 19 (the negative control): with --level 3 \
+             (a two-process team) the explorer then finds an agreement violation.")
+  in
+  let level =
+    Arg.(
+      value & opt int 2
+      & info [ "level" ]
+          ~doc:
+            "Recording level of the certificate instantiating Figure 2 (team sizes come from \
+             the certificate; level n means n processes).")
+  in
+  let node_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ]
+          ~doc:
+            "Interrupt after exploring $(docv) nodes, saving a resumable checkpoint (see \
+             --checkpoint / --resume).  Sequential mode only.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~doc:"Interrupt after $(docv) wall-clock seconds (like --node-budget).")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:"Where to write the checkpoint on interrupt (default explore.ckpt.json).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ]
+          ~doc:
+            "Resume from a checkpoint file; the run continues to final stats bit-identical to \
+             an uninterrupted one.  Pass the same --type/--max-crashes/--dedup.")
+  in
+  let save_cex =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-counterexample" ]
+          ~doc:"On violation, shrink the schedule (ddmin) and write a replayable JSON witness.")
+  in
+  let replay_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:
+            "Replay a counterexample artifact produced by --save-counterexample (or the bench \
+             harness) and report whether the violation still fires.")
+  in
   Cmd.v
     (Cmd.info "explore"
-       ~doc:"Exhaustively model-check Figure 2 on the type's 2-recording certificate")
-    Term.(const run $ ot $ max_crashes $ domains_arg $ dedup)
+       ~doc:
+         "Exhaustively model-check Figure 2 on the type's 2-recording certificate; \
+          budgeted/resumable, with counterexample shrinking and replay")
+    Term.(
+      const run $ type_name $ max_crashes $ domains_arg $ dedup $ broken $ level $ node_budget
+      $ time_budget $ checkpoint $ resume $ save_cex $ replay_file)
 
 (* --- critical --- *)
 

@@ -18,6 +18,9 @@
 
 open Rcons.Runtime
 
+let uniform rng crash_prob =
+  Adversary.of_rng ~rng (Adversary.Uniform { crash_prob; max_crashes = 6 })
+
 let run_figure2 rng crash_prob =
   let cert =
     match Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 2 with
@@ -29,7 +32,7 @@ let run_figure2 rng crash_prob =
   let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n:2 in
   let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
   let sim = Sim.create ~n:2 body in
-  ignore (Drivers.random ~crash_prob ~max_crashes:6 ~rng sim);
+  ignore (Adversary.run ~record:false (uniform rng crash_prob) sim);
   Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
 
 let run_baseline rng crash_prob =
@@ -43,7 +46,7 @@ let run_baseline rng crash_prob =
   let decide = Rcons.Algo.Tournament.standard_consensus cert ~n:2 in
   let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
   let sim = Sim.create ~n:2 body in
-  match Drivers.random ~crash_prob ~max_crashes:6 ~rng sim with
+  match Adversary.run ~record:false (uniform rng crash_prob) sim with
   | _ -> Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
   | exception Invalid_argument _ ->
       (* the baseline's internal invariant broke: also a failure *)
@@ -64,4 +67,30 @@ let () =
       Format.printf "%-12.2f %6d/%d ok %18d/%d ok@." crash_prob !ok_fig2 iters !ok_base iters)
     [ 0.0; 0.05; 0.1; 0.2; 0.4 ];
   Format.printf
-    "@.The recoverable algorithm never fails; the baseline degrades with the crash rate.@."
+    "@.The recoverable algorithm never fails; the baseline degrades with the crash rate.@.";
+  (* The other adversary policies, on the recoverable algorithm: a storm
+     (bursts of simultaneous victims) and a quiescent-window adversary
+     (crashes only in the first half of each 8-step window).  Recording
+     is on, so each run yields a replayable schedule. *)
+  Format.printf "@.Hostile policies against the Figure 2 algorithm (seed 7):@.";
+  let cert = Option.get (Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 2) in
+  List.iter
+    (fun pol ->
+      let inputs = [| 1; 2 |] in
+      let outputs = Rcons.Algo.Outputs.make ~inputs in
+      let decide = Rcons.Algo.Tournament.recoverable_consensus cert ~n:2 in
+      let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
+      let sim = Sim.create ~n:2 body in
+      let o = Adversary.run (Adversary.create ~seed:7 pol) sim in
+      let ok =
+        Rcons.Algo.Outputs.agreement_ok outputs && Rcons.Algo.Outputs.validity_ok outputs
+      in
+      Format.printf "  %-40s %s, %d crashes, %d steps@."
+        (Format.asprintf "%a" Adversary.pp_policy pol)
+        (if ok then "ok" else "VIOLATION")
+        o.Adversary.crashes o.Adversary.steps)
+    [
+      Adversary.Storm { crash_prob = 0.3; burst = 2; max_crashes = 6 };
+      Adversary.Quiescent { period = 8; active = 4; crash_prob = 0.3; max_crashes = 6 };
+      Adversary.Targeted { victims = [ 0 ]; crash_prob = 0.3; max_crashes = 6 };
+    ]

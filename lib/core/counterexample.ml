@@ -1,0 +1,161 @@
+(* Replayable counterexample artifacts; see the interface. *)
+
+module Json = Rcons_runtime.Json
+module Schedule = Rcons_runtime.Schedule
+module Explore = Rcons_runtime.Explore
+module Shrink = Rcons_runtime.Shrink
+module Sim = Rcons_runtime.Sim
+
+type workload = {
+  type_name : string;
+  level : int;
+  faithful : bool;
+  input_a : int;
+  input_b : int;
+}
+
+let team2 ?(faithful = true) ?(level = 2) ?(inputs = (111, 222)) type_name =
+  { type_name; level; faithful; input_a = fst inputs; input_b = snd inputs }
+
+let canonical w =
+  Printf.sprintf "team-consensus:%s:level=%d:faithful=%b:inputs=%d,%d" w.type_name w.level
+    w.faithful w.input_a w.input_b
+
+let fingerprint w = Digest.to_hex (Digest.string (canonical w))
+
+let mk w =
+  match Rcons_spec.Catalogue.of_name w.type_name with
+  | Error e -> Error e
+  | Ok ot -> (
+      match Rcons_check.Recording.witness ot w.level with
+      | None ->
+          Error
+            (Printf.sprintf "%s has no level-%d recording witness"
+               (Rcons_spec.Object_type.name ot) w.level)
+      | Some cert ->
+          let size_a, size_b = Rcons_check.Certificate.recording_teams cert in
+          let n = size_a + size_b in
+          Ok
+            (fun () ->
+              let inputs = Array.init n (fun i -> if i < size_a then w.input_a else w.input_b) in
+              let outputs = Rcons_algo.Outputs.make ~inputs in
+              let tc = Rcons_algo.Team_consensus.create ~faithful:w.faithful cert in
+              let body pid () =
+                let team, slot =
+                  if pid < size_a then (Rcons_spec.Team.A, pid)
+                  else (Rcons_spec.Team.B, pid - size_a)
+                in
+                Rcons_algo.Outputs.record outputs pid
+                  (tc.Rcons_algo.Team_consensus.decide team slot inputs.(pid))
+              in
+              ( Sim.create ~n body,
+                fun () -> Rcons_algo.Outputs.check_exn ~fail:Explore.fail outputs )))
+
+type t = {
+  workload : workload;
+  msg : string;
+  schedule : Schedule.choice list;
+  shrunk_from : int option;
+  provenance : Schedule.provenance option;
+}
+
+let of_violation w (v : Explore.violation) =
+  {
+    workload = w;
+    msg = v.v_msg;
+    schedule = v.v_schedule;
+    shrunk_from = None;
+    provenance = v.v_provenance;
+  }
+
+let minimize ?max_checks t =
+  match mk t.workload with
+  | Error e -> Error e
+  | Ok mk -> (
+      match Shrink.minimize ?max_checks ~mk t.schedule with
+      | None -> Error "schedule does not violate; nothing to shrink"
+      | Some (schedule, msg) ->
+          Ok { t with msg; schedule; shrunk_from = Some (List.length t.schedule) })
+
+let replay t =
+  (match t.provenance with
+  | Some { Schedule.fingerprint = Some fp; _ } when fp <> fingerprint t.workload ->
+      invalid_arg
+        (Printf.sprintf
+           "Counterexample.replay: artifact fingerprint %s does not match workload %s (%s)" fp
+           (fingerprint t.workload) (canonical t.workload))
+  | _ -> ());
+  match mk t.workload with
+  | Error e -> invalid_arg ("Counterexample.replay: " ^ e)
+  | Ok mk -> (
+      match Shrink.check ~mk t.schedule with
+      | Some (msg, _) -> `Violated msg
+      | None -> `Passed)
+
+let workload_to_json w =
+  Json.Obj
+    [
+      ("kind", Json.String "team-consensus");
+      ("type", Json.String w.type_name);
+      ("level", Json.Int w.level);
+      ("faithful", Json.Bool w.faithful);
+      ("input_a", Json.Int w.input_a);
+      ("input_b", Json.Int w.input_b);
+    ]
+
+let workload_of_json j =
+  (match Json.member "kind" j with
+  | Some (Json.String "team-consensus") -> ()
+  | _ -> invalid_arg "Counterexample.of_json: unknown workload kind");
+  {
+    type_name = Json.to_str (Json.field "type" j);
+    level = Json.to_int (Json.field "level" j);
+    faithful = Json.to_bool (Json.field "faithful" j);
+    input_a = Json.to_int (Json.field "input_a" j);
+    input_b = Json.to_int (Json.field "input_b" j);
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("kind", Json.String "counterexample");
+      ("workload", workload_to_json t.workload);
+      ("msg", Json.String t.msg);
+      ("schedule", Schedule.to_json t.schedule);
+      ( "shrunk_from",
+        match t.shrunk_from with Some n -> Json.Int n | None -> Json.Null );
+      ( "provenance",
+        match t.provenance with Some p -> Schedule.provenance_to_json p | None -> Json.Null );
+    ]
+
+let of_json j =
+  (match Json.member "kind" j with
+  | Some (Json.String "counterexample") -> ()
+  | _ -> invalid_arg "Counterexample.of_json: not a counterexample artifact");
+  {
+    workload = workload_of_json (Json.field "workload" j);
+    msg = Json.to_str (Json.field "msg" j);
+    schedule = Schedule.of_json (Json.field "schedule" j);
+    shrunk_from =
+      (match Json.member "shrunk_from" j with
+      | Some Json.Null | None -> None
+      | Some v -> Some (Json.to_int v));
+    provenance =
+      (match Json.member "provenance" j with
+      | Some Json.Null | None -> None
+      | Some v -> Some (Schedule.provenance_of_json v));
+  }
+
+let save ~file t =
+  let oc = open_out file in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+let load ~file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_json (Json.parse_exn s)

@@ -29,6 +29,11 @@ module History = Rcons_history
 module Valency = Rcons_valency
 module Par = Rcons_par
 
+(* Replayable counterexample artifacts (workload + violating schedule +
+   provenance), shared by the CLI's replay command, the bench negative
+   controls, and CI. *)
+module Counterexample = Counterexample
+
 (* Where does a type sit in the two hierarchies?  Decides the n-discerning
    and n-recording levels up to [limit] and derives interval bounds on
    cons(T) and rcons(T).  [domains] fans the underlying witness searches

@@ -30,6 +30,11 @@ module History = Rcons_history
 module Valency = Rcons_valency
 module Par = Rcons_par
 
+module Counterexample = Counterexample
+(** Replayable counterexample artifacts: a violating schedule packaged
+    with a self-describing workload and provenance, as diffable JSON
+    (conventionally under [_counterexamples/]). *)
+
 val classify : ?domains:int -> ?limit:int -> Spec.Object_type.t -> Check.Classify.report
 (** Where does a type sit in the two hierarchies?  Decides the
     n-discerning and n-recording levels up to [limit] (default 8) and

@@ -46,6 +46,15 @@ let mem t key =
 let cardinal t =
   Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards
 
+let elements t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let acc = Hashtbl.fold (fun k () acc -> k :: acc) s.table acc in
+      Mutex.unlock s.lock;
+      acc)
+    [] t.shards
+
 let clear t =
   Array.iter
     (fun s ->

@@ -25,4 +25,9 @@ val cardinal : t -> int
 (** Number of distinct keys.  Only meaningful once concurrent adders
     have quiesced (the explorer reads it after joining its walkers). *)
 
+val elements : t -> string list
+(** All distinct keys, in no particular order.  Like {!cardinal}, only
+    meaningful once concurrent adders have quiesced (used to serialize
+    the explorer's checkpoints). *)
+
 val clear : t -> unit

@@ -1,0 +1,187 @@
+(* Unified seeded crash adversaries; see the interface.
+
+   CAUTION: the [Uniform] loop replicates the historical
+   [Drivers.random] RNG consumption exactly -- one [Random.State.float]
+   draw per crash opportunity (only when the budget lasts and some
+   process has started) and one [Random.State.int] draw per victim or
+   step pick -- and [Simultaneous] replicates [Drivers.simultaneous]'s
+   cursor walk.  Every EXPERIMENTS.md table regenerated under the
+   default seeds depends on this: change the draw order and the tables
+   change. *)
+
+exception Stuck of string
+
+type policy =
+  | Uniform of { crash_prob : float; max_crashes : int }
+  | Storm of { crash_prob : float; burst : int; max_crashes : int }
+  | Targeted of { victims : int list; crash_prob : float; max_crashes : int }
+  | Simultaneous of { crash_at : int list }
+  | Quiescent of { period : int; active : int; crash_prob : float; max_crashes : int }
+
+let pp_policy ppf = function
+  | Uniform { crash_prob; max_crashes } ->
+      Format.fprintf ppf "uniform(p=%g, <=%d crashes)" crash_prob max_crashes
+  | Storm { crash_prob; burst; max_crashes } ->
+      Format.fprintf ppf "storm(p=%g, burst=%d, <=%d crashes)" crash_prob burst max_crashes
+  | Targeted { victims; crash_prob; max_crashes } ->
+      Format.fprintf ppf "targeted({%s}, p=%g, <=%d crashes)"
+        (String.concat "," (List.map string_of_int victims))
+        crash_prob max_crashes
+  | Simultaneous { crash_at } ->
+      Format.fprintf ppf "simultaneous(at %s)"
+        (String.concat "," (List.map string_of_int crash_at))
+  | Quiescent { period; active; crash_prob; max_crashes } ->
+      Format.fprintf ppf "quiescent(%d/%d, p=%g, <=%d crashes)" active period crash_prob
+        max_crashes
+
+let policy_name = function
+  | Uniform _ -> "uniform"
+  | Storm _ -> "storm"
+  | Targeted _ -> "targeted"
+  | Simultaneous _ -> "simultaneous"
+  | Quiescent _ -> "quiescent"
+
+let policy_params = function
+  | Uniform { crash_prob; max_crashes } ->
+      [ ("crash_prob", string_of_float crash_prob); ("max_crashes", string_of_int max_crashes) ]
+  | Storm { crash_prob; burst; max_crashes } ->
+      [
+        ("crash_prob", string_of_float crash_prob);
+        ("burst", string_of_int burst);
+        ("max_crashes", string_of_int max_crashes);
+      ]
+  | Targeted { victims; crash_prob; max_crashes } ->
+      [
+        ("victims", String.concat "," (List.map string_of_int victims));
+        ("crash_prob", string_of_float crash_prob);
+        ("max_crashes", string_of_int max_crashes);
+      ]
+  | Simultaneous { crash_at } ->
+      [ ("crash_at", String.concat "," (List.map string_of_int crash_at)) ]
+  | Quiescent { period; active; crash_prob; max_crashes } ->
+      [
+        ("period", string_of_int period);
+        ("active", string_of_int active);
+        ("crash_prob", string_of_float crash_prob);
+        ("max_crashes", string_of_int max_crashes);
+      ]
+
+type t = { pol : policy; rng : Random.State.t; seed_used : int option }
+
+let create ?(seed = 42) pol = { pol; rng = Random.State.make [| seed |]; seed_used = Some seed }
+let of_rng ~rng pol = { pol; rng; seed_used = None }
+let policy a = a.pol
+let seed a = a.seed_used
+
+let provenance ?fingerprint a =
+  {
+    Schedule.origin = "adversary:" ^ policy_name a.pol;
+    seed = a.seed_used;
+    params = policy_params a.pol;
+    fingerprint;
+  }
+
+type outcome = { crashes : int; steps : int; schedule : Schedule.choice list }
+
+let unfinished t =
+  let n = Sim.num_procs t in
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if Sim.finished t i then acc else i :: acc)
+  in
+  collect (n - 1) []
+
+let run ?(max_steps = 1_000_000) ?(record = true) ?(on_crash = fun _ -> ()) a t =
+  let rng = a.rng in
+  let sched = ref [] in
+  let note c = if record then sched := c :: !sched in
+  let crashes = ref 0 in
+  let steps = ref 0 in
+  let budget = ref max_steps in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let do_crash i =
+    incr crashes;
+    note (Schedule.Crash_choice i);
+    Sim.crash t i;
+    on_crash i
+  in
+  let do_step i =
+    if !budget <= 0 then
+      raise (Stuck (Printf.sprintf "%s: step budget exhausted" (policy_name a.pol)));
+    decr budget;
+    incr steps;
+    note (Schedule.Step_choice i);
+    ignore (Sim.step_proc t i)
+  in
+  (* One probabilistic scheduling point shared by Uniform / Storm /
+     Targeted / Quiescent: [eligible ()] lists crashable processes,
+     [burst] is how many victims one firing claims, [window ()] gates
+     crash opportunities.  The RNG draw order is the contract (see the
+     header comment): the [float] fires only when a crash is actually
+     possible, then one [int] per pick. *)
+  let probabilistic ~crash_prob ~max_crashes ~burst ~eligible ~window =
+    while not (Sim.all_finished t) do
+      let started = eligible () in
+      if
+        !crashes < max_crashes && started <> [] && window ()
+        && Random.State.float rng 1.0 < crash_prob
+      then begin
+        let n_victims = min burst (min (List.length started) (max_crashes - !crashes)) in
+        let rec storm k pool =
+          if k > 0 && pool <> [] then begin
+            let v = pick pool in
+            do_crash v;
+            storm (k - 1) (List.filter (fun i -> i <> v) pool)
+          end
+        in
+        storm n_victims started
+      end
+      else do_step (pick (unfinished t))
+    done
+  in
+  let started_unfinished () = List.filter (fun i -> Sim.started t i) (unfinished t) in
+  (match a.pol with
+  | Uniform { crash_prob; max_crashes } ->
+      probabilistic ~crash_prob ~max_crashes ~burst:1 ~eligible:started_unfinished
+        ~window:(fun () -> true)
+  | Storm { crash_prob; burst; max_crashes } ->
+      probabilistic ~crash_prob ~max_crashes ~burst ~eligible:started_unfinished
+        ~window:(fun () -> true)
+  | Targeted { victims; crash_prob; max_crashes } ->
+      probabilistic ~crash_prob ~max_crashes ~burst:1
+        ~eligible:(fun () -> List.filter (fun i -> List.mem i victims) (started_unfinished ()))
+        ~window:(fun () -> true)
+  | Quiescent { period; active; crash_prob; max_crashes } ->
+      if period <= 0 then invalid_arg "Adversary: Quiescent period must be positive";
+      probabilistic ~crash_prob ~max_crashes ~burst:1 ~eligible:started_unfinished
+        ~window:(fun () -> Sim.total_steps t mod period < active)
+  | Simultaneous { crash_at } ->
+      (* Round-robin with a persistent cursor, crashing everyone at the
+         given total-step thresholds (Drivers.simultaneous, verbatim). *)
+      let remaining = ref (List.sort_uniq compare crash_at) in
+      let n = Sim.num_procs t in
+      let cursor = ref 0 in
+      while not (Sim.all_finished t) do
+        (match !remaining with
+        | at :: rest when Sim.total_steps t >= at ->
+            remaining := rest;
+            for i = 0 to n - 1 do
+              incr crashes;
+              note (Schedule.Crash_choice i);
+              on_crash i
+            done;
+            Sim.crash_all t
+        | _ -> ());
+        let rec advance tries =
+          if tries = 0 then ()
+          else if Sim.finished t !cursor then begin
+            cursor := (!cursor + 1) mod n;
+            advance (tries - 1)
+          end
+        in
+        advance n;
+        if not (Sim.finished t !cursor) then begin
+          do_step !cursor;
+          cursor := (!cursor + 1) mod n
+        end
+      done);
+  { crashes = !crashes; steps = !steps; schedule = List.rev !sched }

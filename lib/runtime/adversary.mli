@@ -1,0 +1,101 @@
+(** Pluggable, seeded crash adversaries: the unified fault-injection
+    engine.
+
+    Every randomized experiment in the repository drives its simulated
+    system through this module instead of hand-rolling crash logic.  An
+    adversary is a {!policy} (which crash model, per Golab's taxonomy of
+    independent vs. simultaneous and bounded vs. unbounded failures)
+    instantiated with a seed; {!run} drives a system to completion,
+    {e recording the schedule it chose}, so every random run is
+    replayable: feeding the recorded schedule to {!Schedule.apply}
+    against a fresh system reproduces the execution choice for choice.
+
+    {2 Determinism contract}
+
+    The schedule produced by [(seed, policy)] is a pure function of the
+    seed, the policy, and the (deterministic) system under test: the
+    adversary draws only from its own [Random.State], never from global
+    or domain-local state, so the same run performed on any domain -- or
+    under any [?domains] count elsewhere in the process -- yields the
+    same schedule bit for bit ([test/test_adversary.ml] checks this
+    across domain counts 1/2/4).
+
+    {2 Stream compatibility}
+
+    [Uniform] consumes its [Random.State] in exactly the order the
+    historical [Drivers.random] did (one [float] draw per crash
+    opportunity, one [int] draw per victim/step pick), and
+    [Simultaneous] replicates [Drivers.simultaneous]; both drivers now
+    delegate here.  This is what keeps every EXPERIMENTS.md table
+    byte-identical under the default seeds after the migration. *)
+
+exception Stuck of string
+(** A bounded run did not finish within its step budget; with finitely
+    many crashes this indicates a violation of recoverable
+    wait-freedom. *)
+
+(** Crash models.  All probabilistic policies stop injecting once
+    [max_crashes] is reached (the paper's finitely-many-crashes
+    assumption), and never crash a process that has not taken a step
+    since its last (re)start (a model no-op). *)
+type policy =
+  | Uniform of { crash_prob : float; max_crashes : int }
+      (** Independent crashes: at each point, with probability
+          [crash_prob], crash a uniformly chosen started process. *)
+  | Storm of { crash_prob : float; burst : int; max_crashes : int }
+      (** Bursty crash-storm: crash opportunities fire as in [Uniform],
+          but each firing crashes up to [burst] distinct started
+          processes back to back -- recoveries pile up. *)
+  | Targeted of { victims : int list; crash_prob : float; max_crashes : int }
+      (** Only processes in [victims] ever crash: an adversary with a
+          grudge (the tournament's critical-path processes, say). *)
+  | Simultaneous of { crash_at : int list }
+      (** The Figure 4 / Section 2 model: round-robin stepping, with
+          {e all} processes crashing whenever the total step count
+          reaches one of [crash_at] (deterministic; no randomness). *)
+  | Quiescent of { period : int; active : int; crash_prob : float; max_crashes : int }
+      (** Crash opportunities only during the first [active] steps of
+          every [period]-step window; the remaining steps are a
+          quiescent window in which recoveries run undisturbed. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val policy_params : policy -> (string * string) list
+(** Rendered policy knobs, for {!Schedule.provenance}. *)
+
+type t
+(** An instantiated adversary: a policy plus a private RNG.  Running it
+    mutates the RNG, so one [t] drives a {e sequence} of runs
+    reproducible from its creation seed (the sweep pattern of the bench
+    experiments). *)
+
+val create : ?seed:int -> policy -> t
+(** [create ~seed policy] (default seed 42) seeds the adversary's
+    private [Random.State] with [[| seed |]]. *)
+
+val of_rng : rng:Random.State.t -> policy -> t
+(** Wrap an externally owned RNG (the legacy driver entry points); the
+    recorded provenance then has no seed. *)
+
+val policy : t -> policy
+val seed : t -> int option
+
+val provenance : ?fingerprint:string -> t -> Schedule.provenance
+(** Self-description of this adversary for violation records and
+    artifacts. *)
+
+type outcome = {
+  crashes : int;  (** crashes injected *)
+  steps : int;  (** total steps driven *)
+  schedule : Schedule.choice list;  (** the full recorded schedule *)
+}
+
+val run : ?max_steps:int -> ?record:bool -> ?on_crash:(int -> unit) -> t -> Sim.t -> outcome
+(** Drive the system to completion under the adversary's policy.
+    [max_steps] (default 1_000_000) bounds the run ({!Stuck} beyond it);
+    [record] (default [true]) controls whether the schedule is kept
+    ([schedule = []] when off -- the high-iteration sweeps that only
+    need counts turn it off); [on_crash pid] is invoked after every
+    injected crash (history instrumentation).
+
+    @raise Stuck when the step budget runs out. *)

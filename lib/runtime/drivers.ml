@@ -1,17 +1,12 @@
-(* Schedule drivers for the simulator: deterministic round-robin, seeded
-   random adversaries with independent crash injection, and the
-   simultaneous-crash model of Section 2. *)
+(* Schedule drivers for the simulator.  The deterministic round-robin
+   driver lives here; the randomized and simultaneous-crash drivers are
+   thin wrappers over the unified [Adversary] engine, kept for their
+   historical signatures.  [Adversary.Uniform] and
+   [Adversary.Simultaneous] replicate the RNG consumption of the
+   original hand-rolled loops exactly, so callers observe unchanged
+   streams (and EXPERIMENTS.md tables are unchanged). *)
 
-exception Stuck of string
-(* Raised when a bounded run does not terminate within its step budget --
-   with finitely many crashes this indicates a violation of recoverable
-   wait-freedom. *)
-
-let unfinished t =
-  let n = Sim.num_procs t in
-  let rec collect i acc = if i < 0 then acc else collect (i - 1) (if Sim.finished t i then acc else i :: acc) in
-  ignore n;
-  collect (n - 1) []
+exception Stuck = Adversary.Stuck
 
 (* Step every unfinished process in turn until all finish. *)
 let round_robin ?(max_steps = 1_000_000) t =
@@ -26,70 +21,20 @@ let round_robin ?(max_steps = 1_000_000) t =
     done
   done
 
-(* Random adversary: at each point, with probability [crash_prob] (and
-   while the crash budget lasts) crash a uniformly chosen started process;
-   otherwise step a uniformly chosen unfinished process.  Because only
-   finitely many crashes are injected, recoverable wait-freedom guarantees
-   termination; exceeding [max_steps] raises [Stuck]. *)
-let random ?(max_steps = 1_000_000) ?(crash_prob = 0.0) ?(max_crashes = 64) ~rng t =
-  let crashes = ref 0 in
-  let budget = ref max_steps in
-  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
-  while not (Sim.all_finished t) do
-    let started =
-      List.filter (fun i -> Sim.started t i) (unfinished t)
-    in
-    if
-      !crashes < max_crashes && started <> []
-      && Random.State.float rng 1.0 < crash_prob
-    then begin
-      incr crashes;
-      Sim.crash t (pick started)
-    end
-    else begin
-      if !budget <= 0 then raise (Stuck "random: step budget exhausted");
-      decr budget;
-      ignore (Sim.step_proc t (pick (unfinished t)))
-    end
-  done;
-  !crashes
+let random ?max_steps ?(crash_prob = 0.0) ?(max_crashes = 64) ~rng t =
+  let a = Adversary.of_rng ~rng (Adversary.Uniform { crash_prob; max_crashes }) in
+  (Adversary.run ?max_steps ~record:false a t).crashes
 
 (* After a completed run, crash a random subset of processes and drive the
    system back to completion: processes that produce an output, crash and
    run their algorithm again must output the same value (agreement covers
    repeated outputs of one process). *)
-let crash_and_rerun ?(max_steps = 1_000_000) ~rng t =
+let crash_and_rerun ?max_steps ~rng t =
   for i = 0 to Sim.num_procs t - 1 do
     if Random.State.bool rng then Sim.crash t i
   done;
-  random ~max_steps ~crash_prob:0.0 ~rng t
+  random ?max_steps ~crash_prob:0.0 ~rng t
 
-(* Simultaneous-crash adversary: run round-robin, crashing *all* processes
-   whenever the total step count reaches one of [crash_at] (ascending). *)
-let simultaneous ?(max_steps = 1_000_000) ~crash_at t =
-  let remaining = ref (List.sort_uniq compare crash_at) in
-  let budget = ref max_steps in
-  let n = Sim.num_procs t in
-  let cursor = ref 0 in
-  while not (Sim.all_finished t) do
-    (match !remaining with
-    | at :: rest when Sim.total_steps t >= at ->
-        remaining := rest;
-        Sim.crash_all t
-    | _ -> ());
-    (* Advance the round-robin cursor to the next unfinished process. *)
-    let rec advance tries =
-      if tries = 0 then ()
-      else if Sim.finished t !cursor then begin
-        cursor := (!cursor + 1) mod n;
-        advance (tries - 1)
-      end
-    in
-    advance n;
-    if not (Sim.finished t !cursor) then begin
-      if !budget <= 0 then raise (Stuck "simultaneous: step budget exhausted");
-      decr budget;
-      ignore (Sim.step_proc t !cursor);
-      cursor := (!cursor + 1) mod n
-    end
-  done
+let simultaneous ?max_steps ~crash_at t =
+  let a = Adversary.create (Adversary.Simultaneous { crash_at }) in
+  ignore (Adversary.run ?max_steps ~record:false a t)

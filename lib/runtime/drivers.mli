@@ -1,11 +1,17 @@
 (** Schedule drivers: deterministic round-robin, seeded random
     adversaries with independent crash injection, and the
-    simultaneous-crash adversary of Section 2. *)
+    simultaneous-crash adversary of Section 2.
+
+    The randomized entry points are compatibility wrappers over
+    {!Adversary} (which records and replays schedules and supports more
+    crash models); they consume their [rng] in exactly the historical
+    order, so existing seeded experiments are unchanged. *)
 
 exception Stuck of string
 (** A bounded run did not terminate within its step budget; with
     finitely many crashes this indicates a violation of recoverable
-    wait-freedom. *)
+    wait-freedom.  (Physically the same exception as
+    {!Adversary.Stuck}: handlers for either catch both.) *)
 
 val round_robin : ?max_steps:int -> Sim.t -> unit
 (** Step every unfinished process in turn until all finish. *)

@@ -46,18 +46,34 @@
    violation the run falls back to one sequential deduplicating pass,
    whose first violation is deterministic -- so seq and par dedup runs
    report identical stats and identical violation schedules, though the
-   dedup violation schedule may differ from the raw-mode one. *)
+   dedup violation schedule may differ from the raw-mode one.
 
-type choice = Step_choice of int | Crash_choice of int
+   Budgets ([node_budget] / [time_budget], sequential mode only): instead
+   of losing an interrupted exhaustive run, the explorer raises
+   [Interrupted] with a serializable checkpoint -- the DFS cursor (the
+   schedule prefix of the first uncounted node), the statistics
+   accumulated so far, and (under dedup) the visited-set contents.
+   Resuming from the checkpoint re-descends the cursor spine without
+   re-counting it, skips the fully-explored subtrees to its left, and
+   continues the DFS exactly where it stopped, so the final statistics
+   are bit-identical to an uninterrupted run. *)
 
-let pp_choice ppf = function
-  | Step_choice i -> Format.fprintf ppf "step(p%d)" i
-  | Crash_choice i -> Format.fprintf ppf "crash(p%d)" i
+type choice = Schedule.choice = Step_choice of int | Crash_choice of int
 
-let pp_schedule ppf cs =
-  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_choice ppf cs
+let pp_choice = Schedule.pp_choice
+let pp_schedule = Schedule.pp
 
-exception Violation of string * choice list
+type violation = {
+  v_msg : string;
+  v_schedule : choice list;
+  v_provenance : Schedule.provenance option;
+      (* None only transiently, inside [explore]: the boundary wrapper
+         attaches the run's provenance before the exception escapes. *)
+}
+
+exception Violation of violation
+
+let violation msg prefix = Violation { v_msg = msg; v_schedule = List.rev prefix; v_provenance = None }
 
 type stats = {
   schedules : int;
@@ -67,9 +83,7 @@ type stats = {
   distinct_states : int; (* 0 unless [dedup] *)
 }
 
-let apply_choice t = function
-  | Step_choice i -> ignore (Sim.step_proc t i)
-  | Crash_choice i -> Sim.crash t i
+let apply_choice = Schedule.apply
 
 (* [mk ()] must build a fresh system together with an invariant checker;
    the checker raises [Violation_found msg] (via [fail]) on a property
@@ -84,6 +98,77 @@ exception Budget_exceeded of stats
    bounds so that this does not happen in CI, but a runaway configuration
    fails fast instead of hanging. *)
 
+(* A resumable cut of an interrupted sequential exploration. *)
+type checkpoint = {
+  cp_cursor : choice list; (* schedule prefix of the first uncounted node *)
+  cp_stats : stats; (* totals accumulated strictly before the cursor *)
+  cp_visited : string list; (* claimed fingerprints (raw digests); [] unless dedup *)
+  cp_max_crashes : int;
+  cp_max_steps : int;
+  cp_dedup : bool;
+}
+
+exception Interrupted of checkpoint
+
+let checkpoint_stats cp = cp.cp_stats
+let checkpoint_cursor cp = cp.cp_cursor
+
+let checkpoint_to_json cp =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("kind", Json.String "explore-checkpoint");
+      ("max_crashes", Json.Int cp.cp_max_crashes);
+      ("max_steps", Json.Int cp.cp_max_steps);
+      ("dedup", Json.Bool cp.cp_dedup);
+      ( "stats",
+        Json.Obj
+          [
+            ("schedules", Json.Int cp.cp_stats.schedules);
+            ("nodes", Json.Int cp.cp_stats.nodes);
+            ("max_depth", Json.Int cp.cp_stats.max_depth);
+            ("dedup_hits", Json.Int cp.cp_stats.dedup_hits);
+            ("distinct_states", Json.Int cp.cp_stats.distinct_states);
+          ] );
+      ("cursor", Schedule.to_json cp.cp_cursor);
+      ("visited", Json.List (List.map (fun d -> Json.String (Digest.to_hex d)) cp.cp_visited));
+    ]
+
+let checkpoint_of_json j =
+  if (match Json.member "kind" j with Some (Json.String "explore-checkpoint") -> false | _ -> true)
+  then invalid_arg "Explore.checkpoint_of_json: not an explore checkpoint";
+  let stats = Json.field "stats" j in
+  let int k v = Json.to_int (Json.field k v) in
+  {
+    cp_cursor = Schedule.of_json (Json.field "cursor" j);
+    cp_stats =
+      {
+        schedules = int "schedules" stats;
+        nodes = int "nodes" stats;
+        max_depth = int "max_depth" stats;
+        dedup_hits = int "dedup_hits" stats;
+        distinct_states = int "distinct_states" stats;
+      };
+    cp_visited =
+      List.map (fun s -> Digest.from_hex (Json.to_str s)) (Json.to_list (Json.field "visited" j));
+    cp_max_crashes = int "max_crashes" j;
+    cp_max_steps = int "max_steps" j;
+    cp_dedup = Json.to_bool (Json.field "dedup" j);
+  }
+
+let save_checkpoint ~file cp =
+  let oc = open_out file in
+  output_string oc (Json.to_string (checkpoint_to_json cp));
+  output_char oc '\n';
+  close_out oc
+
+let load_checkpoint ~file =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  checkpoint_of_json (Json.parse_exn s)
+
 (* Per-walker statistics; one per domain in parallel mode, merged in
    frontier order at the end. *)
 type counter = {
@@ -95,15 +180,41 @@ type counter = {
 
 let fresh_counter () = { c_schedules = 0; c_nodes = 0; c_max_depth = 0; c_dedup_hits = 0 }
 
+let counter_of_stats s =
+  { c_schedules = s.schedules; c_nodes = s.nodes; c_max_depth = s.max_depth; c_dedup_hits = s.dedup_hits }
+
 exception Cancelled
 (* Internal: a parallel subtree walker learned that its result can no
    longer matter (a smaller frontier index holds a violation in raw mode;
    any walker does in dedup mode). *)
 
+exception Interrupt_at of choice list
+(* Internal: a budget tripped at this (forward) cursor prefix; the
+   explore entry point converts it into [Interrupted] with a checkpoint. *)
+
 let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?domains
-    ?(frontier_depth = 4) ?(dedup = false) ~mk () =
+    ?(frontier_depth = 4) ?(dedup = false) ?node_budget ?time_budget ?resume_from ?fingerprint
+    ~mk () =
   let workers = Rcons_par.Pool.resolve_domains domains in
   let frontier_depth = max 1 frontier_depth in
+  let budgeted = node_budget <> None || time_budget <> None in
+  if (budgeted || resume_from <> None) && workers > 1 then
+    invalid_arg "Explore.explore: budgets and resume require domains = 1";
+  (match resume_from with
+  | Some cp ->
+      if cp.cp_max_crashes <> max_crashes || cp.cp_max_steps <> max_steps || cp.cp_dedup <> dedup
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Explore.explore: checkpoint was taken with max_crashes=%d max_steps=%d dedup=%b"
+             cp.cp_max_crashes cp.cp_max_steps cp.cp_dedup)
+  | None -> ());
+  let start_time = if time_budget = None then 0. else Unix.gettimeofday () in
+  (* Budgets bound the work of THIS invocation, not of the whole
+     (possibly many-times-resumed) exploration: a resumed run starts its
+     node allowance afresh above the checkpoint's counters, so chaining
+     [explore ~node_budget ~resume_from] makes steady progress. *)
+  let base_nodes = match resume_from with Some cp -> cp.cp_stats.nodes | None -> 0 in
   (* The node budget is shared across every domain so that parallel runs
      respect the same global bound as sequential ones. *)
   let nodes_total = Atomic.make 0 in
@@ -121,7 +232,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         | () -> ()
         | exception Violation_found msg ->
             Sim.abandon t;
-            raise (Violation (msg, List.rev prefix)))
+            raise (violation msg prefix))
       (List.rev prefix);
     (t, check)
   in
@@ -146,11 +257,14 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
      emissions instead of recursions (phase 1 of the parallel split);
      [cancelled] is polled at every node by parallel subtree walkers.
      [sys], when given, is a live system already positioned after
-     [prefix0]; the walker owns it (spine reuse).  The [stop_depth =
-     None], no-cancellation, no-visited instantiation is the plain
+     [prefix0]; the walker owns it (spine reuse).  [resume] is the
+     remaining cursor path of a checkpoint being resumed: its spine is
+     re-descended without counting, subtrees to its left are skipped, and
+     everything to its right runs normally.  The [stop_depth = None],
+     no-cancellation, no-visited, no-resume instantiation is the plain
      sequential explorer. *)
-  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) ?visited ?sys cnt
-      prefix0 depth0 crashes0 =
+  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) ?visited ?sys
+      ?(resume = []) cnt prefix0 depth0 crashes0 =
     let budget_stats total =
       {
         schedules = cnt.c_schedules;
@@ -160,16 +274,41 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
       }
     in
+    let over_budget () =
+      (match node_budget with Some b -> cnt.c_nodes - base_nodes > b | None -> false)
+      ||
+      match time_budget with
+      | Some tb -> cnt.c_nodes land 255 = 0 && Unix.gettimeofday () -. start_time > tb
+      | None -> false
+    in
     (* Expand one node: [sys] is live, positioned after [prefix], and is
-       consumed (handed to the first child, or abandoned at a leaf / on an
-       exception before the first child takes it). *)
-    let rec expand (t, check) prefix depth crashes_used =
+       consumed (handed to the first descended child, or abandoned at a
+       leaf / after the loop / on an exception). *)
+    let rec expand (t, check) prefix depth crashes_used resume =
       let cs = choices t crashes_used in
       match cs with
       | [] ->
           Sim.abandon t;
           cnt.c_schedules <- cnt.c_schedules + 1
       | cs ->
+          (* Position of the resume cursor among this node's children:
+             children before it were fully explored before the
+             interrupt; the cursor spine itself ([on_path]) was already
+             counted and claimed. *)
+          let resume_idx, resume_rest =
+            match resume with
+            | [] -> (-1, [])
+            | c0 :: rest ->
+                let rec find k = function
+                  | [] ->
+                      invalid_arg
+                        "Explore.explore: resume cursor does not match this workload (different \
+                         mk or parameters?)"
+                  | c :: tl -> if c = c0 then k else find (k + 1) tl
+                in
+                (find 0 cs, rest)
+          in
+          let live_k = max resume_idx 0 in
           let live = ref (Some (t, check)) in
           let take_live () =
             match !live with
@@ -182,67 +321,83 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
           (try
              List.iteri
                (fun k c ->
-                 cnt.c_nodes <- cnt.c_nodes + 1;
-                 let total = Atomic.fetch_and_add nodes_total 1 + 1 in
-                 if total > max_nodes then raise (Budget_exceeded (budget_stats total));
-                 if cancelled () then raise Cancelled;
-                 let depth' = depth + 1 in
-                 let prefix' = c :: prefix in
-                 if depth' > max_steps then
-                   raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix'));
-                 if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
-                 let crashes' =
-                   match c with
-                   | Crash_choice _ -> crashes_used + 1
-                   | Step_choice _ -> crashes_used
-                 in
-                 let frontier = match stop_depth with Some d -> depth' >= d | None -> false in
-                 match visited with
-                 | None ->
-                     if frontier then emit prefix' crashes'
-                     else
-                       let sys' =
-                         if k = 0 then begin
-                           let t, check = take_live () in
-                           apply_choice t c;
-                           (match check () with
-                           | () -> ()
-                           | exception Violation_found msg ->
-                               Sim.abandon t;
-                               raise (Violation (msg, List.rev prefix')));
-                           (t, check)
-                         end
-                         else replay prefix'
-                       in
-                       expand sys' prefix' depth' crashes'
-                 | Some vset ->
-                     (* Dedup mode: position the child system even at the
-                        frontier (its fingerprint must be claimed before
-                        emission so phase 2 expands it exactly once). *)
-                     let sys' =
-                       if k = 0 then begin
-                         let t, check = take_live () in
-                         apply_choice t c;
-                         (match check () with
-                         | () -> ()
-                         | exception Violation_found msg ->
-                             Sim.abandon t;
-                             raise (Violation (msg, List.rev prefix')));
-                         (t, check)
-                       end
-                       else replay prefix'
+                 if k < resume_idx then () (* left of the cursor: already explored *)
+                 else begin
+                   let on_path = k = resume_idx && resume_rest <> [] in
+                   let depth' = depth + 1 in
+                   let prefix' = c :: prefix in
+                   let crashes' =
+                     match c with
+                     | Crash_choice _ -> crashes_used + 1
+                     | Step_choice _ -> crashes_used
+                   in
+                   let position () =
+                     (* A live system positioned after [prefix']; the
+                        first descended child continues the parent's
+                        system (spine reuse), later siblings replay. *)
+                     if k = live_k then begin
+                       let t, check = take_live () in
+                       apply_choice t c;
+                       (match check () with
+                       | () -> ()
+                       | exception Violation_found msg ->
+                           Sim.abandon t;
+                           raise (violation msg prefix'));
+                       (t, check)
+                     end
+                     else replay prefix'
+                   in
+                   if on_path then
+                     (* Re-descend the checkpoint spine: counted and (in
+                        dedup mode) claimed before the interrupt, so
+                        neither is repeated. *)
+                     expand (position ()) prefix' depth' crashes' resume_rest
+                   else begin
+                     cnt.c_nodes <- cnt.c_nodes + 1;
+                     let total = Atomic.fetch_and_add nodes_total 1 + 1 in
+                     if total > max_nodes then raise (Budget_exceeded (budget_stats total));
+                     if budgeted && over_budget () then begin
+                       (* Roll the uncounted-on-resume node back out of
+                          the counters: the checkpoint's statistics are
+                          exactly those of the explored region. *)
+                       cnt.c_nodes <- cnt.c_nodes - 1;
+                       raise (Interrupt_at (List.rev prefix'))
+                     end;
+                     if cancelled () then raise Cancelled;
+                     if depth' > max_steps then
+                       raise (violation "step bound exceeded (wait-freedom?)" prefix');
+                     if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
+                     let frontier =
+                       match stop_depth with Some d -> depth' >= d | None -> false
                      in
-                     if Rcons_par.Visited.add vset (fp_of (fst sys')) then
-                       if frontier then begin
-                         Sim.abandon (fst sys');
-                         emit prefix' crashes'
-                       end
-                       else expand sys' prefix' depth' crashes'
-                     else begin
-                       cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
-                       Sim.abandon (fst sys')
-                     end)
-               cs
+                     match visited with
+                     | None ->
+                         if frontier then emit prefix' crashes'
+                         else expand (position ()) prefix' depth' crashes' []
+                     | Some vset ->
+                         (* Dedup mode: position the child system even at
+                            the frontier (its fingerprint must be claimed
+                            before emission so phase 2 expands it exactly
+                            once). *)
+                         let sys' = position () in
+                         if Rcons_par.Visited.add vset (fp_of (fst sys')) then
+                           if frontier then begin
+                             Sim.abandon (fst sys');
+                             emit prefix' crashes'
+                           end
+                           else expand sys' prefix' depth' crashes' []
+                         else begin
+                           cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
+                           Sim.abandon (fst sys')
+                         end
+                   end
+                 end)
+               cs;
+             (* In raw parallel phase 1 every child of a pre-frontier node
+                can be emitted rather than descended, leaving the parent's
+                system unconsumed; release it rather than leak its fiber
+                stacks. *)
+             abandon_live ()
            with e ->
              abandon_live ();
              raise e)
@@ -254,7 +409,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     end;
     if depth0 > max_steps then begin
       (match sys with Some (t, _) -> Sim.abandon t | None -> ());
-      raise (Violation ("step bound exceeded (wait-freedom?)", List.rev prefix0))
+      raise (violation "step bound exceeded (wait-freedom?)" prefix0)
     end;
     if depth0 > cnt.c_max_depth then cnt.c_max_depth <- depth0;
     match stop_depth with
@@ -263,10 +418,12 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         emit prefix0 crashes0
     | _ ->
         let sys = match sys with Some s -> s | None -> replay prefix0 in
-        expand sys prefix0 depth0 crashes0
+        expand sys prefix0 depth0 crashes0 resume
   in
   (* Claim the root state in the visited set and hand its live system to
-     the walker (the root is expanded, never reached through an edge). *)
+     the walker (the root is expanded, never reached through an edge).
+     On a resumed run the root is already claimed; [Visited.add] is then
+     a no-op returning [false]. *)
   let claim_root vset =
     let t, check = replay [] in
     ignore (Rcons_par.Visited.add vset (fp_of t));
@@ -281,24 +438,80 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
       distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
     }
   in
+  (* Sequential runs (plain and resumed): convert a budget trip into a
+     self-describing checkpoint. *)
+  let run_seq ?visited cnt resume =
+    let restore_visited vset =
+      match resume_from with
+      | Some cp -> List.iter (fun d -> ignore (Rcons_par.Visited.add vset d)) cp.cp_visited
+      | None -> ()
+    in
+    match
+      match visited with
+      | Some vset ->
+          restore_visited vset;
+          let sys = claim_root vset in
+          walk ~visited:vset ~sys ~resume cnt [] 0 0
+      | None -> walk ~resume cnt [] 0 0
+    with
+    | () -> stats_of ?visited cnt
+    | exception Interrupt_at cursor ->
+        raise
+          (Interrupted
+             {
+               cp_cursor = cursor;
+               cp_stats = stats_of ?visited cnt;
+               cp_visited =
+                 (match visited with
+                 | Some v -> Rcons_par.Visited.elements v
+                 | None -> []);
+               cp_max_crashes = max_crashes;
+               cp_max_steps = max_steps;
+               cp_dedup = dedup;
+             })
+  in
   let run_seq_dedup () =
     let visited = Rcons_par.Visited.create () in
-    let cnt = fresh_counter () in
-    let sys = claim_root visited in
-    walk ~visited ~sys cnt [] 0 0;
-    stats_of ~visited cnt
+    let cnt =
+      match resume_from with
+      | Some cp -> counter_of_stats cp.cp_stats
+      | None -> fresh_counter ()
+    in
+    run_seq ~visited cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
   in
   let saved_arena = Heap.current () in
   let restore_arena () =
     match saved_arena with Some a -> Heap.activate a | None -> Heap.deactivate ()
   in
+  let prov =
+    {
+      Schedule.origin = "explore";
+      seed = None;
+      params =
+        [
+          ("max_crashes", string_of_int max_crashes);
+          ("max_steps", string_of_int max_steps);
+          ("dedup", string_of_bool dedup);
+        ];
+      fingerprint;
+    }
+  in
+  let attach_provenance f =
+    try f ()
+    with Violation v when v.v_provenance = None ->
+      raise (Violation { v with v_provenance = Some prov })
+  in
+  attach_provenance @@ fun () ->
   Fun.protect ~finally:restore_arena @@ fun () ->
   if workers <= 1 then
     if dedup then run_seq_dedup ()
     else begin
-      let cnt = fresh_counter () in
-      walk cnt [] 0 0;
-      stats_of cnt
+      let cnt =
+        match resume_from with
+        | Some cp -> counter_of_stats cp.cp_stats
+        | None -> fresh_counter ()
+      in
+      run_seq cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
     end
   else if dedup then begin
     (* Parallel dedup: walkers share the visited set; exactly-once
@@ -379,7 +592,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
           cnt0 [] 0 0
       with
       | () -> None
-      | exception Violation (msg, sched) -> Some (msg, sched)
+      | exception Violation v -> Some v
     in
     let frontier = Array.of_list (List.rev !frontier_rev) in
     let nf = Array.length frontier in
@@ -400,9 +613,9 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
             match walk ~cancelled:(fun () -> Atomic.get best < i) cnt prefix frontier_depth crashes with
             | () -> Some (Ok (stats_of cnt))
             | exception Cancelled -> None
-            | exception Violation (msg, sched) ->
+            | exception Violation v ->
                 lower i;
-                Some (Error (msg, sched)))
+                Some (Error v))
     in
     (* Merge in frontier order: the first subtree violation is exactly the
        first violation of the sequential DFS; a phase-1 violation orders
@@ -412,10 +625,8 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
       |> Seq.filter_map (function Some (Error v) -> Some v | _ -> None)
       |> Seq.uncons
     in
-    (match first_violation with
-    | Some ((msg, sched), _) -> raise (Violation (msg, sched))
-    | None -> ());
-    (match phase1_violation with Some (msg, sched) -> raise (Violation (msg, sched)) | None -> ());
+    (match first_violation with Some (v, _) -> raise (Violation v) | None -> ());
+    (match phase1_violation with Some v -> raise (Violation v) | None -> ());
     Array.fold_left
       (fun acc r ->
         match r with

@@ -52,15 +52,44 @@
 
     The only caveat is {!Budget_exceeded}: the global [max_nodes] bound
     is enforced across all domains, but the statistics payload of the
-    exception reflects the domain that tripped it. *)
+    exception reflects the domain that tripped it.
 
-type choice = Step_choice of int | Crash_choice of int
+    {2 Budgeted, resumable exploration}
+
+    [?node_budget] / [?time_budget] (sequential mode only) turn an
+    unbounded exhaustive run into a {e preemptible} one: when the budget
+    trips, the explorer raises {!Interrupted} carrying a serializable
+    {!checkpoint} -- the DFS cursor (the schedule prefix of the first
+    node {e not yet counted}), the statistics of everything already
+    explored, and (under dedup) the visited-set contents.  Passing the
+    checkpoint back via [?resume_from] re-descends the cursor spine
+    without re-counting it, skips the fully-explored subtrees to its
+    left, and continues the DFS exactly where it stopped: the final
+    statistics -- and any violation found -- are {b bit-identical} to an
+    uninterrupted run, no matter how many times the run is cut and
+    resumed.  Checkpoints serialize to JSON ({!save_checkpoint} /
+    {!load_checkpoint}) and embed the parameters they were taken under;
+    resuming with different [max_crashes] / [max_steps] / [dedup] is
+    refused. *)
+
+type choice = Schedule.choice = Step_choice of int | Crash_choice of int
 
 val pp_choice : Format.formatter -> choice -> unit
 val pp_schedule : Format.formatter -> choice list -> unit
 
-exception Violation of string * choice list
-(** An invariant violation, with the schedule that triggered it. *)
+(** An invariant violation: the offending schedule plus the provenance
+    of the run that found it (origin, parameters, workload fingerprint
+    -- see {!Schedule.provenance}).  [v_provenance] is always [Some]
+    when the exception escapes {!explore}; it is [None] only for
+    violations raised by other layers that attach their own provenance
+    (the adversary harnesses). *)
+type violation = {
+  v_msg : string;
+  v_schedule : choice list;
+  v_provenance : Schedule.provenance option;
+}
+
+exception Violation of violation
 
 (** Exploration totals.  [schedules] counts completed schedules (leaves;
     under dedup, distinct final states), [nodes] counts tree edges
@@ -88,8 +117,31 @@ exception Budget_exceeded of stats
     hanging.  Catching it turns the run into bounded (partial)
     exploration: no violation found within the budget. *)
 
+type checkpoint
+(** A resumable cut of an interrupted sequential exploration: DFS
+    cursor, accumulated statistics, visited-set contents (dedup mode),
+    and the parameters the run was started with. *)
+
+exception Interrupted of checkpoint
+(** A [node_budget] / [time_budget] tripped; the checkpoint resumes the
+    run ({!explore}'s [?resume_from]) to bit-identical final results. *)
+
+val checkpoint_stats : checkpoint -> stats
+(** Statistics of the region explored before the interrupt (these are
+    final for that region: resuming continues from them). *)
+
+val checkpoint_cursor : checkpoint -> choice list
+(** The schedule prefix of the first node the interrupted run did not
+    count. *)
+
+val checkpoint_to_json : checkpoint -> Json.t
+val checkpoint_of_json : Json.t -> checkpoint
+
+val save_checkpoint : file:string -> checkpoint -> unit
+val load_checkpoint : file:string -> checkpoint
+
 val apply_choice : Sim.t -> choice -> unit
-(** Replay one schedule choice against a system. *)
+(** Replay one schedule choice against a system (= {!Schedule.apply}). *)
 
 val explore :
   ?max_crashes:int ->
@@ -98,6 +150,10 @@ val explore :
   ?domains:int ->
   ?frontier_depth:int ->
   ?dedup:bool ->
+  ?node_budget:int ->
+  ?time_budget:float ->
+  ?resume_from:checkpoint ->
+  ?fingerprint:string ->
   mk:(unit -> Sim.t * (unit -> unit)) ->
   unit ->
   stats
@@ -116,4 +172,17 @@ val explore :
     [?dedup] (default [false]) turns on state-space deduplication (see
     above).  Each replayed system is then built under a fresh {!Heap}
     arena; the arena active before the call, if any, is restored on
-    exit. *)
+    exit.
+
+    [?node_budget] (nodes counted by {e this} invocation -- a resumed
+    run gets a fresh allowance) and [?time_budget] (wall seconds, polled
+    every 256 nodes) make the run preemptible: the
+    budget trip raises {!Interrupted} with a {!checkpoint}, and
+    [?resume_from] continues a checkpointed run (see above).  Budgets
+    and resume require [domains = 1] ([Invalid_argument] otherwise);
+    resuming validates that [max_crashes] / [max_steps] / [dedup] match
+    the checkpoint.
+
+    [?fingerprint] is an optional workload identifier (object-type
+    digest) recorded in the violation provenance so that counterexample
+    artifacts can refuse replay against the wrong workload. *)

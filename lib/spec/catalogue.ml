@@ -51,3 +51,34 @@ let all =
 let tn n = entry (Tn.make n) ~cons:n ~rcons_low:(n - 2) ~rcons_high:(n - 1)
 let sn n = entry (Sn.make n) ~cons:n ~rcons_low:n ~rcons_high:n
 let find name = List.find (fun e -> Object_type.name e.ot = name) all
+
+(* Short CLI/artifact aliases for the catalogue names. *)
+let aliases =
+  [
+    ("register", "register(2)");
+    ("tas", "test-and-set");
+    ("swap", "swap(2)");
+    ("faa", "fetch&add(mod 8)");
+    ("stack", "stack(2)");
+    ("queue", "queue(2)");
+    ("readable-stack", "readable-stack(2)");
+    ("readable-queue", "readable-queue(2)");
+    ("sticky", "sticky-bit");
+    ("cas", "compare&swap(2)");
+    ("consensus", "consensus-object");
+  ]
+
+let of_name name =
+  let canonical = match List.assoc_opt name aliases with Some c -> c | None -> name in
+  match find canonical with
+  | e -> Ok e.ot
+  | exception Not_found -> (
+      let parametric mk rest =
+        match int_of_string_opt rest with
+        | Some n when n >= 2 -> Ok (mk n)
+        | Some _ | None -> Error (Printf.sprintf "bad parameter in %S" name)
+      in
+      match name.[0] with
+      | 'S' -> parametric Sn.make (String.sub name 1 (String.length name - 1))
+      | 'T' -> parametric Tn.make (String.sub name 1 (String.length name - 1))
+      | _ | (exception Invalid_argument _) -> Error (Printf.sprintf "unknown type %S" name))

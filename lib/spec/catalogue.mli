@@ -28,3 +28,10 @@ val sn : int -> expectation
 
 val find : string -> expectation
 (** Lookup by {!Object_type.name}.  @raise Not_found otherwise. *)
+
+val of_name : string -> (Object_type.t, string) result
+(** Resolve a user-facing type name: a catalogue name ("sticky-bit"), a
+    short alias ("sticky", "tas", "cas", ...), or a parametric "S<n>" /
+    "T<n>" (n >= 2).  This is the one name resolver shared by the CLI
+    and the counterexample artifacts, so a type name stored in a witness
+    file means the same object type everywhere. *)

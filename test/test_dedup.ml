@@ -115,7 +115,7 @@ let test_dedup_violation_schedule_identical () =
         ~mk:(team_mk ~faithful:false cert) ()
     with
     | (_ : Explore.stats) -> Alcotest.fail "expected a violation"
-    | exception Explore.Violation (msg, sched) ->
+    | exception Explore.Violation { v_msg = msg; v_schedule = sched; _ } ->
         Format.asprintf "%s at %a" msg Explore.pp_schedule sched
   in
   let seq = run () in

@@ -22,6 +22,7 @@ let suites =
     ("theorems", Test_theorems.suite, false);
     ("oracle", Test_oracle.suite, false);
     ("runtime", Test_runtime.suite, false);
+    ("adversary", Test_adversary.suite, false);
     ("team-consensus", Test_team_consensus.suite, true);
     ("tournament", Test_tournament.suite, true);
     ("simultaneous", Test_simultaneous.suite, false);

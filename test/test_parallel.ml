@@ -153,7 +153,7 @@ let test_explore_violation_schedule_identical () =
   let run ?domains ?frontier_depth () =
     match Explore.explore ?domains ?frontier_depth ~max_crashes:0 ~mk:(team_mk ~faithful:false cert) () with
     | (_ : Explore.stats) -> Alcotest.fail "expected a violation"
-    | exception Explore.Violation (msg, sched) ->
+    | exception Explore.Violation { v_msg = msg; v_schedule = sched; _ } ->
         Format.asprintf "%s at %a" msg Explore.pp_schedule sched
   in
   let seq = run () in

@@ -241,9 +241,10 @@ let test_explore_detects_violation () =
   in
   (match Explore.explore ~max_crashes:0 ~mk () with
   | _ -> Alcotest.fail "expected a violation"
-  | exception Explore.Violation (msg, schedule) ->
+  | exception Explore.Violation { v_msg = msg; v_schedule = schedule; v_provenance } ->
       Alcotest.(check string) "message" "disagreement" msg;
-      Alcotest.(check bool) "non-empty schedule" true (schedule <> []))
+      Alcotest.(check bool) "non-empty schedule" true (schedule <> []);
+      Alcotest.(check bool) "provenance attached" true (v_provenance <> None))
 
 let test_explore_crash_pruning () =
   (* crashing an un-started process is pruned, so with one process and one

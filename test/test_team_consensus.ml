@@ -112,7 +112,7 @@ let test_broken_variant_caught () =
       ~max_crashes:0
   with
   | _ -> Alcotest.fail "expected an agreement violation in the broken variant"
-  | exception Explore.Violation (msg, _) ->
+  | exception Explore.Violation { v_msg = msg; _ } ->
       Alcotest.(check string) "agreement violated" "agreement violated" msg
 
 (* The faithful algorithm passes the exact same exploration. *)

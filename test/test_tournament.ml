@@ -136,7 +136,7 @@ let test_standard_consensus_breaks_under_crashes () =
   in
   match Helpers.exhaustive ~mk ~max_crashes:1 with
   | _ -> Alcotest.fail "expected the crash-recovery adversary to break the baseline"
-  | exception Explore.Violation (msg, _) ->
+  | exception Explore.Violation { v_msg = msg; _ } ->
       Alcotest.(check string) "agreement violated" "agreement violated" msg
   | exception Invalid_argument msg ->
       Alcotest.(check bool)
