@@ -16,7 +16,7 @@ test:
 quick:
 	dune build @quick
 
-# Regenerate every experiment table (E1-E11).
+# Regenerate every experiment table (E1-E12).
 bench:
 	dune exec bench/main.exe
 

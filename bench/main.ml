@@ -31,6 +31,7 @@ let experiments ~domains =
     ("E9", E9_robustness.run);
     ("E10", E10_ablation.run);
     ("E11", fun () -> E11_critical.run ~domains ());
+    ("E12", E12_persistency.run);
   ]
 
 let canonical name =

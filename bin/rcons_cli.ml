@@ -24,6 +24,43 @@ let type_conv =
 
 let default_types () = List.map (fun e -> e.Rcons.Spec.Catalogue.ot) Rcons.Spec.Catalogue.all
 
+(* Shared persistency flags: which write-back cache model to run the
+   simulation under, and how many steps each persist barrier costs.
+   [with_persist] installs the requested ambient cache around a run;
+   the default (eager, cost 1) installs nothing, keeping the seed
+   behaviour byte-identical. *)
+module Persist = Rcons.Runtime.Persist
+
+let persist_conv =
+  let parse s =
+    match Persist.policy_of_string s with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Persist.policy_to_string p))
+
+let persist_arg =
+  Arg.(
+    value
+    & opt persist_conv Persist.Eager
+    & info [ "persist" ] ~docv:"MODEL"
+        ~doc:
+          "Persistency model: $(b,eager) (every write durable at its step; the default, and the \
+           seed behaviour), $(b,lossy) (writes sit in a volatile write-back cache and are lost \
+           when their writer crashes before flushing), or $(b,torn) (a crash persists some \
+           cached lines and loses others).")
+
+let flush_cost_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "flush-cost" ] ~docv:"STEPS"
+        ~doc:"Number of simulation steps each persist barrier (flush/fence) takes (default 1).")
+
+let with_persist persist flush_cost f =
+  match (persist, flush_cost) with
+  | Persist.Eager, 1 -> f ()
+  | p, fc -> Persist.scoped ~flush_cost:fc p f
+
 (* Shared --domains flag: every answer is independent of it (the domain
    pool's determinism contract); it only changes wall-clock time. *)
 let domains_arg =
@@ -54,13 +91,14 @@ let classify_cmd =
 (* --- solve --- *)
 
 let solve_cmd =
-  let run ot n crash_prob seed =
+  let run ot n crash_prob seed persist flush_cost =
     match Rcons.solve_rc ot ~n with
     | None ->
         Format.eprintf "%s is not %d-recording: no certificate, cannot solve %d-process RC@."
           (Rcons.Spec.Object_type.name ot) n n;
         1
     | Some decide ->
+        with_persist persist flush_cost @@ fun () ->
         let inputs = Array.init n (fun i -> 100 + i) in
         let outputs = Rcons.Algo.Outputs.make ~inputs in
         let body pid () = Rcons.Algo.Outputs.record outputs pid (decide pid inputs.(pid)) in
@@ -89,7 +127,7 @@ let solve_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Adversary seed.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run recoverable consensus under a random crash adversary")
-    Term.(const run $ ot $ n $ crash_prob $ seed)
+    Term.(const run $ ot $ n $ crash_prob $ seed $ persist_arg $ flush_cost_arg)
 
 (* --- impossible --- *)
 
@@ -125,8 +163,15 @@ let explore_cmd =
   let module E = Rcons.Runtime.Explore in
   let module Cex = Rcons.Counterexample in
   let replay_artifact file =
+    (* Malformed input must fail with one diagnostic line, not a
+       backtrace: [Json.parse_exn] reports the offset and the expected
+       token ([Invalid_argument]), semantic problems (missing fields,
+       wrong field types, unknown names) surface as [Invalid_argument]
+       or [Failure], and unreadable files as [Sys_error].  All exit 2:
+       the artifact is unusable, which is distinct from a stale witness
+       (exit 1). *)
     match Cex.load ~file with
-    | exception (Sys_error msg | Invalid_argument msg) ->
+    | exception (Sys_error msg | Invalid_argument msg | Failure msg) ->
         Format.eprintf "cannot load %s: %s@." file msg;
         2
     | cex -> (
@@ -149,14 +194,14 @@ let explore_cmd =
             2)
   in
   let run name max_crashes domains dedup broken level node_budget time_budget checkpoint resume
-      save_cex replay_file =
+      save_cex replay_file persist annotated flush_cost =
     match (replay_file, name) with
     | Some file, _ -> replay_artifact file
     | None, None ->
         Format.eprintf "one of --type or --replay is required@.";
         2
     | None, Some name -> (
-        let w = Cex.team2 ~faithful:(not broken) ~level name in
+        let w = Cex.team2 ~faithful:(not broken) ~level ~persist ~annotated ~flush_cost name in
         match Cex.mk w with
         | Error e ->
             Format.eprintf "%s@." e;
@@ -164,6 +209,10 @@ let explore_cmd =
         | Ok mk -> (
             let resume_from = Option.map (fun file -> E.load_checkpoint ~file) resume in
             match
+              (* The ambient cache makes the explorer record the policy
+                 in provenance; each replayed system still gets its own
+                 fresh cache (from the workload builder). *)
+              with_persist persist flush_cost @@ fun () ->
               E.explore ~max_crashes ~domains ~dedup ?node_budget ?time_budget ?resume_from
                 ~fingerprint:(Cex.fingerprint w) ~mk ()
             with
@@ -290,6 +339,15 @@ let explore_cmd =
             "Replay a counterexample artifact produced by --save-counterexample (or the bench \
              harness) and report whether the violation still fires.")
   in
+  let annotated =
+    Arg.(
+      value & flag
+      & info [ "annotated" ]
+          ~doc:
+            "Use the persist-annotated Figure 2 variant (flushed writes, link-and-persist \
+             reads): correct under $(b,--persist lossy), where the un-annotated original \
+             violates agreement.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -297,7 +355,8 @@ let explore_cmd =
           budgeted/resumable, with counterexample shrinking and replay")
     Term.(
       const run $ type_name $ max_crashes $ domains_arg $ dedup $ broken $ level $ node_budget
-      $ time_budget $ checkpoint $ resume $ save_cex $ replay_file)
+      $ time_budget $ checkpoint $ resume $ save_cex $ replay_file $ persist_arg $ annotated
+      $ flush_cost_arg)
 
 (* --- critical --- *)
 

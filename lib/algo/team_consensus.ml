@@ -14,7 +14,19 @@
    it to false reproduces the broken variant discussed after Lemma 7: with
    two processes on team B the yield rule violates agreement, and the
    bounded model checker finds the counterexample -- a negative control
-   showing the simulator can detect real bugs. *)
+   showing the simulator can detect real bugs.
+
+   [annotated] (default false) adds persist barriers for the write-back
+   cache model ([Persist]): every shared write is flushed, and every
+   shared read goes through the link-and-persist loop (read, flush the
+   line, re-read until stable) so no decision is ever based on a value
+   that a crash could still revert.  The write-side barrier alone is NOT
+   enough: a reader can observe an un-flushed write, the writer crashes
+   (reverting it), and the reader decides on vanished state -- the
+   violating schedules the lossy explorer finds against the un-annotated
+   code are exactly of this shape.  Under the eager model the barriers
+   are semantic no-ops (but still steps), so the annotated variant stays
+   correct there too. *)
 
 open Rcons_runtime
 open Rcons_check
@@ -30,7 +42,8 @@ type 'v t = {
   size_b : int;
 }
 
-let create ?(faithful = true) (Certificate.Recording ((module T), d)) : 'v t =
+let create ?(faithful = true) ?(annotated = false) (Certificate.Recording ((module T), d)) :
+    'v t =
   (* Orient the teams so that q0 is not in Q_(code team B). *)
   let ops_a, ops_b, q_a, swap =
     if d.q0_in_q_b then (d.ops_b, d.ops_a, d.q_b, true) else (d.ops_a, d.ops_b, d.q_a, false)
@@ -39,39 +52,55 @@ let create ?(faithful = true) (Certificate.Recording ((module T), d)) : 'v t =
   let o = Sim_obj.make (module T) d.q0 in
   let r_a : 'v option Cell.t = Cell.make None in
   let r_b : 'v option Cell.t = Cell.make None in
+  (* Persist-annotated access paths: durable reads, flushed writes. *)
+  let read_o () = if annotated then Sim_obj.read_persist o else Sim_obj.read o in
+  let read_r c = if annotated then Cell.read_persist c else Cell.read c in
+  let write_r c v =
+    Cell.write c v;
+    if annotated then Cell.flush c
+  in
+  let apply_o op =
+    ignore (Sim_obj.apply o op);
+    if annotated then Sim_obj.flush o
+  in
   let in_q_a q = List.exists (fun q' -> T.compare_state q' q = 0) q_a in
   let is_q0 q = T.compare_state q d.q0 = 0 in
+  (* Apply an operation and return the durable state it left O in.  The
+     annotated variant must retry while that state is still [q0]: the
+     apply may have been absorbed as a no-op into ANOTHER process's
+     un-flushed change (O volatilely out of q0), and that change -- our
+     operation's effect with it -- reverts if the other process crashes
+     before flushing.  Once [read_o] (a link-and-persist read) returns a
+     non-q0 state, some operation is durably installed and the decision
+     it induces can never be rolled back.  Un-annotated, this is exactly
+     the original apply-then-read of Figure 2. *)
+  let rec apply_o_durable op =
+    apply_o op;
+    let q = read_o () in
+    if annotated && is_q0 q then apply_o_durable op else q
+  in
   let return_team_a () =
-    match Cell.read r_a with Some v -> v | None -> invalid_arg "Figure 2: R_A empty at return"
+    match read_r r_a with Some v -> v | None -> invalid_arg "Figure 2: R_A empty at return"
   in
   let return_team_b () =
-    match Cell.read r_b with Some v -> v | None -> invalid_arg "Figure 2: R_B empty at return"
+    match read_r r_b with Some v -> v | None -> invalid_arg "Figure 2: R_B empty at return"
   in
   let finish q = if in_q_a q then return_team_a () else return_team_b () in
   (* Figure 2, lines 4-13: code for process [slot] of team A. *)
   let decide_a slot v =
-    Cell.write r_a (Some v);
-    let q = Sim_obj.read o in
-    let q =
-      if is_q0 q then begin
-        ignore (Sim_obj.apply o ops_a.(slot));
-        Sim_obj.read o
-      end
-      else q
-    in
+    write_r r_a (Some v);
+    let q = read_o () in
+    let q = if is_q0 q then apply_o_durable ops_a.(slot) else q in
     finish q
   in
   (* Figure 2, lines 15-28: code for process [slot] of team B. *)
   let decide_b slot v =
-    Cell.write r_b (Some v);
-    let q = Sim_obj.read o in
+    write_r r_b (Some v);
+    let q = read_o () in
     if is_q0 q then
-      if (Array.length ops_b = 1 || not faithful) && Cell.read r_a <> None then
+      if (Array.length ops_b = 1 || not faithful) && read_r r_a <> None then
         return_team_a () (* line 20: the lone team-B process yields *)
-      else begin
-        ignore (Sim_obj.apply o ops_b.(slot));
-        finish (Sim_obj.read o)
-      end
+      else finish (apply_o_durable ops_b.(slot))
     else finish q
   in
   let decide team slot v =

@@ -21,9 +21,18 @@ type 'v t = {
   size_b : int;
 }
 
-val create : ?faithful:bool -> Rcons_check.Certificate.recording -> 'v t
+val create :
+  ?faithful:bool -> ?annotated:bool -> Rcons_check.Certificate.recording -> 'v t
 (** [faithful] (default [true]) keeps the |B| = 1 guard of line 19.
     [~faithful:false] reproduces the broken variant discussed after
     Lemma 7 -- with two processes on the yielding team it violates
     agreement, and the model checker exhibits the paper's bad scenario
-    (a negative control for the whole toolchain). *)
+    (a negative control for the whole toolchain).
+
+    [annotated] (default [false]) adds persist barriers for the
+    write-back cache model: flushed writes and link-and-persist reads
+    ({!Rcons_runtime.Cell.read_persist}), re-establishing agreement
+    under the [Lossy] {!Rcons_runtime.Persist} policy -- the
+    un-annotated original demonstrably violates it (see
+    [_counterexamples/]).  A semantic no-op (but extra steps) under the
+    default eager model. *)

@@ -5,6 +5,7 @@ module Schedule = Rcons_runtime.Schedule
 module Explore = Rcons_runtime.Explore
 module Shrink = Rcons_runtime.Shrink
 module Sim = Rcons_runtime.Sim
+module Persist = Rcons_runtime.Persist
 
 type workload = {
   type_name : string;
@@ -12,14 +13,36 @@ type workload = {
   faithful : bool;
   input_a : int;
   input_b : int;
+  persist : Persist.policy;
+  annotated : bool;
+  flush_cost : int;
 }
 
-let team2 ?(faithful = true) ?(level = 2) ?(inputs = (111, 222)) type_name =
-  { type_name; level; faithful; input_a = fst inputs; input_b = snd inputs }
+let team2 ?(faithful = true) ?(level = 2) ?(inputs = (111, 222)) ?(persist = Persist.Eager)
+    ?(annotated = false) ?(flush_cost = 1) type_name =
+  {
+    type_name;
+    level;
+    faithful;
+    input_a = fst inputs;
+    input_b = snd inputs;
+    persist;
+    annotated;
+    flush_cost;
+  }
 
+(* Non-default persistency parameters are appended as suffixes so the
+   canonical string -- and hence the fingerprint binding committed
+   artifacts to their workload -- is unchanged for every pre-existing
+   (eager) artifact. *)
 let canonical w =
-  Printf.sprintf "team-consensus:%s:level=%d:faithful=%b:inputs=%d,%d" w.type_name w.level
-    w.faithful w.input_a w.input_b
+  Printf.sprintf "team-consensus:%s:level=%d:faithful=%b:inputs=%d,%d%s%s%s" w.type_name
+    w.level w.faithful w.input_a w.input_b
+    (match w.persist with
+    | Persist.Eager -> ""
+    | p -> ":persist=" ^ Persist.policy_to_string p)
+    (if w.annotated then ":annotated" else "")
+    (if w.flush_cost = 1 then "" else Printf.sprintf ":flush-cost=%d" w.flush_cost)
 
 let fingerprint w = Digest.to_hex (Digest.string (canonical w))
 
@@ -37,9 +60,20 @@ let mk w =
           let n = size_a + size_b in
           Ok
             (fun () ->
+              (* Each system gets a fresh cache of the workload's policy
+                 (lines are per-system state); a pure-eager workload
+                 explicitly clears the slot so a stale cache from an
+                 earlier build can never leak in.  [Explore] and
+                 [Shrink] restore the ambient cache on exit. *)
+              (match (w.persist, w.flush_cost) with
+              | Persist.Eager, 1 -> Persist.deactivate ()
+              | p, fc -> Persist.activate (Persist.create ~flush_cost:fc p));
               let inputs = Array.init n (fun i -> if i < size_a then w.input_a else w.input_b) in
               let outputs = Rcons_algo.Outputs.make ~inputs in
-              let tc = Rcons_algo.Team_consensus.create ~faithful:w.faithful cert in
+              let tc =
+                Rcons_algo.Team_consensus.create ~faithful:w.faithful ~annotated:w.annotated
+                  cert
+              in
               let body pid () =
                 let team, slot =
                   if pid < size_a then (Rcons_spec.Team.A, pid)
@@ -101,6 +135,9 @@ let workload_to_json w =
       ("faithful", Json.Bool w.faithful);
       ("input_a", Json.Int w.input_a);
       ("input_b", Json.Int w.input_b);
+      ("persist", Json.String (Persist.policy_to_string w.persist));
+      ("annotated", Json.Bool w.annotated);
+      ("flush_cost", Json.Int w.flush_cost);
     ]
 
 let workload_of_json j =
@@ -113,6 +150,13 @@ let workload_of_json j =
     faithful = Json.to_bool (Json.field "faithful" j);
     input_a = Json.to_int (Json.field "input_a" j);
     input_b = Json.to_int (Json.field "input_b" j);
+    (* Absent in pre-persistency artifacts: default to the seed model. *)
+    persist =
+      (match Json.member "persist" j with
+      | Some v -> Persist.policy_of_string (Json.to_str v)
+      | None -> Persist.Eager);
+    annotated = (match Json.member "annotated" j with Some v -> Json.to_bool v | None -> false);
+    flush_cost = (match Json.member "flush_cost" j with Some v -> Json.to_int v | None -> 1);
   }
 
 let to_json t =

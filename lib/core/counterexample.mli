@@ -30,11 +30,28 @@ type workload = {
   faithful : bool;  (** [false] = the broken variant (negative control) *)
   input_a : int;
   input_b : int;
+  persist : Rcons_runtime.Persist.policy;
+      (** persistency model the system is built under (default [Eager]) *)
+  annotated : bool;  (** persist-annotated algorithm variant *)
+  flush_cost : int;  (** steps per persist barrier *)
 }
 
-val team2 : ?faithful:bool -> ?level:int -> ?inputs:int * int -> string -> workload
+val team2 :
+  ?faithful:bool ->
+  ?level:int ->
+  ?inputs:int * int ->
+  ?persist:Rcons_runtime.Persist.policy ->
+  ?annotated:bool ->
+  ?flush_cost:int ->
+  string ->
+  workload
 (** [team2 name] (defaults: [faithful:true], [level:2],
-    [inputs:(111, 222)]): the standard workload on type [name]. *)
+    [inputs:(111, 222)], [persist:Eager], [annotated:false],
+    [flush_cost:1]): the standard workload on type [name].  The
+    persistency fields only alter the canonical string (and hence the
+    fingerprint) when non-default, so pre-existing eager artifacts keep
+    their stored fingerprints; absent JSON fields likewise default to
+    the eager model. *)
 
 val fingerprint : workload -> string
 (** Hex digest of the canonical workload description; stored in

@@ -18,13 +18,21 @@
      recovery's response closes the original invocation, so this is the
      plain {!Linearizability.check} on the recorded history.
 
-   - *Durable linearizability* (Izraelevitz, Mendes, Scott): defined for
-     system-wide crashes; the effects of operations completed before a
-     crash survive it.  Our histories are totally ordered in global time
-     and responses always certify completion, so on the histories this
-     library produces durability coincides with the plain check; the
-     distinction only reappears with caching/buffering, which the
-     simulator does not model (documented substitution).
+   - *Durable linearizability* (Izraelevitz, Mendes, Scott): the effects
+     of operations persisted before a crash survive it.  Under the seed
+     memory model (write-through: every write durable at its step) this
+     coincided with the plain check; with the [Persist] write-back cache
+     the distinction is real: a completed operation whose effect was
+     never written back may vanish at a crash.  [durable_operations]
+     implements the per-process-crash adaptation: an operation with a
+     [Persist] marker is MANDATORY in the linearization (its effect is
+     durable, so later reads must see it); a completed operation without
+     one MAY vanish if any crash occurs after its invocation (we cannot
+     know from the history alone whose cache line held its effect --
+     helpers write on each other's behalf in RUniversal -- so any crash
+     is conservatively allowed to have destroyed it; this avoids false
+     violation reports), and MUST appear when no crash follows (nothing
+     could have destroyed it).
 
    This module implements the strict variant by re-interpreting each
    operation's latest admissible linearization point: its response index,
@@ -62,11 +70,40 @@ let strictly_linearizable spec history =
 
 let recoverably_linearizable = Linearizability.check_history
 
-(* Classification of one history against both conditions; strict implies
-   recoverable (tighter intervals only restrict the search). *)
-type verdict = { recoverable : bool; strict : bool }
+(* Durable linearizability as an operation transformation over the same
+   Wing & Gong oracle: persisted operations keep their response
+   constraint; un-persisted completed operations followed by any crash
+   become optional-with-free-response ([resp = None], [res = max_int] --
+   exactly how the oracle treats pending operations: they may take
+   effect with any response, or not at all). *)
+let durable_operations history =
+  let events = History.events history in
+  let persisted =
+    List.filter_map (function History.Persist { tag; _ } -> Some tag | _ -> None) events
+  in
+  let last_crash =
+    List.mapi (fun i ev -> (i, ev)) events
+    |> List.fold_left
+         (fun acc -> function i, History.Crash _ -> Some i | _ -> acc)
+         None
+  in
+  let any_crash_after i = match last_crash with Some c -> c > i | None -> false in
+  History.operations history
+  |> List.map (fun (op : _ History.operation) ->
+         if op.resp = None then op (* pending: already optional *)
+         else if List.mem op.op_tag persisted then op (* durable: mandatory *)
+         else if any_crash_after op.inv then { op with resp = None; res = max_int }
+         else op)
+
+let durably_linearizable spec history =
+  Linearizability.check spec (durable_operations history)
+
+(* Classification of one history against the three conditions; strict
+   implies recoverable (tighter intervals only restrict the search). *)
+type verdict = { recoverable : bool; strict : bool; durable : bool }
 
 let classify spec history =
   let recoverable = recoverably_linearizable spec history in
   let strict = recoverable && strictly_linearizable spec history in
-  { recoverable; strict }
+  let durable = durably_linearizable spec history in
+  { recoverable; strict; durable }

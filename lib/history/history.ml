@@ -13,6 +13,10 @@ type ('o, 'r) event =
   | Invoke of { pid : int; tag : int; op : 'o }
   | Response of { pid : int; tag : int; resp : 'r }
   | Crash of { pid : int }
+  | Persist of { pid : int; tag : int }
+      (* the effect of operation [tag] is durable from this point on:
+         recorded by persist-annotated implementations after their
+         barriers complete (write-back cache model, [Persist]) *)
 
 type ('o, 'r) t = { mutable events_rev : ('o, 'r) event list; mutable next_tag : int }
 
@@ -26,6 +30,7 @@ let invoke t ~pid op =
 
 let respond t ~pid ~tag resp = t.events_rev <- Response { pid; tag; resp } :: t.events_rev
 let crash t ~pid = t.events_rev <- Crash { pid } :: t.events_rev
+let persist t ~pid ~tag = t.events_rev <- Persist { pid; tag } :: t.events_rev
 let events t = List.rev t.events_rev
 
 (* One operation extracted from a history: [res] is the index of its
@@ -51,7 +56,7 @@ let operations t =
           match Hashtbl.find_opt by_tag tag with
           | Some o -> Hashtbl.replace by_tag tag { o with resp = Some resp; res = i }
           | None -> invalid_arg "History.operations: response without invocation")
-      | Crash _ -> ())
+      | Crash _ | Persist _ -> ())
     evs;
   Hashtbl.fold (fun _ o acc -> o :: acc) by_tag []
   |> List.sort (fun a b -> compare a.inv b.inv)

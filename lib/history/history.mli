@@ -11,6 +11,11 @@ type ('o, 'r) event =
   | Invoke of { pid : int; tag : int; op : 'o }
   | Response of { pid : int; tag : int; resp : 'r }
   | Crash of { pid : int }
+  | Persist of { pid : int; tag : int }
+      (** The effect of operation [tag] is durable from this point on;
+          recorded by persist-annotated implementations after their
+          write-back barriers complete.  Consumed by
+          [Conditions.durably_linearizable]. *)
 
 type ('o, 'r) t
 
@@ -21,6 +26,7 @@ val invoke : ('o, 'r) t -> pid:int -> 'o -> int
 
 val respond : ('o, 'r) t -> pid:int -> tag:int -> 'r -> unit
 val crash : ('o, 'r) t -> pid:int -> unit
+val persist : ('o, 'r) t -> pid:int -> tag:int -> unit
 val events : ('o, 'r) t -> ('o, 'r) event list
 
 (** One operation extracted from a history; [res = max_int] and

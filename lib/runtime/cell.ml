@@ -1,21 +1,95 @@
 (* Shared read/write registers living in the simulated non-volatile memory.
-   Every access is one atomic step of the calling process. *)
+   Every access is one atomic step of the calling process.
 
-type 'a t = { mutable contents : 'a }
+   Persistency: when a non-eager [Persist] cache is ambient at creation,
+   the cell carries a cache line -- [contents] is the volatile copy every
+   read sees, [persisted] the durable copy a crash may revert to.  With
+   no cache (or an eager one) [line] is [None], [persisted] is unused,
+   and behavior -- including the registered digest -- is bit-identical to
+   the write-through model. *)
+
+type 'a t = {
+  mutable contents : 'a; (* volatile copy: what reads see *)
+  mutable persisted : 'a; (* durable copy: what crashes revert to *)
+  mutable line : Persist.line option;
+}
+
+let alloc v =
+  let c = { contents = v; persisted = v; line = None } in
+  c.line <-
+    Persist.attach
+      ~persist:(fun () -> c.persisted <- c.contents)
+      ~revert:(fun () -> c.contents <- c.persisted);
+  c
 
 (* A cell whose state is digested through some enclosing container's
    registration (Growable) rather than its own. *)
-let make_unregistered v = { contents = v }
+let make_unregistered v = alloc v
 
 let make v =
-  let c = { contents = v } in
-  Heap.register (fun () -> Heap.digest c.contents);
+  let c = alloc v in
+  (match c.line with
+  | None -> Heap.register (fun () -> Heap.digest c.contents)
+  | Some l ->
+      (* The durable copy and the line owner are part of the global
+         state: two executions in which the same value was written but
+         only one flushed it have different futures. *)
+      Heap.register (fun () -> Heap.digest (c.contents, c.persisted, Persist.owner l)));
   c
 
 let read c = Sim.step ~label:"register" (fun () -> c.contents)
-let write c v = Sim.step ~label:"register" (fun () -> c.contents <- v)
+
+(* Silent-store elision: a write whose value is physically identical to
+   the current volatile contents changes nothing, so it is absorbed into
+   the pending delta without re-owning the line -- otherwise a helper
+   re-writing the same node would take ownership of the original
+   writer's un-persisted change and its crash would revert it.  Physical
+   equality is the only safe generic test (cell values may contain
+   closures); it is conservative -- structurally equal but distinct
+   values still dirty the line, which costs nothing but precision. *)
+let write c v =
+  Sim.step ~label:"register" (fun () ->
+      match c.line with
+      | None -> c.contents <- v
+      | Some l ->
+          let changed = not (v == c.contents) in
+          c.contents <- v;
+          if changed then Persist.dirty l)
+
+let flush c = Sim.flush c.line
+let line c = c.line
+
+(* Read a value that is guaranteed durable: read, flush the line, and
+   re-read to confirm the line is CLEAN and the value unchanged -- the
+   link-and-persist pattern.  Value equality alone is not enough: the
+   writer may crash (reverting its write) and re-write the same value
+   between our flush and our re-read, so the two reads match while the
+   flush persisted the reverted state.  A clean line, checked atomically
+   within the re-read step, means contents = persisted, so the returned
+   value is durable.  Always read + flush + read steps per attempt,
+   whatever the policy.  [equal] compares the two reads (default
+   structural; pass [( == )] for values that cannot be compared
+   structurally). *)
+let rec read_persist ?(equal = ( = )) c =
+  let v = read c in
+  flush c;
+  let v', clean =
+    Sim.step ~label:"register" (fun () ->
+        (c.contents, match c.line with None -> true | Some l -> Persist.owner l = None))
+  in
+  if clean && equal v v' then v' else read_persist ~equal c
 
 (* Direct access for set-up and checking code running outside the
-   simulation (not a process step). *)
+   simulation (not a process step).  A [poke] from set-up code is
+   durable; a [poke] from inside a step (the read-modify-write of
+   [One_shot.decide]) dirties the line like any other write. *)
 let peek c = c.contents
-let poke c v = c.contents <- v
+let peek_persisted c = c.persisted
+
+let poke c v =
+  match c.line with
+  | None -> c.contents <- v
+  | Some l ->
+      let changed = not (v == c.contents) in
+      c.contents <- v;
+      if changed then Persist.dirty l

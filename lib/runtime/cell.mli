@@ -3,7 +3,12 @@
 
     {!make} registers the cell's contents with the active {!Heap} arena
     (if any) so state fingerprints cover it; cell contents must therefore
-    be plain data (digestable with {!Heap.digest}). *)
+    be plain data (digestable with {!Heap.digest}).
+
+    When a non-eager {!Persist} cache is ambient at creation time the
+    cell carries a cache line: writes land in the volatile copy (which
+    all reads see -- coherence) and become durable only at a {!flush},
+    {!Sim.fence}, or implicitly per the cache policy's crash rule. *)
 
 type 'a t
 
@@ -12,12 +17,33 @@ val make : 'a -> 'a t
 val make_unregistered : 'a -> 'a t
 (** A cell that does {e not} register with the active {!Heap} arena;
     for containers (e.g. {!Growable}) that register one canonical digest
-    for all their entries instead. *)
+    for all their entries instead.  Still acquires a cache line. *)
 
 val read : 'a t -> 'a
 val write : 'a t -> 'a -> unit
 
+val flush : 'a t -> unit
+(** Persist barrier for this cell ({!Sim.flush} on its line): after it,
+    the last written value cannot be lost to a crash.  Any process may
+    flush any cell.  A no-op (but still a step) under eager. *)
+
+val read_persist : ?equal:('a -> 'a -> bool) -> 'a t -> 'a
+(** Read a value that is guaranteed durable: read, {!flush}, re-read,
+    and retry until both reads agree (link-and-persist).  Exactly
+    read + flush + read steps per attempt under every policy.  [equal]
+    defaults to structural equality; pass [( == )] for values that
+    cannot be structurally compared (e.g. closures). *)
+
+val line : 'a t -> Persist.line option
+(** The cell's cache line, if it has one. *)
+
 val peek : 'a t -> 'a
 (** Direct access for set-up/checking code outside the simulation. *)
 
+val peek_persisted : 'a t -> 'a
+(** The durable copy (equals {!peek} when the line is clean or absent). *)
+
 val poke : 'a t -> 'a -> unit
+(** Out-of-simulation write: durable immediately.  From inside a step
+    (a read-modify-write such as [One_shot.decide]) it dirties the
+    line like any other write. *)

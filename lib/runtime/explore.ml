@@ -218,16 +218,48 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
   (* The node budget is shared across every domain so that parallel runs
      respect the same global bound as sequential ones. *)
   let nodes_total = Atomic.make 0 in
+  (* The ambient persistency policy, captured here so worker domains
+     (whose domain-local slots start empty) build their systems under the
+     same policy as the main domain. *)
+  let persist_cfg =
+    match Persist.current () with
+    | Some c -> Some (Persist.policy c, Persist.flush_cost c)
+    | None -> None
+  in
+  (* A process body may raise (e.g. an algorithm hitting an assertion
+     because a crash reverted an un-flushed write under a lossy cache);
+     that is a property violation with a schedule, not an explorer
+     error.  [prefix] is most-recent-first, as [violation] expects. *)
+  let guarded_apply t c prefix =
+    match apply_choice t c with
+    | () -> ()
+    | exception ((Invalid_argument m | Failure m) as e) ->
+        (* Distinguish harness bugs from algorithm failures: our own
+           defensive checks name their [Sim.]/[Schedule.] entry point. *)
+        if String.starts_with ~prefix:"Sim." m || String.starts_with ~prefix:"Schedule." m
+        then raise e
+        else begin
+          Sim.abandon t;
+          raise (violation ("uncaught exception in process body: " ^ m) prefix)
+        end
+  in
   let replay prefix =
     (* Fingerprinting needs every system under its own arena; the arena
        stays active while the system runs so that lazily created objects
        keep registering (the explorer runs one system at a time per
-       domain).  The arena active before [explore] is restored on exit. *)
+       domain).  The arena active before [explore] is restored on exit.
+       Likewise every system gets a fresh write-back cache of the ambient
+       policy: lines are per-system state. *)
     if dedup then Heap.activate (Heap.create ());
+    (match persist_cfg with
+    | Some (p, fc) -> Persist.activate (Persist.create ~flush_cost:fc p)
+    | None -> ());
     let t, check = mk () in
+    let applied = ref [] in
     List.iter
       (fun c ->
-        apply_choice t c;
+        applied := c :: !applied;
+        guarded_apply t c !applied;
         match check () with
         | () -> ()
         | exception Violation_found msg ->
@@ -337,7 +369,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                         system (spine reuse), later siblings replay. *)
                      if k = live_k then begin
                        let t, check = take_live () in
-                       apply_choice t c;
+                       guarded_apply t c prefix';
                        (match check () with
                        | () -> ()
                        | exception Violation_found msg ->
@@ -480,19 +512,26 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     run_seq ~visited cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
   in
   let saved_arena = Heap.current () in
+  let saved_cache = Persist.current () in
   let restore_arena () =
-    match saved_arena with Some a -> Heap.activate a | None -> Heap.deactivate ()
+    (match saved_arena with Some a -> Heap.activate a | None -> Heap.deactivate ());
+    Persist.restore saved_cache
   in
   let prov =
     {
       Schedule.origin = "explore";
       seed = None;
       params =
-        [
-          ("max_crashes", string_of_int max_crashes);
-          ("max_steps", string_of_int max_steps);
-          ("dedup", string_of_bool dedup);
-        ];
+        ([
+           ("max_crashes", string_of_int max_crashes);
+           ("max_steps", string_of_int max_steps);
+           ("dedup", string_of_bool dedup);
+         ]
+        @
+        match persist_cfg with
+        | None | Some (Persist.Eager, 1) -> []
+        | Some (p, fc) ->
+            [ ("persist", Persist.policy_to_string p); ("flush_cost", string_of_int fc) ]);
       fingerprint;
     }
   in

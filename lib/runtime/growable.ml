@@ -20,10 +20,32 @@ let make default =
       Hashtbl.fold
         (fun i c acc ->
           let d = Heap.digest (Cell.peek c) in
-          if String.equal d (Heap.digest (t.default i)) then acc else (i, d) :: acc)
+          let entry =
+            match Cell.line c with
+            | None ->
+                (* Write-through entry: the seed format, byte-identical. *)
+                if String.equal d (Heap.digest (t.default i)) then None
+                else Some (Printf.sprintf "%d=%d:%s" i (String.length d) d)
+            | Some l ->
+                (* Cache-backed entry: the durable copy and the line
+                   owner are part of the state; elide only entries that
+                   are clean and default in both copies. *)
+                let dp = Heap.digest (Cell.peek_persisted c) in
+                let ddef = Heap.digest (t.default i) in
+                if Persist.owner l = None && String.equal d ddef && String.equal dp ddef
+                then None
+                else
+                  Some
+                    (Printf.sprintf "%d=%d:%s~%d:%s~%s" i (String.length d) d
+                       (String.length dp) dp
+                       (match Persist.owner l with
+                       | None -> "c"
+                       | Some p -> "p" ^ string_of_int p))
+          in
+          match entry with None -> acc | Some e -> (i, e) :: acc)
         t.table []
       |> List.sort compare
-      |> List.map (fun (i, d) -> Printf.sprintf "%d=%d:%s" i (String.length d) d)
+      |> List.map snd
       |> String.concat ";");
   t
 
@@ -37,4 +59,8 @@ let cell t i =
 
 let read t i = Cell.read (cell t i)
 let write t i v = Cell.write (cell t i) v
+
+(* Persist barrier for one entry (materializing it if needed -- creation
+   is not a step, the barrier is). *)
+let flush t i = Cell.flush (cell t i)
 let peek t i = Cell.peek (cell t i)

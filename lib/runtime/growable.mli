@@ -15,4 +15,11 @@ val make : (int -> 'a) -> 'a t
 val cell : 'a t -> int -> 'a Cell.t
 val read : 'a t -> int -> 'a
 val write : 'a t -> int -> 'a -> unit
+
+val flush : 'a t -> int -> unit
+(** Persist barrier for entry [i] (see {!Cell.flush}).  Entries acquire
+    cache lines when a non-eager {!Persist} cache is ambient at their
+    materialization; the canonical digest then also covers each entry's
+    durable copy and line owner. *)
+
 val peek : 'a t -> int -> 'a

@@ -1,0 +1,173 @@
+(* Pluggable persistency model: a volatile write-back cache between the
+   simulated processes and the non-volatile heap.
+
+   The seed model ([Eager], the default) idealizes persistent memory:
+   every shared write is durable the instant the step executes, so a
+   crash only destroys process-local state.  Real persistent-memory
+   systems -- the setting of Golab's recoverable-consensus work
+   (arXiv:1804.10597) and of detectable objects (arXiv:2002.11378) --
+   interpose a volatile cache: a store becomes durable only once its
+   cache line is written back, explicitly (CLWB/flush, fence) or at the
+   hardware's whim.  This module models the adversarial end of that
+   spectrum:
+
+   - [Eager]  -- write-through; today's model, bit-identical behavior.
+   - [Lossy]  -- a crash of process p reverts every cache line whose
+                 latest write was by p and has not been flushed.
+   - [Torn]   -- like [Lossy], but each of p's dirty lines independently
+                 either persists or reverts, by a deterministic parity
+                 rule, modelling a partial write-back racing the crash.
+
+   Coherence is unaffected: processes always read the latest (volatile)
+   value.  Only crash recovery observes the durable copy.
+
+   A cache line is one shared location (a [Cell], a [Growable] entry, a
+   [Sim_obj]); the owning module supplies [persist]/[revert] closures
+   that copy volatile state to the durable shadow and back.  A line is
+   *dirty* when its volatile and durable copies may differ, and records
+   the pid of the last writer -- crashes are per-process in this model
+   (the paper's independent-crash setting), so only the crashing
+   process's write-backs are lost.
+
+   Determinism and fingerprint soundness.  Everything here is a
+   deterministic function of the schedule: lines get consecutive ids in
+   creation order (system builders are deterministic), the [Torn] rule
+   persists a dirty line of pid p on p's k-th crash iff
+   (line id + k) mod 2 = 0 -- a function of data already present in
+   [Sim.fingerprint] (per-process crash counts) and of per-line digests
+   (owners are digested by the owning objects), never of the order in
+   which the dirty set is traversed.  Equal fingerprints therefore still
+   imply equal futures and explorer deduplication stays sound.
+
+   Like [Heap] arenas, a cache is ambient and domain-local: [activate]
+   installs it for the current domain, object constructors attach lines
+   to whatever cache is ambient at creation time (none, or an [Eager]
+   cache => no line, zero overhead, byte-identical digests), and [Sim]
+   captures the ambient cache at [create] so crashes reach the right
+   cache even if the ambient one has moved on (the deduplicating
+   explorer's spine reuse does exactly that). *)
+
+type policy = Eager | Lossy | Torn
+
+let policy_to_string = function Eager -> "eager" | Lossy -> "lossy" | Torn -> "torn"
+
+let policy_of_string = function
+  | "eager" -> Eager
+  | "lossy" -> Lossy
+  | "torn" -> Torn
+  | s -> invalid_arg (Printf.sprintf "Persist.policy_of_string: %S (want eager|lossy|torn)" s)
+
+type cache = {
+  policy : policy;
+  flush_cost : int; (* simulated steps per flush/fence barrier *)
+  mutable next_id : int;
+  mutable dirty_lines : line list; (* exactly the lines with owner <> None *)
+}
+
+and line = {
+  id : int;
+  cache : cache;
+  mutable owner : int option; (* pid of the latest writer; None = clean *)
+  persist_now : unit -> unit; (* durable copy <- volatile copy *)
+  revert_now : unit -> unit; (* volatile copy <- durable copy *)
+}
+
+let create ?(flush_cost = 1) policy =
+  if flush_cost < 1 then
+    invalid_arg (Printf.sprintf "Persist.create: flush_cost %d < 1" flush_cost);
+  { policy; flush_cost; next_id = 0; dirty_lines = [] }
+
+let policy c = c.policy
+let flush_cost c = c.flush_cost
+let owner l = l.owner
+let cache_of l = l.cache
+
+(* Ambient cache for the current domain (mirror of the [Heap] arena). *)
+let key : cache option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let activate c = Domain.DLS.set key (Some c)
+let deactivate () = Domain.DLS.set key None
+let current () = Domain.DLS.get key
+let restore saved = Domain.DLS.set key saved
+
+(* The step context: which (cache, pid) is executing a simulator step
+   right now on this domain.  [Sim.step_proc] brackets each step of a
+   cache-backed system with it; writes performed outside any step
+   (set-up [poke]s) see no context and persist immediately. *)
+let ctx : (cache * int) option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let in_step c pid f =
+  Domain.DLS.set ctx (Some (c, pid));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx None) f
+
+let attach ~persist ~revert =
+  match Domain.DLS.get key with
+  | None -> None
+  | Some c when c.policy = Eager -> None (* write-through: no shadow copy needed *)
+  | Some c ->
+      let l = { id = c.next_id; cache = c; owner = None; persist_now = persist; revert_now = revert } in
+      c.next_id <- c.next_id + 1;
+      Some l
+
+let unlist l = l.cache.dirty_lines <- List.filter (fun l' -> l' != l) l.cache.dirty_lines
+
+(* A write just landed on [l]'s volatile copy. *)
+let dirty l =
+  match Domain.DLS.get ctx with
+  | Some (_, pid) ->
+      if l.owner = None then l.cache.dirty_lines <- l :: l.cache.dirty_lines;
+      l.owner <- Some pid
+  | None ->
+      (* outside any simulated step: set-up / checker writes are durable *)
+      l.persist_now ();
+      if l.owner <> None then begin
+        l.owner <- None;
+        unlist l
+      end
+
+(* Write-back one line (the body of a flush barrier step).  Any process
+   may flush any line, as on real hardware. *)
+let flush_line l =
+  if l.owner <> None then begin
+    l.persist_now ();
+    l.owner <- None;
+    unlist l
+  end
+
+(* Write-back every line last written by the process executing the
+   current step (the body of a fence barrier step). *)
+let fence_here () =
+  match Domain.DLS.get ctx with
+  | None -> ()
+  | Some (c, pid) ->
+      let mine, rest = List.partition (fun l -> l.owner = Some pid) c.dirty_lines in
+      List.iter
+        (fun l ->
+          l.persist_now ();
+          l.owner <- None)
+        mine;
+      c.dirty_lines <- rest
+
+(* Crash semantics.  [crashes] is the number of crashes [pid] had
+   suffered before this one (= [Sim.crash_count] at the call). *)
+let on_crash c ~pid ~crashes =
+  let mine, rest = List.partition (fun l -> l.owner = Some pid) c.dirty_lines in
+  List.iter
+    (fun l ->
+      (match c.policy with
+      | Eager -> () (* unreachable: eager caches create no lines *)
+      | Lossy -> l.revert_now ()
+      | Torn -> if (l.id + crashes) mod 2 = 0 then l.persist_now () else l.revert_now ());
+      l.owner <- None)
+    mine;
+  c.dirty_lines <- rest
+
+let dirty_count c = List.length c.dirty_lines
+
+(* Run [f] with a fresh ambient cache of the given policy, restoring the
+   previously ambient cache (if any) afterwards.  The bench sweeps and
+   tests use this so caches never leak across workloads. *)
+let scoped ?flush_cost p f =
+  let saved = current () in
+  activate (create ?flush_cost p);
+  Fun.protect ~finally:(fun () -> restore saved) f

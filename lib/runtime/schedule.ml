@@ -9,8 +9,17 @@ let pp_choice ppf = function
 let pp ppf cs =
   Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp_choice ppf cs
 
+(* Replaying a *sub*-schedule (ddmin probes one) can direct a step at a
+   process that finished earlier than it did in the full schedule; the
+   step is simply a no-op then, matching the pre-defensive-API behavior
+   [Shrink] was built on.  Out-of-range pids (malformed artifacts) still
+   raise, with the range in the message. *)
 let apply t = function
-  | Step_choice i -> ignore (Sim.step_proc t i)
+  | Step_choice i ->
+      if i < 0 || i >= Sim.num_procs t then
+        invalid_arg
+          (Printf.sprintf "Schedule.apply: pid %d out of range [0,%d)" i (Sim.num_procs t));
+      if not (Sim.finished t i) then ignore (Sim.step_proc t i)
   | Crash_choice i -> Sim.crash t i
 
 let crashes cs =

@@ -7,18 +7,38 @@
    the adversaries (tens to low hundreds of choices) is milliseconds. *)
 
 let check ~mk sched =
+  (* [mk] may activate a fresh Heap arena / Persist cache for its system
+     (the Counterexample builders do); restore the ambient ones so
+     repeated oracle calls do not leak state across builds. *)
+  let saved_arena = Heap.current () in
+  let saved_cache = Persist.current () in
+  Fun.protect ~finally:(fun () ->
+      (match saved_arena with Some a -> Heap.activate a | None -> Heap.deactivate ());
+      Persist.restore saved_cache)
+  @@ fun () ->
   let t, chk = mk () in
   let rec go used = function
     | [] ->
         Sim.abandon t;
         None
     | c :: rest -> (
-        Schedule.apply t c;
-        match chk () with
-        | () -> go (used + 1) rest
-        | exception Explore.Violation_found msg ->
+        match Schedule.apply t c with
+        | exception (Invalid_argument m | Failure m)
+          when not
+                 (String.starts_with ~prefix:"Sim." m
+                 || String.starts_with ~prefix:"Schedule." m) ->
+            (* A body that raises (e.g. after a lossy crash reverted an
+               un-flushed write) is a violation at this choice, same as
+               in [Explore]; harness errors (malformed pids etc., which
+               name their [Sim.]/[Schedule.] entry point) still escape. *)
             Sim.abandon t;
-            Some (msg, used + 1))
+            Some ("uncaught exception in process body: " ^ m, used + 1)
+        | () -> (
+            match chk () with
+            | () -> go (used + 1) rest
+            | exception Explore.Violation_found msg ->
+                Sim.abandon t;
+                Some (msg, used + 1)))
   in
   go 0 sched
 

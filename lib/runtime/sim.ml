@@ -48,8 +48,10 @@ type event = Stepped of int | Crash_event of int
 type t = {
   procs : proc array;
   heap : Heap.t option; (* arena active at creation; None = no fingerprinting *)
+  cache : Persist.cache option; (* write-back cache active at creation *)
   mutable total_steps : int;
   mutable events : event list; (* most recent first *)
+  mutable dead : bool; (* abandoned: stepping or crashing it is a bug *)
 }
 
 let run_body p =
@@ -92,6 +94,7 @@ let arm p =
 
 let create ~n body_of =
   let heap = Heap.current () in
+  let cache = Persist.current () in
   let procs =
     Array.init n (fun id ->
         let p =
@@ -111,7 +114,7 @@ let create ~n body_of =
         arm p;
         p)
   in
-  { procs; heap; total_steps = 0; events = [] }
+  { procs; heap; cache; total_steps = 0; events = []; dead = false }
 
 let num_procs t = Array.length t.procs
 let finished t i = t.procs.(i).resume = None
@@ -126,12 +129,27 @@ let step_count t i = t.procs.(i).step_count
 let total_steps t = t.total_steps
 let events t = List.rev t.events
 
+let check_pid t i fn =
+  if t.dead then
+    invalid_arg (Printf.sprintf "Sim.%s: system has been abandoned" fn);
+  if i < 0 || i >= Array.length t.procs then
+    invalid_arg
+      (Printf.sprintf "Sim.%s: pid %d out of range [0,%d)" fn i (Array.length t.procs))
+
 (* Run process [i] for one step (up to and including its next shared-memory
-   access, or to completion).  Returns false if the process has finished. *)
+   access, or to completion).  Always returns true; stepping a finished
+   process (check [finished] first) or an out-of-range pid raises
+   [Invalid_argument] -- silently ignoring either hid scheduling bugs. *)
 let step_proc t i =
+  check_pid t i "step_proc";
   let p = t.procs.(i) in
   match p.resume with
-  | None -> false
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Sim.step_proc: process %d has finished (crash it to restart it, or \
+            consult [finished] before stepping)"
+           i)
   | Some r ->
       p.resume <- None;
       p.discard <- None;
@@ -139,17 +157,25 @@ let step_proc t i =
       p.step_count <- p.step_count + 1;
       t.total_steps <- t.total_steps + 1;
       t.events <- Stepped i :: t.events;
-      r ();
+      (match t.cache with None -> r () | Some c -> Persist.in_step c i r);
       true
 
 (* Crash process [i]: its local state (continuation) is lost, the shared
    heap is untouched, and the process will re-execute its code from the
    beginning at its next step.  Crashing a finished process restarts it
    too, which models a process recovering and running its algorithm again
-   after having already produced an output. *)
+   after having already produced an output -- [Drivers.crash_and_rerun]
+   and the simultaneous-crash model depend on this, so unlike
+   [step_proc] a finished pid here is legal, not an error.  Under a
+   non-eager write-back cache, the crash first applies the cache's loss
+   semantics to the lines process [i] owns. *)
 let crash t i =
+  check_pid t i "crash";
   let p = t.procs.(i) in
   (match p.discard with Some d -> d () | None -> ());
+  (match t.cache with
+  | None -> ()
+  | Some c -> Persist.on_crash c ~pid:i ~crashes:p.crash_count);
   p.crash_count <- p.crash_count + 1;
   t.events <- Crash_event i :: t.events;
   arm p
@@ -158,18 +184,49 @@ let crash t i =
 let crash_all t =
   Array.iter (fun p -> crash t p.id) t.procs
 
+(* Persist barriers.  Each is a labelled shared-memory step (or
+   [flush_cost] of them, so a policy sweep can price barriers), and each
+   takes the *same number of steps whatever the ambient policy* --
+   annotated algorithms keep an identical schedule-tree shape under
+   eager, lossy and torn, which is what makes cross-policy comparisons
+   of explorer statistics meaningful.  Under eager (no cache, or lines
+   absent) the barrier steps are semantic no-ops. *)
+
+let barrier_steps = function
+  | Some l -> Persist.flush_cost (Persist.cache_of l)
+  | None -> ( match Persist.current () with Some c -> Persist.flush_cost c | None -> 1)
+
+(* Write one location's cache line back to durable memory (CLWB). *)
+let flush line =
+  let k = barrier_steps line in
+  for i = 1 to k do
+    step ~label:"flush" (fun () -> if i = k then Option.iter Persist.flush_line line)
+  done
+
+(* Write back every line the calling process owns (SFENCE + implicit
+   write-backs: after this, none of the caller's earlier writes can be
+   lost to its crash). *)
+let fence () =
+  let k = barrier_steps None in
+  for i = 1 to k do
+    step ~label:"fence" (fun () -> if i = k then Persist.fence_here ())
+  done
+
 (* Release every pending continuation without re-arming the processes.
    Dropping a captured effect continuation without discontinuing it leaks
    its fiber stack (fiber stacks live outside the OCaml heap), so code
    that builds and abandons many systems -- the exhaustive explorer in
    particular -- must call this before dropping a system. *)
 let abandon t =
-  Array.iter
-    (fun p ->
-      (match p.discard with Some d -> d () | None -> ());
-      p.discard <- None;
-      p.resume <- None)
-    t.procs
+  if not t.dead then begin
+    Array.iter
+      (fun p ->
+        (match p.discard with Some d -> d () | None -> ());
+        p.discard <- None;
+        p.resume <- None)
+      t.procs;
+    t.dead <- true
+  end
 
 (* Canonical fingerprint of the global state: per-process control state
    plus the non-volatile heap snapshot.

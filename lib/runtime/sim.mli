@@ -61,14 +61,38 @@ val events : t -> event list
 
 val step_proc : t -> int -> bool
 (** Run process [i] for one step (up to and including its next
-    shared-memory access, or to completion).  [false] if it had already
-    finished. *)
+    shared-memory access, or to completion).  Always [true].
+
+    @raise Invalid_argument on an out-of-range pid, a finished process
+    (consult {!finished} first, or {!crash} it to restart it), or an
+    {!abandon}ed system -- all three previously no-oped silently, hiding
+    scheduling bugs. *)
 
 val crash : t -> int -> unit
 (** Crash process [i]: local state lost, shared heap untouched, code
     restarts from the beginning at its next step.  Crashing a finished
     process restarts it too (a recovered process may run its algorithm
-    again; agreement must cover its repeated outputs). *)
+    again; agreement must cover its repeated outputs) -- deliberately
+    {e not} an error, unlike stepping one: {!Drivers.crash_and_rerun}
+    and the simultaneous-crash model rely on it.  Under a non-eager
+    {!Persist} cache, first applies the cache's loss semantics to the
+    lines process [i] owns.
+
+    @raise Invalid_argument on an out-of-range pid or an {!abandon}ed
+    system. *)
+
+val flush : Persist.line option -> unit
+(** Persist barrier: write one location's cache line back to durable
+    memory.  Takes [flush_cost] labelled steps (default 1) regardless of
+    the ambient policy -- under eager it is a semantic no-op -- so
+    annotated algorithms keep an identical schedule-tree shape across
+    policies.  Exposed through [Cell.flush] / [Growable.flush] /
+    [Sim_obj.flush]; only process bodies may call it. *)
+
+val fence : unit -> unit
+(** Persist barrier: write back {e every} line the calling process owns.
+    After a fence, none of the caller's earlier writes can be lost to
+    its crash.  Same step-count contract as {!flush}. *)
 
 val crash_all : t -> unit
 (** The simultaneous-crash model of Section 2. *)
@@ -77,7 +101,8 @@ val abandon : t -> unit
 (** Release every pending continuation without re-arming.  Dropping a
     captured effect continuation leaks its fiber stack, so code that
     builds and discards many systems (the explorer) must call this
-    before dropping a system. *)
+    before dropping a system.  Idempotent; stepping or crashing an
+    abandoned system raises [Invalid_argument]. *)
 
 val fingerprint : t -> string
 (** Canonical fingerprint of the global state, for the deduplicating

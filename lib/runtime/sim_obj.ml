@@ -1,31 +1,97 @@
 (* A shared object of a given sequential type, living in the simulated
    non-volatile memory.  [apply] performs one update operation atomically
    (one step); [read] is the READ operation of readable types, returning
-   the entire state without changing it. *)
+   the entire state without changing it.
 
-type ('s, 'o, 'r) t = { mutable state : 's; apply_spec : 's -> 'o -> 's * 'r; obj_name : string }
+   Persistency: like [Cell], the object acquires a cache line when a
+   non-eager [Persist] cache is ambient at creation -- [state] is the
+   volatile copy, [persisted] the durable one. *)
 
-let register t digest = Heap.register (fun () -> digest t.state)
+type ('s, 'o, 'r) t = {
+  mutable state : 's;
+  mutable persisted : 's;
+  mutable line : Persist.line option;
+  apply_spec : 's -> 'o -> 's * 'r;
+  equal_state : 's -> 's -> bool;
+  obj_name : string;
+}
+
+let alloc ~equal_state ~apply ~name init =
+  let t =
+    {
+      state = init;
+      persisted = init;
+      line = None;
+      apply_spec = apply;
+      equal_state;
+      obj_name = name;
+    }
+  in
+  t.line <-
+    Persist.attach
+      ~persist:(fun () -> t.persisted <- t.state)
+      ~revert:(fun () -> t.state <- t.persisted);
+  t
+
+let register t digest =
+  match t.line with
+  | None -> Heap.register (fun () -> digest t.state)
+  | Some l ->
+      Heap.register (fun () ->
+          let d = digest t.state and dp = digest t.persisted in
+          Printf.sprintf "%d:%s%d:%s%s" (String.length d) d (String.length dp) dp
+            (match Persist.owner l with None -> "c" | Some p -> "p" ^ string_of_int p))
 
 let make (type s o r)
     (module T : Rcons_spec.Object_type.S with type state = s and type op = o and type resp = r)
     init =
-  let t = { state = init; apply_spec = T.apply; obj_name = T.name } in
+  let t =
+    alloc ~equal_state:(fun a b -> T.compare_state a b = 0) ~apply:T.apply ~name:T.name init
+  in
   register t T.digest_state;
   t
 
 let of_apply ?(name = "object") ~apply init =
-  let t = { state = init; apply_spec = apply; obj_name = name } in
+  let t = alloc ~equal_state:( = ) ~apply ~name init in
   register t Heap.digest;
   t
 
+(* Silent stores do not dirty the line: an operation that leaves the
+   state unchanged (e.g. setting an already-set sticky bit) has nothing
+   new to persist, so it must not take ownership of the line -- the
+   pending un-persisted delta still belongs to the process that actually
+   changed the state, and only THAT process's crash may revert it.
+   Without this, a no-op apply by q would re-own p's un-flushed change
+   and q's crash would silently destroy p's write. *)
 let apply t op =
   Sim.step ~label:t.obj_name (fun () ->
       let state, resp = t.apply_spec t.state op in
-      t.state <- state;
-      resp)
+      match t.line with
+      | None -> (* eager: no comparison, identical to the seed behaviour *)
+          t.state <- state;
+          resp
+      | Some l ->
+          let changed = not (t.equal_state state t.state) in
+          t.state <- state;
+          if changed then Persist.dirty l;
+          resp)
 
 let read t = Sim.step ~label:(t.obj_name ^ ".read") (fun () -> t.state)
 
+let flush t = Sim.flush t.line
+
+(* Link-and-persist read: the returned state is durable (see
+   [Cell.read_persist] for why the re-read must also find the line
+   clean, not just value-stable). *)
+let rec read_persist t =
+  let q = read t in
+  flush t;
+  let q', clean =
+    Sim.step ~label:(t.obj_name ^ ".read") (fun () ->
+        (t.state, match t.line with None -> true | Some l -> Persist.owner l = None))
+  in
+  if clean && t.equal_state q q' then q' else read_persist t
+
 (* Out-of-simulation inspection for checkers and tests. *)
 let peek t = t.state
+let peek_persisted t = t.persisted

@@ -18,5 +18,17 @@ val of_apply : ?name:string -> apply:('s -> 'o -> 's * 'r) -> 's -> ('s, 'o, 'r)
 val apply : ('s, 'o, 'r) t -> 'o -> 'r
 val read : ('s, 'o, 'r) t -> 's
 
+val flush : ('s, 'o, 'r) t -> unit
+(** Persist barrier for this object's cache line (see {!Cell.flush}). *)
+
+val read_persist : ('s, 'o, 'r) t -> 's
+(** Link-and-persist read: read, {!flush}, re-read until stable; the
+    returned state is durable.  Exactly read + flush + read steps per
+    attempt under every policy.  States are compared with the type's
+    [compare_state] ({!of_apply} objects use structural equality). *)
+
 val peek : ('s, 'o, 'r) t -> 's
 (** Out-of-simulation inspection. *)
+
+val peek_persisted : ('s, 'o, 'r) t -> 's
+(** The durable copy (equals {!peek} when clean or cache-less). *)

@@ -43,11 +43,28 @@ type ('s, 'o, 'r) t = {
   registry : (int * int, ('s, 'o, 'r) node) Hashtbl.t;
       (* invocation tag -> node; makes [invoke] idempotent across crashes *)
   history : ('o, 'r) Rcons_history.History.t option;
+  annotated : bool; (* persist barriers for the write-back cache model *)
 }
 
 let one_shot_rc () =
   let c = Rcons_algo.One_shot.create () in
   { propose = (fun _pid v -> Rcons_algo.One_shot.decide c v) }
+
+(* The annotated default RC: list nodes are compared physically (they
+   contain closures, so structural equality is unavailable). *)
+let one_shot_rc_durable () =
+  let c = Rcons_algo.One_shot.create () in
+  { propose = (fun _pid v -> Rcons_algo.One_shot.decide_durable ~equal:( == ) c v) }
+
+(* Annotated access paths: durable reads, flushed writes.  [rd_node]
+   reads cells holding list nodes (physical equality for the
+   link-and-persist stability check); [rd] everything else. *)
+let rd t c = if t.annotated then Cell.read_persist c else Cell.read c
+let rd_node t c = if t.annotated then Cell.read_persist ~equal:( == ) c else Cell.read c
+
+let wr t c v =
+  Cell.write c v;
+  if t.annotated then Cell.flush c
 
 let fresh_node t ~tag ~hist_tag op =
   {
@@ -60,8 +77,10 @@ let fresh_node t ~tag ~hist_tag op =
     next = t.make_rc ();
   }
 
-let create ?history ?make_rc ~n spec =
-  let make_rc = Option.value make_rc ~default:one_shot_rc in
+let create ?history ?make_rc ?(annotated = false) ~n spec =
+  let make_rc =
+    Option.value make_rc ~default:(if annotated then one_shot_rc_durable else one_shot_rc)
+  in
   let dummy =
     {
       tag = (-1, -1);
@@ -81,25 +100,29 @@ let create ?history ?make_rc ~n spec =
     head = Array.init n (fun _ -> Cell.make dummy);
     registry = Hashtbl.create 64;
     history;
+    annotated;
   }
 
 (* Figure 7, ApplyOperation: ensure the announced node of process [i] is
    appended, helping the process whose id has round-robin priority. *)
 let apply_operation t i =
-  let announced = Cell.read t.announce.(i) in
-  let continue_loop () = Cell.read announced.seq = 0 in
+  let announced = rd_node t t.announce.(i) in
+  let continue_loop () = rd t announced.seq = 0 in
   while continue_loop () do
-    let head = Cell.read t.head.(i) in
-    let head_seq = Cell.read head.seq in
+    let head = rd_node t t.head.(i) in
+    let head_seq = rd t head.seq in
     let priority = (head_seq + 1) mod t.n in
-    let priority_node = Cell.read t.announce.(priority) in
-    let pointer = if Cell.read priority_node.seq = 0 then priority_node else announced in
+    let priority_node = rd_node t t.announce.(priority) in
+    let pointer = if rd t priority_node.seq = 0 then priority_node else announced in
     let winner = head.next.propose i pointer in
     (* Fill in the winner's fields.  Concurrent helpers write identical
        values (the winner and the predecessor state are agreed upon), so
-       the races are benign, as in Herlihy's construction. *)
+       the races are benign, as in Herlihy's construction.  Annotated
+       mode flushes each field before the next write depends on it; the
+       seq write is the node's commit point and must not become durable
+       before the state/response it certifies. *)
     let prev_state =
-      match Cell.read head.new_state with
+      match rd t head.new_state with
       | Some s -> s
       | None -> invalid_arg "RUniversal: predecessor state missing"
     in
@@ -109,12 +132,12 @@ let apply_operation t i =
       | None -> invalid_arg "RUniversal: dummy node won consensus"
     in
     let state', resp = t.spec.apply prev_state op in
-    Cell.write winner.new_state (Some state');
-    Cell.write winner.response (Some resp);
-    Cell.write winner.seq (head_seq + 1);
-    Cell.write t.head.(i) winner
+    wr t winner.new_state (Some state');
+    wr t winner.response (Some resp);
+    wr t winner.seq (head_seq + 1);
+    wr t t.head.(i) winner
   done;
-  match Cell.read announced.response with
+  match rd t announced.response with
   | Some r -> r
   | None -> invalid_arg "RUniversal: appended node has no response"
 
@@ -136,16 +159,21 @@ let invoke t ~pid ~index op =
         Hashtbl.add t.registry (pid, index) nd;
         nd
   in
-  if Cell.read t.announce.(pid) != nd then Cell.write t.announce.(pid) nd;
+  if rd_node t t.announce.(pid) != nd then wr t t.announce.(pid) nd;
   (* Lines 120-125: catch the head pointer up so helping stays fresh. *)
   for j = 0 to t.n - 1 do
-    let hj = Cell.read t.head.(j) in
-    let hi = Cell.read t.head.(pid) in
-    if Cell.read hj.seq > Cell.read hi.seq then Cell.write t.head.(pid) hj
+    let hj = rd_node t t.head.(j) in
+    let hi = rd_node t t.head.(pid) in
+    if rd t hj.seq > rd t hi.seq then wr t t.head.(pid) hj
   done;
   let r = apply_operation t pid in
   (match t.history with
-  | Some h when nd.hist_tag >= 0 -> Rcons_history.History.respond h ~pid ~tag:nd.hist_tag r
+  | Some h when nd.hist_tag >= 0 ->
+      (* Annotated runs certify durability: by the time ApplyOperation
+         returned, the node's fields were read through link-and-persist
+         barriers, so its effect can no longer be lost to a crash. *)
+      if t.annotated then Rcons_history.History.persist h ~pid ~tag:nd.hist_tag;
+      Rcons_history.History.respond h ~pid ~tag:nd.hist_tag r
   | Some _ | None -> ());
   r
 

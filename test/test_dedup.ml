@@ -136,7 +136,8 @@ let apply_encoded sim codes =
   List.iter
     (fun x ->
       let pid = x mod n in
-      if x mod 5 = 0 then Sim.crash sim pid else ignore (Sim.step_proc sim pid))
+      if x mod 5 = 0 then Sim.crash sim pid
+      else if not (Sim.finished sim pid) then ignore (Sim.step_proc sim pid))
     codes
 
 let fingerprint_after mk codes =

@@ -11,6 +11,25 @@ let run_with_crashes ~mk ~crashes =
   let sim, check = mk () in
   let remaining = ref crashes in
   let budget = ref 100_000 in
+  (* A busted budget with no context is undebuggable: name the injected
+     crash schedule and where every process was stuck when we gave up. *)
+  let exhausted () =
+    let n = Sim.num_procs sim in
+    let schedule =
+      crashes |> List.map (fun (at, victim) -> Printf.sprintf "p%d@%d" victim at)
+      |> String.concat " "
+    in
+    let per_proc =
+      List.init n (fun i ->
+          Printf.sprintf "p%d:%d steps%s" i (Sim.step_count sim i)
+            (if Sim.finished sim i then " (finished)" else ""))
+      |> String.concat ", "
+    in
+    Alcotest.fail
+      (Printf.sprintf
+         "injection: step budget exhausted after %d total steps; injected crashes [%s]; %s"
+         (Sim.total_steps sim) schedule per_proc)
+  in
   while not (Sim.all_finished sim) do
     (match !remaining with
     | (at, victim) :: rest when Sim.total_steps sim >= at ->
@@ -23,7 +42,7 @@ let run_with_crashes ~mk ~crashes =
     for i = 0 to n - 1 do
       if (not !stepped) && not (Sim.finished sim i) then begin
         decr budget;
-        if !budget <= 0 then Alcotest.fail "injection: step budget exhausted";
+        if !budget <= 0 then exhausted ();
         ignore (Sim.step_proc sim i);
         stepped := true
       end

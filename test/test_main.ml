@@ -34,6 +34,7 @@ let suites =
     ("valency", Test_valency.suite, false);
     ("critical", Test_critical.suite, false);
     ("robustness", Test_robustness.suite, false);
+    ("persist", Test_persist.suite, false);
     ("injection", Test_injection.suite, true);
     ("integration", Test_integration.suite, true);
     ("parallel", Test_parallel.suite, true);

@@ -27,11 +27,29 @@ let test_step_granularity () =
   Alcotest.(check int) "two shared accesses + final return" 3 !steps;
   Alcotest.(check bool) "performed in order" true (!log = [ `R 1; `W ])
 
-let test_step_finished_returns_false () =
+let test_step_finished_raises () =
   let t = Sim.create ~n:1 (fun _ () -> ()) in
   ignore (Sim.step_proc t 0);
   Alcotest.(check bool) "finished" true (Sim.finished t 0);
-  Alcotest.(check bool) "stepping a finished process" false (Sim.step_proc t 0)
+  (match Sim.step_proc t 0 with
+  | _ -> Alcotest.fail "stepping a finished process should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the pid" true (String.starts_with ~prefix:"Sim.step_proc" msg));
+  (* out-of-range pids are rejected up front, on every entry point *)
+  (match Sim.step_proc t 5 with
+  | _ -> Alcotest.fail "out-of-range pid should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the range" true (String.starts_with ~prefix:"Sim.step_proc" msg));
+  (match Sim.crash t (-1) with
+  | _ -> Alcotest.fail "out-of-range crash should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the entry point" true (String.starts_with ~prefix:"Sim.crash" msg));
+  (* an abandoned simulation refuses everything, idempotently *)
+  Sim.abandon t;
+  Sim.abandon t;
+  (match Sim.step_proc t 0 with
+  | _ -> Alcotest.fail "stepping an abandoned simulation should raise"
+  | exception Invalid_argument _ -> ())
 
 (* --- crash semantics --- *)
 
@@ -275,7 +293,7 @@ let test_explore_budget () =
 let suite =
   [
     Alcotest.test_case "step granularity" `Quick test_step_granularity;
-    Alcotest.test_case "stepping a finished process" `Quick test_step_finished_returns_false;
+    Alcotest.test_case "stepping a finished process" `Quick test_step_finished_raises;
     Alcotest.test_case "crash loses local state" `Quick test_crash_loses_local_state;
     Alcotest.test_case "crash preserves shared memory" `Quick test_crash_preserves_shared_memory;
     Alcotest.test_case "crash counters" `Quick test_crash_counts;
