@@ -95,6 +95,67 @@ let workloads =
     explore_workload "explore Figure 2 on S_2 (2 crashes)" (Rcons.Spec.Sn.make 2) ~max_crashes:2;
   ]
 
+(* Certificate-cache cold/warm comparison: one full-catalogue classify
+   sweep (plus the parametric S_n / T_n mid-range) run three ways --
+   seed-cold (fresh cache directory, every level computed and written),
+   warm (same directory again, every level a revalidated hit) and
+   cold-incremental (no cache at all, the pure in-memory incremental
+   scan).  All three renderings must be byte-identical: the cache is a
+   pure memo, never an answer source. *)
+let cache_limit = 8
+
+let cache_types () =
+  List.map (fun e -> e.Rcons.Spec.Catalogue.ot) Rcons.Spec.Catalogue.all
+  @ List.map Rcons.Spec.Sn.make [ 4; 5; 6; 7 ]
+  @ List.map Rcons.Spec.Tn.make [ 4; 5; 6; 7 ]
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+type cache_row = {
+  cc_name : string;
+  cc_cold : float;  (* fresh cache dir: compute + store *)
+  cc_warm : float;  (* same dir again: revalidated hits *)
+  cc_nocache : float;  (* no cache: in-memory incremental scan *)
+  cc_identical : bool;
+  cc_entries : int;
+}
+
+let cert_cache_bench () =
+  let dir = "_certs_bench" in
+  rm_rf dir;
+  let types = cache_types () in
+  let render certs =
+    String.concat "\n"
+      (List.map
+         (fun ot ->
+           Format.asprintf "%a" Rcons.Check.Classify.pp_report
+             (Rcons.classify ~limit:cache_limit ?certs ot))
+         types)
+  in
+  let r_nocache, t_nocache = Util.time_it (fun () -> render None) in
+  let r_cold, t_cold = Util.time_it (fun () -> render (Some dir)) in
+  let r_warm, t_warm = Util.time_it (fun () -> render (Some dir)) in
+  let entries = List.length (Rcons.Check.Cert_cache.list_dir dir) in
+  rm_rf dir;
+  {
+    cc_name =
+      Printf.sprintf "classify catalogue + S/T 4-7 (limit %d, %d types)" cache_limit
+        (List.length types);
+    cc_cold = t_cold;
+    cc_warm = t_warm;
+    cc_nocache = t_nocache;
+    cc_identical = r_cold = r_warm && r_cold = r_nocache;
+    cc_entries = entries;
+  }
+
 type row = {
   r_name : string;
   r_seq : float;
@@ -157,11 +218,20 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
         })
       workloads
   in
+  let cc = cert_cache_bench () in
+  let cc_speedup = if cc.cc_warm > 0. then cc.cc_cold /. cc.cc_warm else 0. in
+  Util.row "@.certificate cache: %s@." cc.cc_name;
+  Util.row "    cold %8.4fs   warm %8.4fs   no-cache %8.4fs   warm speedup %8.2fx   %d entries, identical=%b@."
+    cc.cc_cold cc.cc_warm cc.cc_nocache cc_speedup cc.cc_entries cc.cc_identical;
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"domains\": %d,\n" domains;
   p "  \"cores\": %d,\n" (Rcons.Par.Pool.available_domains ());
+  p
+    "  \"cert_cache\": {\"name\": %S, \"cold_s\": %.4f, \"warm_s\": %.4f, \"nocache_s\": %.4f, \
+     \"warm_speedup\": %.2f, \"entries\": %d, \"identical\": %b},\n"
+    cc.cc_name cc.cc_cold cc.cc_warm cc.cc_nocache cc_speedup cc.cc_entries cc.cc_identical;
   p "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
@@ -189,6 +259,10 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   p "  ]\n}\n";
   close_out oc;
   Util.row "@.wrote %s@." out;
+  if not cc.cc_identical then begin
+    Util.row "CACHE VIOLATION: cold / warm / no-cache classifications differ@.";
+    exit 1
+  end;
   if List.for_all (fun r -> r.r_identical) rows then
     Util.row "all parallel results identical to sequential ones@."
   else begin

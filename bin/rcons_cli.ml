@@ -4,6 +4,7 @@
      rcons solve --type TYPE --n N [...]     run RC under a crash adversary
      rcons impossible [TYPE ...]             Appendix H valency sweeps (E8)
      rcons explore --type TYPE [...]         bounded exhaustive model check
+     rcons certs list|revalidate|gc          persisted certificate cache
 
    TYPE names: register, tas, swap, faa, stack, queue, readable-stack,
    readable-queue, sticky, cas, consensus, S<n>, T<n> (e.g. S4, T6). *)
@@ -71,28 +72,58 @@ let domains_arg =
           "Number of OCaml 5 domains for the witness searches / the schedule explorer (1 = \
            sequential; results are identical either way).")
 
+(* Shared certificate-cache flags: where the persisted per-level scan
+   results live, and an off switch.  Entries are revalidated against the
+   live module before being trusted, so a cache can never change an
+   answer -- only skip recomputation. *)
+let certs_dir_arg =
+  Arg.(
+    value & opt string "_certs"
+    & info [ "certs-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory of persisted scan certificates keyed by behavioural fingerprint (default \
+           $(b,_certs)).  Every entry is revalidated before use; failed entries are recomputed.")
+
+let no_certs_arg =
+  Arg.(
+    value & flag
+    & info [ "no-certs" ] ~doc:"Disable the certificate cache (neither read nor write it).")
+
+let certs_of no_certs dir = if no_certs then None else Some dir
+
 (* --- classify --- *)
 
 let classify_cmd =
-  let run limit domains types =
-    let types = if types = [] then default_types () else types in
-    List.iter
-      (fun ot ->
-        Format.printf "%a@." Rcons.Check.Classify.pp_report (Rcons.classify ~domains ~limit ot))
-      types;
-    0
+  let run limit domains no_certs certs_dir types =
+    if limit < 2 then begin
+      (* Keep the library's invariant ([Classify.max_level] raises on
+         limit < 2) out of user-facing output: one line, exit 2. *)
+      Format.eprintf "rcons classify: --limit must be >= 2 (got %d)@." limit;
+      2
+    end
+    else begin
+      let types = if types = [] then default_types () else types in
+      let certs = certs_of no_certs certs_dir in
+      List.iter
+        (fun ot ->
+          Format.printf "%a@." Rcons.Check.Classify.pp_report
+            (Rcons.classify ~domains ~limit ?certs ot))
+        types;
+      0
+    end
   in
-  let limit = Arg.(value & opt int 5 & info [ "limit" ] ~doc:"Largest n to test.") in
+  let limit = Arg.(value & opt int 5 & info [ "limit" ] ~doc:"Largest n to test (>= 2).") in
   let types = Arg.(value & pos_all type_conv [] & info [] ~docv:"TYPE") in
   Cmd.v
     (Cmd.info "classify" ~doc:"Discerning/recording levels and cons/rcons bounds (experiment E1)")
-    Term.(const run $ limit $ domains_arg $ types)
+    Term.(const run $ limit $ domains_arg $ no_certs_arg $ certs_dir_arg $ types)
 
 (* --- solve --- *)
 
 let solve_cmd =
-  let run ot n crash_prob seed persist flush_cost =
-    match Rcons.solve_rc ot ~n with
+  let run ot n crash_prob seed persist flush_cost no_certs certs_dir =
+    let certs = certs_of no_certs certs_dir in
+    match Rcons.solve_rc ?certs ot ~n with
     | None ->
         Format.eprintf "%s is not %d-recording: no certificate, cannot solve %d-process RC@."
           (Rcons.Spec.Object_type.name ot) n n;
@@ -127,7 +158,9 @@ let solve_cmd =
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Adversary seed.") in
   Cmd.v
     (Cmd.info "solve" ~doc:"Run recoverable consensus under a random crash adversary")
-    Term.(const run $ ot $ n $ crash_prob $ seed $ persist_arg $ flush_cost_arg)
+    Term.(
+      const run $ ot $ n $ crash_prob $ seed $ persist_arg $ flush_cost_arg $ no_certs_arg
+      $ certs_dir_arg)
 
 (* --- impossible --- *)
 
@@ -358,6 +391,83 @@ let explore_cmd =
       $ time_budget $ checkpoint $ resume $ save_cex $ replay_file $ persist_arg $ annotated
       $ flush_cost_arg)
 
+(* --- certs --- *)
+
+let certs_cmd =
+  let module C = Rcons.Check.Cert_cache in
+  let pp_info (i : C.info) =
+    Format.printf "%-10s n=%d %-8s %-16s depth=%d fp=%s %s@."
+      (C.property_name i.C.property) i.C.n
+      (if i.C.positive then "witness" else "none")
+      i.C.type_hint i.C.depth i.C.fingerprint (Filename.basename i.C.file)
+  in
+  let list_cmd =
+    let run dir =
+      match C.list_dir dir with
+      | [] ->
+          Format.printf "no certificates under %s@." dir;
+          0
+      | entries ->
+          List.iter
+            (fun (file, parsed) ->
+              match parsed with
+              | Ok i -> pp_info i
+              | Error m -> Format.printf "CORRUPT    %s: %s@." (Filename.basename file) m)
+            entries;
+          0
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"List the cache entries (one line each; corrupt files are flagged)")
+      Term.(const run $ certs_dir_arg)
+  in
+  let revalidate_cmd =
+    (* Exit codes follow the artifact convention: 0 all valid, 1 at
+       least one stale entry (well-formed but refuted by the live
+       modules), 2 at least one corrupt file.  Corrupt dominates. *)
+    let run dir =
+      let entries = C.list_dir dir in
+      if entries = [] then begin
+        Format.printf "no certificates under %s@." dir;
+        0
+      end
+      else begin
+        let worst = ref 0 in
+        List.iter
+          (fun (file, _) ->
+            match C.revalidate_file file with
+            | C.Valid -> Format.printf "valid      %s@." (Filename.basename file)
+            | C.Stale_entry m ->
+                Format.printf "STALE      %s: %s@." (Filename.basename file) m;
+                worst := max !worst 1
+            | C.Corrupt m ->
+                Format.printf "CORRUPT    %s: %s@." (Filename.basename file) m;
+                worst := max !worst 2)
+          entries;
+        !worst
+      end
+    in
+    Cmd.v
+      (Cmd.info "revalidate"
+         ~doc:
+           "Re-check every entry against the live modules (exit 0 all valid, 1 any stale, 2 any \
+            corrupt)")
+      Term.(const run $ certs_dir_arg)
+  in
+  let gc_cmd =
+    let run dir =
+      let removed = C.gc dir in
+      List.iter (fun (file, m) -> Format.printf "removed %s: %s@." (Filename.basename file) m) removed;
+      Format.printf "%d entries removed@." (List.length removed);
+      0
+    in
+    Cmd.v
+      (Cmd.info "gc" ~doc:"Delete every entry that fails revalidation (stale or corrupt)")
+      Term.(const run $ certs_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "certs" ~doc:"Inspect and maintain the persisted certificate cache")
+    [ list_cmd; revalidate_cmd; gc_cmd ]
+
 (* --- critical --- *)
 
 let critical_cmd =
@@ -399,4 +509,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; critical_cmd ]))
+       (Cmd.group info
+          [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; certs_cmd; critical_cmd ]))

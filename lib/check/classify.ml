@@ -31,11 +31,87 @@ let max_level ~limit prop =
   in
   scan 2
 
-let max_discerning ?domains ?(limit = 8) ot =
-  max_level ~limit (Discerning.is_discerning ?domains ot)
+(* Depth of the behavioural fingerprint used as the cache key: deep
+   enough to pin every sequence the level-<=limit searches can explore,
+   never shallower than the default so small-limit and default runs
+   share keys whenever they can. *)
+let cert_depth ~limit = max 8 limit
 
-let max_recording ?domains ?(limit = 8) ot =
-  max_level ~limit (Recording.is_recording ?domains ot)
+(* Both scans below are incremental: one memoized search instance per
+   type (the [Scan] functors) lives across all levels, and the level-n
+   witness seeds the level-(n+1) enumeration with its one-operation
+   extensions (the converse direction of Observation 6's downward
+   closure).  With a cache key [(dir, fingerprint, depth)], each level
+   is first looked up in the persisted cache; the cache layer
+   revalidates entries through the scan's own (warm) [check] before
+   trusting them, and every recomputed level is written back. *)
+let scan_discerning (type s o r) ?domains ~limit ~cache
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+  let module Sc = Discerning.Scan (T) in
+  let seed = ref None in
+  let witness_at n =
+    match cache with
+    | None -> Sc.witness_at ?domains ?seed:!seed n
+    | Some (dir, fp, depth) -> (
+        match
+          Cert_cache.load_discerning (module T) ~check:(Some Sc.check) ~dir ~fingerprint:fp ~n
+        with
+        | Cert_cache.Hit d -> Some d
+        | Cert_cache.Negative -> None
+        | Cert_cache.Miss ->
+            let r = Sc.witness_at ?domains ?seed:!seed n in
+            Cert_cache.store_discerning (module T) ~dir ~fingerprint:fp ~depth ~n r;
+            r)
+  in
+  max_level ~limit (fun n ->
+      match witness_at n with
+      | Some d ->
+          seed := Some d;
+          true
+      | None -> false)
+
+let scan_recording (type s o r) ?domains ~limit ~cache
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+  let module Sc = Recording.Scan (T) in
+  let seed = ref None in
+  let witness_at n =
+    match cache with
+    | None -> Sc.witness_at ?domains ?seed:!seed n
+    | Some (dir, fp, depth) -> (
+        match
+          Cert_cache.load_recording (module T) ~check:(Some Sc.check) ~dir ~fingerprint:fp ~n
+        with
+        | Cert_cache.Hit d -> Some d
+        | Cert_cache.Negative -> None
+        | Cert_cache.Miss ->
+            let r = Sc.witness_at ?domains ?seed:!seed n in
+            Cert_cache.store_recording (module T) ~dir ~fingerprint:fp ~depth ~n r;
+            r)
+  in
+  max_level ~limit (fun n ->
+      match witness_at n with
+      | Some d ->
+          seed := Some d;
+          true
+      | None -> false)
+
+let cache_key (type s o r) ~limit certs
+    (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+  Option.map
+    (fun dir ->
+      let depth = cert_depth ~limit in
+      (dir, Object_type.fingerprint ~depth (module T), depth))
+    certs
+
+let max_discerning ?domains ?(limit = 8) ?certs ot =
+  match ot with
+  | Object_type.Pack (module T) ->
+      scan_discerning ?domains ~limit ~cache:(cache_key ~limit certs (module T)) (module T)
+
+let max_recording ?domains ?(limit = 8) ?certs ot =
+  match ot with
+  | Object_type.Pack (module T) ->
+      scan_recording ?domains ~limit ~cache:(cache_key ~limit certs (module T)) (module T)
 
 (* Interval [lower, upper] with [upper = None] meaning "no finite upper
    bound established". *)
@@ -80,15 +156,15 @@ let rcons_bounds_of ~readable ~discerning recording =
         Some { lower = max 1 k; upper = Some (max 1 upper) }
     | At_least k -> Some { lower = k; upper = None }
 
-let cons_bounds ?domains ?limit ot =
-  cons_bounds_of ~readable:(Object_type.readable ot) (max_discerning ?domains ?limit ot)
+let cons_bounds ?domains ?limit ?certs ot =
+  cons_bounds_of ~readable:(Object_type.readable ot) (max_discerning ?domains ?limit ?certs ot)
 
-let rcons_bounds ?domains ?limit ot =
+let rcons_bounds ?domains ?limit ?certs ot =
   let readable = Object_type.readable ot in
   if not readable then None
   else
-    let discerning = max_discerning ?domains ?limit ot in
-    rcons_bounds_of ~readable ~discerning (max_recording ?domains ?limit ot)
+    let discerning = max_discerning ?domains ?limit ?certs ot in
+    rcons_bounds_of ~readable ~discerning (max_recording ?domains ?limit ?certs ot)
 
 type report = {
   type_name : string;
@@ -102,10 +178,18 @@ type report = {
 (* One discerning scan and one recording scan per report; the bounds are
    pure derivations of the levels.  (An earlier version re-ran the
    discerning scan three times and the recording scan twice per call.) *)
-let classify ?domains ?limit ot =
+let classify ?domains ?(limit = 8) ?certs ot =
   let readable = Object_type.readable ot in
-  let discerning = max_discerning ?domains ?limit ot in
-  let recording = max_recording ?domains ?limit ot in
+  (* One unpacking and one fingerprint for both property scans. *)
+  let scan_both (type s o r)
+      (module T : Object_type.S with type state = s and type op = o and type resp = r) =
+    let cache = cache_key ~limit certs (module T) in
+    ( scan_discerning ?domains ~limit ~cache (module T),
+      scan_recording ?domains ~limit ~cache (module T) )
+  in
+  let discerning, recording =
+    match ot with Object_type.Pack (module T) -> scan_both (module T)
+  in
   {
     type_name = Object_type.name ot;
     is_readable = readable;

@@ -24,12 +24,19 @@ val max_level : limit:int -> (int -> bool) -> level
     false (one process can always decide alone).
     @raise Invalid_argument if [limit < 2]. *)
 
-val max_discerning : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> level
+val max_discerning : ?domains:int -> ?limit:int -> ?certs:string -> Rcons_spec.Object_type.t -> level
 (** Default [limit] is 8; [?domains] (default 1) fans each per-level
     witness search across that many OCaml 5 domains — the reported level
-    is independent of [domains]. *)
+    is independent of [domains].
 
-val max_recording : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> level
+    The scan is incremental: one memoized search instance is shared
+    across all levels and the level-n witness seeds the level-(n+1)
+    enumeration.  [?certs] names a {!Cert_cache} directory: each level
+    is looked up there first (entries are revalidated before being
+    trusted — see {!Cert_cache}) and recomputed levels are written back.
+    Neither knob changes the reported level. *)
+
+val max_recording : ?domains:int -> ?limit:int -> ?certs:string -> Rcons_spec.Object_type.t -> level
 (** Same knobs as {!max_discerning}, for the n-recording property. *)
 
 (** Interval [lower, upper]; [upper = None] means no finite upper bound
@@ -46,11 +53,13 @@ val rcons_bounds_of : readable:bool -> discerning:level -> level -> bounds optio
 (** Pure derivation of the rcons interval from already-computed
     discerning and recording levels; [None] when not readable. *)
 
-val cons_bounds : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+val cons_bounds :
+  ?domains:int -> ?limit:int -> ?certs:string -> Rcons_spec.Object_type.t -> bounds option
 (** [None] for non-readable types: Theorem 3 ties the discerning level
     to cons only in the presence of a READ operation. *)
 
-val rcons_bounds : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> bounds option
+val rcons_bounds :
+  ?domains:int -> ?limit:int -> ?certs:string -> Rcons_spec.Object_type.t -> bounds option
 (** [None] for non-readable types (Theorem 8 needs the READ; the
     Theorem 14 upper bound alone is not an interval). *)
 
@@ -63,10 +72,11 @@ type report = {
   rcons : bounds option;
 }
 
-val classify : ?domains:int -> ?limit:int -> Rcons_spec.Object_type.t -> report
+val classify : ?domains:int -> ?limit:int -> ?certs:string -> Rcons_spec.Object_type.t -> report
 (** The full report, from exactly one discerning scan and one recording
     scan (the bounds are derived, not re-searched).  [?domains]
-    parallelizes the underlying witness searches without changing any
+    parallelizes the underlying witness searches and [?certs] persists
+    per-level results across runs ({!Cert_cache}); neither changes any
     field of the result. *)
 
 val pp_bounds_option : Format.formatter -> bounds option -> unit

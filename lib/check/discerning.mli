@@ -10,6 +10,33 @@
     operation on the same team have identical R-sets, so one tracked
     instance per distinct (team, operation) suffices. *)
 
+(** Per-type incremental scanner, mirroring {!Recording.Scan}: one
+    memoized {!Search.Make} instance shared across every candidate and
+    every level. *)
+module Scan (T : Rcons_spec.Object_type.S) : sig
+  val check :
+    q0:T.state ->
+    ops_a:T.op list ->
+    ops_b:T.op list ->
+    (T.state, T.op, T.resp) Certificate.discerning_data option
+  (** Decide one candidate assignment; [Some data] iff every tracked
+      process has disjoint R-sets (Definition 2). *)
+
+  val candidates : int -> (T.state * T.op list * T.op list) list
+  (** The level-n candidate space ({!Enumerate.candidates} over the
+      type's declared universes). *)
+
+  val witness_at :
+    ?domains:int ->
+    ?seed:(T.state, T.op, T.resp) Certificate.discerning_data ->
+    int ->
+    (T.state, T.op, T.resp) Certificate.discerning_data option
+  (** First witness in enumeration order, or [None].  [?seed] prepends
+      one-operation extensions of a lower-level witness; seeding can
+      change which witness is found first, never whether one exists.
+      @raise Invalid_argument if [n < 2]. *)
+end
+
 val check_candidate :
   (module Rcons_spec.Object_type.S with type state = 's and type op = 'o and type resp = 'r) ->
   q0:'s ->
@@ -17,7 +44,8 @@ val check_candidate :
   ops_b:'o list ->
   ('s, 'o, 'r) Certificate.discerning_data option
 (** Decide one candidate assignment; [Some data] iff every tracked
-    process has disjoint R-sets (Definition 2). *)
+    process has disjoint R-sets (Definition 2).  Standalone form (fresh
+    search instance per call); sweeps should go through {!Scan}. *)
 
 val witness : ?domains:int -> Rcons_spec.Object_type.t -> int -> Certificate.discerning option
 (** [witness t n]: a certificate that [t] is n-discerning, or [None].

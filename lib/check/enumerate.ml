@@ -26,3 +26,55 @@ let team_splits n =
 
 (* Cartesian product used when pairing the two teams' multisets. *)
 let pairs xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+(* Pairing a list with itself up to swapping the two components: only
+   (x_i, x_j) with i <= j.  For an equal team split (a, a), Definitions 2
+   and 4 are invariant under exchanging the two teams' multisets, so the
+   mirrored half of the square is redundant -- and because the mirror of
+   any valid pair is valid, the first valid pair in the full row-major
+   square always has i <= j, so a first-match search over this reduced
+   enumeration returns the same witness as one over the full square. *)
+let sym_pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) (x :: rest) @ go rest
+  in
+  go xs
+
+(* The shared candidate space of the witness searches at level n: every
+   (initial state, team-A multiset, team-B multiset) with the team-swap
+   symmetry of equal splits folded away.  Both decision procedures and the
+   certificate cache's negative-entry revalidation must agree on this
+   enumeration, so it lives here. *)
+(* |multisets k universe| = C(|universe| + k - 1, k), computed without
+   materializing the lists. *)
+let multiset_count k universe_size =
+  let rec binom n k = if k = 0 then 1 else binom (n - 1) (k - 1) * n / k in
+  if universe_size = 0 then if k = 0 then 1 else 0
+  else binom (universe_size + k - 1) k
+
+(* |candidates ~initial_states ~ops n|, arithmetically.  The certificate
+   cache validates negative entries against this count, so it must stay
+   exactly [List.length (candidates ...)] (pinned by a test). *)
+let candidate_count ~initial_states ~ops n =
+  let u = List.length ops in
+  let per_split (a, b) =
+    if a = b then
+      let c = multiset_count a u in
+      c * (c + 1) / 2
+    else multiset_count a u * multiset_count b u
+  in
+  List.length initial_states * List.fold_left (fun acc s -> acc + per_split s) 0 (team_splits n)
+
+let candidates ~initial_states ~ops n =
+  List.concat_map
+    (fun q0 ->
+      List.concat_map
+        (fun (a, b) ->
+          let ps =
+            if a = b then sym_pairs (multisets a ops)
+            else pairs (multisets a ops) (multisets b ops)
+          in
+          List.map (fun (ops_a, ops_b) -> (q0, ops_a, ops_b)) ps)
+        (team_splits n))
+    initial_states

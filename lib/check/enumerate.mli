@@ -18,3 +18,23 @@ val team_splits : int -> (int * int) list
 
 val pairs : 'a list -> 'b list -> ('a * 'b) list
 (** Cartesian product, in order. *)
+
+val sym_pairs : 'a list -> ('a * 'a) list
+(** [sym_pairs xs]: the pairs [(x_i, x_j)] with [i <= j], in row-major
+    order.  Used for equal team splits, where Definitions 2 and 4 are
+    invariant under exchanging the two teams' multisets: the mirror of
+    any valid pair is valid, so a first-match search over this reduced
+    enumeration returns the same witness as over the full square. *)
+
+val candidate_count : initial_states:'s list -> ops:'o list -> int -> int
+(** [List.length (candidates ~initial_states ~ops n)] computed
+    arithmetically (no list is built); the certificate cache validates
+    negative entries against it. *)
+
+val candidates :
+  initial_states:'s list -> ops:'o list -> int -> ('s * 'o list * 'o list) list
+(** [candidates ~initial_states ~ops n]: the canonical level-n candidate
+    space [(q0, team-A multiset, team-B multiset)] shared by both
+    decision procedures and by the certificate cache's negative-entry
+    revalidation (which must agree with the procedures on the
+    enumeration's shape). *)

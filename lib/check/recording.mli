@@ -13,6 +13,36 @@
     candidate exactly by computing Q_A and Q_B.  Answers are exact with
     respect to the type's declared finite operation universe. *)
 
+(** Per-type incremental scanner: one memoized {!Search.Make} instance
+    shared across every candidate and every level, so overlapping
+    sub-searches (A-first/B-first of one candidate, candidates across
+    levels) are computed once.  {!Classify} and the certificate cache
+    instantiate it once per type. *)
+module Scan (T : Rcons_spec.Object_type.S) : sig
+  val check :
+    q0:T.state ->
+    ops_a:T.op list ->
+    ops_b:T.op list ->
+    (T.state, T.op) Certificate.recording_data option
+  (** Decide one candidate assignment; [Some data] iff it satisfies all
+      three conditions of Definition 4. *)
+
+  val candidates : int -> (T.state * T.op list * T.op list) list
+  (** The level-n candidate space ({!Enumerate.candidates} over the
+      type's declared universes). *)
+
+  val witness_at :
+    ?domains:int ->
+    ?seed:(T.state, T.op) Certificate.recording_data ->
+    int ->
+    (T.state, T.op) Certificate.recording_data option
+  (** First witness in enumeration order, or [None].  [?seed] prepends
+      one-operation extensions of a lower-level witness to the
+      enumeration; seeding can change which witness is found first,
+      never whether one exists.
+      @raise Invalid_argument if [n < 2]. *)
+end
+
 val check_candidate :
   (module Rcons_spec.Object_type.S with type state = 's and type op = 'o and type resp = 'r) ->
   q0:'s ->
@@ -20,7 +50,8 @@ val check_candidate :
   ops_b:'o list ->
   ('s, 'o) Certificate.recording_data option
 (** Decide one candidate assignment; [Some data] iff it satisfies all
-    three conditions of Definition 4. *)
+    three conditions of Definition 4.  Standalone form (fresh search
+    instance per call); sweeps should go through {!Scan}. *)
 
 val witness : ?domains:int -> Rcons_spec.Object_type.t -> int -> Certificate.recording option
 (** [witness t n]: a certificate that [t] is n-recording, or [None] if

@@ -13,8 +13,21 @@
    operations, and "distinct processes" becomes "use each multiset element
    at most once".  Sequences are prefix-closed (every prefix of a valid
    sequence is a valid sequence), so states/pairs are collected at every
-   node of the search tree, and memoization on (state, remaining counts)
-   keeps the exploration polynomial in the reachable fragment. *)
+   node of the search tree.
+
+   The searches are memoized *compositionally*: the set collected below a
+   node depends only on (current state, remaining operation multisets),
+   not on the path that reached it, so each node's set is computed once
+   and cached in tables that live for the lifetime of the [Make (T)]
+   instance.  Because the two teams are interchangeable once the first
+   operation has been applied, the cache key sorts the two remaining
+   multisets -- the A-first and B-first searches of one candidate, and
+   overlapping candidates across scan levels, share every common
+   sub-search.  Callers that check many candidates (the witness scans of
+   {!Recording} / {!Discerning} and the incremental level scans of
+   {!Classify}) instantiate [Make (T)] once and reuse it; the tables are
+   mutex-guarded so the parallel candidate sweeps of
+   {!Rcons_par.Pool.find_first} may share an instance. *)
 
 module Make (T : Rcons_spec.Object_type.S) = struct
   module State_set = Set.Make (struct
@@ -35,71 +48,104 @@ module Make (T : Rcons_spec.Object_type.S) = struct
      operations; [counts] the number of processes assigned each one. *)
   type multiset = { ops : T.op array; counts : int array }
 
+  (* Group the sorted list in one linear pass: each element either extends
+     the current run or starts a new one.  (An earlier version re-ran
+     [List.partition] per distinct operation, which was quadratic.) *)
   let multiset_of_list ops =
     let sorted = List.sort T.compare_op ops in
-    let rec group = function
-      | [] -> []
-      | op :: rest ->
-          let same, others = List.partition (fun o -> T.compare_op o op = 0) rest in
-          (op, 1 + List.length same) :: group others
+    let rec group acc = function
+      | [] -> List.rev acc
+      | op :: rest -> (
+          match acc with
+          | (o, c) :: tl when T.compare_op o op = 0 -> group ((o, c + 1) :: tl) rest
+          | _ -> group ((op, 1) :: acc) rest)
     in
-    let grouped = group sorted in
+    let grouped = group [] sorted in
     { ops = Array.of_list (List.map fst grouped); counts = Array.of_list (List.map snd grouped) }
 
   let total ms = Array.fold_left ( + ) 0 ms.counts
 
-  (* Search nodes are (state, remaining counts of team 1, remaining counts
-     of team 2[, extra]); [extra] distinguishes tracked-operation status in
-     the R_{X,j} search. *)
-  module Node = struct
-    type t = T.state * int list * int list * int
+  let dec counts i =
+    let counts = Array.copy counts in
+    counts.(i) <- counts.(i) - 1;
+    counts
 
-    let compare (s1, a1, b1, x1) (s2, a2, b2, x2) =
-      let c = T.compare_state s1 s2 in
-      if c <> 0 then c
-      else
-        let c = Stdlib.compare a1 a2 in
-        if c <> 0 then c
-        else
-          let c = Stdlib.compare b1 b2 in
-          if c <> 0 then c else Stdlib.compare x1 x2
-    [@@warning "-unused-value-declaration"]
-  end
+  (* --- memo tables --- *)
 
-  module Node_set = Set.Make (Node)
+  (* Canonical encoding of a search node.  The remaining multisets are
+     rendered as "op-digest:count" runs (zero counts dropped) and the two
+     teams' renderings are sorted, because below the first operation the
+     searches treat the teams symmetrically. *)
+  let ms_key ops_digests counts =
+    let b = Buffer.create 32 in
+    Array.iteri
+      (fun i c -> if c > 0 then Buffer.add_string b (Printf.sprintf "%s:%d;" ops_digests.(i) c))
+      counts;
+    Buffer.contents b
 
-  let dec counts i = List.mapi (fun j c -> if j = i then c - 1 else c) counts
-  let counts_list ms = Array.to_list ms.counts
+  let node_key ~state_d ka kb extra =
+    let lo, hi = if ka <= kb then (ka, kb) else (kb, ka) in
+    String.concat "|" [ state_d; lo; hi; extra ]
+
+  let op_digests ms = Array.map (fun op -> Digest.to_hex (Digest.string (Rcons_spec.Object_type.digest op))) ms.ops
+
+  let memo_lock = Mutex.create ()
+  let reach_tbl : (string, State_set.t) Hashtbl.t = Hashtbl.create 256
+  let resp_tbl : (string, Pair_set.t) Hashtbl.t = Hashtbl.create 256
+  let hits = Atomic.make 0
+  let misses = Atomic.make 0
+
+  let memo_hits () = Atomic.get hits
+  let memo_misses () = Atomic.get misses
+
+  let with_lock f =
+    Mutex.lock memo_lock;
+    let r = f () in
+    Mutex.unlock memo_lock;
+    r
+
+  let memoized tbl key compute =
+    match with_lock (fun () -> Hashtbl.find_opt tbl key) with
+    | Some v ->
+        Atomic.incr hits;
+        v
+    | None ->
+        Atomic.incr misses;
+        let v = compute () in
+        with_lock (fun () -> if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v);
+        v
 
   (* Q_X: states reachable when the first operation comes from [first] and
-     subsequent operations come from what remains of [first] and [other]. *)
+     subsequent operations come from what remains of [first] and [other].
+     [collect s ca cb] is the set of states collected at and below the
+     node (s, ca, cb); it is independent of which team each multiset
+     represents, so the memo key may sort them. *)
   let reachable ~q0 ~(first : multiset) ~(other : multiset) =
-    let visited = ref Node_set.empty in
-    let found = ref State_set.empty in
-    let rec explore s ca cb =
-      let key = (s, ca, cb, 0) in
-      if not (Node_set.mem key !visited) then begin
-        visited := Node_set.add key !visited;
-        found := State_set.add s !found;
-        List.iteri
-          (fun i c ->
-            if c > 0 then
-              let s', _ = T.apply s first.ops.(i) in
-              explore s' (dec ca i) cb)
-          ca;
-        List.iteri
-          (fun i c ->
-            if c > 0 then
-              let s', _ = T.apply s other.ops.(i) in
-              explore s' ca (dec cb i))
-          cb
-      end
+    let da = op_digests first and db = op_digests other in
+    let rec collect s ca cb =
+      let key = node_key ~state_d:(T.digest_state s) (ms_key da ca) (ms_key db cb) "" in
+      memoized reach_tbl key (fun () ->
+          let acc = ref (State_set.singleton s) in
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                let s', _ = T.apply s first.ops.(i) in
+                acc := State_set.union !acc (collect s' (dec ca i) cb))
+            ca;
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                let s', _ = T.apply s other.ops.(i) in
+                acc := State_set.union !acc (collect s' ca (dec cb i)))
+            cb;
+          !acc)
     in
+    let found = ref State_set.empty in
     Array.iteri
       (fun i op ->
         if first.counts.(i) > 0 then
           let s', _ = T.apply q0 op in
-          explore s' (dec (counts_list first) i) (counts_list other))
+          found := State_set.union !found (collect s' (dec first.counts i) (Array.copy other.counts)))
       first.ops;
     !found
 
@@ -114,56 +160,48 @@ module Make (T : Rcons_spec.Object_type.S) = struct
       Array.iteri (fun i op -> if T.compare_op op tracked_op = 0 then idx := i) ms.ops;
       if !idx < 0 || ms.counts.(!idx) = 0 then
         invalid_arg "Search.responses: tracked operation not in its team";
-      let counts = Array.copy ms.counts in
-      counts.(!idx) <- counts.(!idx) - 1;
-      { ms with counts }
+      { ms with counts = dec ms.counts !idx }
     in
     let ta, tb =
       match tracked_team with
       | Rcons_spec.Team.A -> (remove_tracked team_a, team_b)
       | Rcons_spec.Team.B -> (team_a, remove_tracked team_b)
     in
-    let visited = ref Node_set.empty in
-    let found = ref Pair_set.empty in
+    let da = op_digests ta and db = op_digests tb in
+    let tracked_d = Digest.to_hex (Digest.string (Rcons_spec.Object_type.digest tracked_op)) in
     (* [tracked] = None while op_j has not been applied; Some r afterwards.
-       The node key encodes it as an int: -1 pending, i >= 0 the index of r
-       in a small response table. *)
-    let resp_table : T.resp list ref = ref [] in
-    let resp_index r =
-      let rec find i = function
-        | [] ->
-            resp_table := !resp_table @ [ r ];
-            i
-        | r' :: rest -> if T.compare_resp r r' = 0 then i else find (i + 1) rest
+       [collect s ca cb tracked] is the pair set at and below the node. *)
+    let rec collect s ca cb tracked =
+      let extra =
+        match tracked with
+        | None -> tracked_d ^ "?"
+        | Some r -> tracked_d ^ "!" ^ Digest.to_hex (Digest.string (Rcons_spec.Object_type.digest r))
       in
-      find 0 !resp_table
+      let key = node_key ~state_d:(T.digest_state s) (ms_key da ca) (ms_key db cb) extra in
+      memoized resp_tbl key (fun () ->
+          let acc =
+            ref (match tracked with Some r -> Pair_set.singleton (r, s) | None -> Pair_set.empty)
+          in
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                let s', _ = T.apply s ta.ops.(i) in
+                acc := Pair_set.union !acc (collect s' (dec ca i) cb tracked))
+            ca;
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                let s', _ = T.apply s tb.ops.(i) in
+                acc := Pair_set.union !acc (collect s' ca (dec cb i) tracked))
+            cb;
+          (match tracked with
+          | None ->
+              let s', r = T.apply s tracked_op in
+              acc := Pair_set.union !acc (collect s' ca cb (Some r))
+          | Some _ -> ());
+          !acc)
     in
-    let rec explore s ca cb tracked =
-      let code = match tracked with None -> -1 | Some (i, _) -> i in
-      let key = (s, ca, cb, code) in
-      if not (Node_set.mem key !visited) then begin
-        visited := Node_set.add key !visited;
-        (match tracked with
-        | Some (_, r) -> found := Pair_set.add (r, s) !found
-        | None -> ());
-        List.iteri
-          (fun i c ->
-            if c > 0 then
-              let s', _ = T.apply s ta.ops.(i) in
-              explore s' (dec ca i) cb tracked)
-          ca;
-        List.iteri
-          (fun i c ->
-            if c > 0 then
-              let s', _ = T.apply s tb.ops.(i) in
-              explore s' ca (dec cb i) tracked)
-          cb;
-        if tracked = None then begin
-          let s', r = T.apply s tracked_op in
-          explore s' ca cb (Some (resp_index r, r))
-        end
-      end
-    in
+    let found = ref Pair_set.empty in
     (* First step: a process of team [first] moves, which is either a
        regular instance of that team's multiset or the tracked process when
        it belongs to team [first]. *)
@@ -172,16 +210,20 @@ module Make (T : Rcons_spec.Object_type.S) = struct
         (fun i op ->
           if ms.counts.(i) > 0 then
             let s', _ = T.apply q0 op in
-            if flip then explore s' other_counts (dec ms_counts i) None
-            else explore s' (dec ms_counts i) other_counts None)
+            let set =
+              if flip then collect s' (Array.copy other_counts) (dec ms_counts i) None
+              else collect s' (dec ms_counts i) (Array.copy other_counts) None
+            in
+            found := Pair_set.union !found set)
         ms.ops
     in
     (match first with
-    | Rcons_spec.Team.A -> start_regular ta (counts_list ta) (counts_list tb) false
-    | Rcons_spec.Team.B -> start_regular tb (counts_list tb) (counts_list ta) true);
+    | Rcons_spec.Team.A -> start_regular ta ta.counts tb.counts false
+    | Rcons_spec.Team.B -> start_regular tb tb.counts ta.counts true);
     if tracked_team = first then begin
       let s', r = T.apply q0 tracked_op in
-      explore s' (counts_list ta) (counts_list tb) (Some (resp_index r, r))
+      found :=
+        Pair_set.union !found (collect s' (Array.copy ta.counts) (Array.copy tb.counts) (Some r))
     end;
     !found
 end

@@ -3,9 +3,15 @@
     multiset abstraction of team assignments (see {!Enumerate}).
 
     Sequences of distinct-process operations are prefix-closed, so
-    states/pairs are collected at every node of the search tree, and
-    memoization on (state, remaining counts) keeps the exploration
-    polynomial in the reachable fragment. *)
+    states/pairs are collected at every node of the search tree.  The
+    set collected below a node depends only on (state, remaining
+    multisets), so each node is computed once and cached in tables that
+    live for the lifetime of the [Make] instance: candidate checks that
+    share sub-searches (the A-first/B-first pair of one candidate, and
+    overlapping candidates across levels of an incremental scan) reuse
+    each other's work when the caller reuses the instance.  The tables
+    are mutex-guarded; sharing an instance across the parallel candidate
+    sweeps of {!Rcons_par.Pool} is safe and changes no result. *)
 
 module Make (T : Rcons_spec.Object_type.S) : sig
   module State_set : Set.S with type elt = T.state
@@ -15,7 +21,19 @@ module Make (T : Rcons_spec.Object_type.S) : sig
   type multiset = { ops : T.op array; counts : int array }
 
   val multiset_of_list : T.op list -> multiset
+  (** Sort and group a team's operation list (one linear grouping pass
+      over the [compare_op]-sorted list). *)
+
   val total : multiset -> int
+
+  val memo_hits : unit -> int
+  (** Number of node-level memo-table hits since the instance was
+      created (across both searches); monotone, for cache-effect
+      observability. *)
+
+  val memo_misses : unit -> int
+  (** Number of node-level memo-table misses (= distinct nodes
+      computed). *)
 
   val reachable : q0:T.state -> first:multiset -> other:multiset -> State_set.t
   (** Q_X: all states reachable by applying operations of distinct

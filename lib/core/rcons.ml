@@ -40,13 +40,40 @@ module Counterexample = Counterexample
    across OCaml 5 domains without changing the report. *)
 let classify = Check.Classify.classify
 
+(* The n-recording witness search behind [solve_rc], optionally through
+   the persisted certificate cache.  The fingerprint depth [max 8 n]
+   matches {!Check.Classify}'s [max 8 limit], so a [classify] run and a
+   [solve] run at the same level share cache entries. *)
+let recording_witness ?domains ?certs ot n =
+  match certs with
+  | None -> Check.Recording.witness ?domains ot n
+  | Some dir ->
+      let go (type s o r)
+          (module T : Spec.Object_type.S with type state = s and type op = o and type resp = r) =
+        let depth = max 8 n in
+        let fp = Spec.Object_type.fingerprint ~depth (module T) in
+        let pack d = Check.Certificate.Recording ((module T), d) in
+        let module Sc = Check.Recording.Scan (T) in
+        match
+          Check.Cert_cache.load_recording (module T) ~check:(Some Sc.check) ~dir ~fingerprint:fp
+            ~n
+        with
+        | Check.Cert_cache.Hit d -> Some (pack d)
+        | Check.Cert_cache.Negative -> None
+        | Check.Cert_cache.Miss ->
+            let r = Sc.witness_at ?domains n in
+            Check.Cert_cache.store_recording (module T) ~dir ~fingerprint:fp ~depth ~n r;
+            Option.map pack r
+      in
+      (match ot with Spec.Object_type.Pack (module T) -> go (module T))
+
 (* Build an n-process recoverable-consensus decision function from any
    readable type that is n-recording (Theorem 8 + the tournament of
    Appendix B).  Returns None when the checker finds no n-recording
    witness.  The resulting [decide pid v] must be run inside a simulated
    process (see {!Runtime.Sim}); it tolerates crashes and recoveries. *)
-let solve_rc ?domains ot ~n =
-  match Check.Recording.witness ?domains ot n with
+let solve_rc ?domains ?certs ot ~n =
+  match recording_witness ?domains ?certs ot n with
   | None -> None
   | Some cert -> Some (Algo.Tournament.recoverable_consensus cert ~n)
 

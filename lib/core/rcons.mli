@@ -35,14 +35,23 @@ module Counterexample = Counterexample
     with a self-describing workload and provenance, as diffable JSON
     (conventionally under [_counterexamples/]). *)
 
-val classify : ?domains:int -> ?limit:int -> Spec.Object_type.t -> Check.Classify.report
+val classify :
+  ?domains:int -> ?limit:int -> ?certs:string -> Spec.Object_type.t -> Check.Classify.report
 (** Where does a type sit in the two hierarchies?  Decides the
     n-discerning and n-recording levels up to [limit] (default 8) and
     derives interval bounds on cons(T) and rcons(T).  [domains]
     (default 1) fans each witness search across that many OCaml 5
-    domains; the report is independent of it. *)
+    domains; [certs] names a {!Check.Cert_cache} directory that persists
+    per-level results across runs (entries are revalidated before being
+    trusted).  The report is independent of both. *)
 
-val solve_rc : ?domains:int -> Spec.Object_type.t -> n:int -> (int -> 'v -> 'v) option
+val recording_witness :
+  ?domains:int -> ?certs:string -> Spec.Object_type.t -> int -> Check.Certificate.recording option
+(** The witness search behind {!solve_rc}: {!Check.Recording.witness},
+    optionally routed through the persisted certificate cache. *)
+
+val solve_rc :
+  ?domains:int -> ?certs:string -> Spec.Object_type.t -> n:int -> (int -> 'v -> 'v) option
 (** Build an n-process recoverable-consensus decision function from any
     readable type that is n-recording (Theorem 8 + the tournament of
     Appendix B); [None] when the checker finds no n-recording witness.

@@ -56,6 +56,89 @@ let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
 let name (Pack (module T)) = T.name
 let readable (Pack (module T)) = T.readable
 
+(* Canonical behavioural fingerprint of a type: an MD5 over the depth-
+   bounded transition table reachable from the candidate initial states
+   under the declared operation universe, plus the readability flag.
+
+   Two types fingerprint equally iff they are behaviourally identical on
+   every operation sequence of length <= [depth] from a candidate initial
+   state -- exactly the fragment the n-discerning / n-recording searches
+   (Definitions 2 and 4) explore for n <= depth.  The encoding names
+   states by their BFS discovery index and operations by their position
+   in [update_ops], so catalogue aliases of the same behaviour share a
+   fingerprint while any edit to [apply], the universes or [readable]
+   changes it.  Used as the on-disk cache key for persisted certificates
+   (see Rcons_check.Cert_cache); a fingerprint mismatch marks a cache
+   entry as stale. *)
+let fingerprint_state_cap = 100_000
+
+(* A fingerprint is a pure function of the module value and the depth,
+   and the catalogue's modules are top-level values handed out over and
+   over, so memoize by physical identity (a handful of modules per
+   process; linear scan is fine).  Guarded for multi-domain callers. *)
+let fp_memo : (Obj.t * int * string) list ref = ref []
+let fp_memo_lock = Mutex.create ()
+
+let fp_memo_find key depth =
+  Mutex.protect fp_memo_lock (fun () ->
+      List.find_map
+        (fun (k, d, fp) -> if k == key && d = depth then Some fp else None)
+        !fp_memo)
+
+let fp_memo_add key depth fp =
+  Mutex.protect fp_memo_lock (fun () -> fp_memo := (key, depth, fp) :: !fp_memo)
+
+let fingerprint_uncached (type s o r) ~depth
+    (module T : S with type state = s and type op = o and type resp = r) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "rcons-fp-v1 depth=%d readable=%b " depth T.readable);
+  (* state identity: digest -> BFS index *)
+  let index : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let next = ref 0 in
+  let frontier = Stdlib.Queue.create () in
+  let intern ~level q =
+    let d = T.digest_state q in
+    match Hashtbl.find_opt index d with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add index d i;
+        if level < depth && i < fingerprint_state_cap then Stdlib.Queue.add (q, level) frontier;
+        i
+  in
+  let ops = Array.of_list T.update_ops in
+  Buffer.add_string buf (Printf.sprintf "ops=%d " (Array.length ops));
+  List.iter
+    (fun q -> Buffer.add_string buf (Printf.sprintf "init:%d " (intern ~level:0 q)))
+    T.candidate_initial_states;
+  while not (Stdlib.Queue.is_empty frontier) do
+    let q, level = Stdlib.Queue.pop frontier in
+    let qi = Hashtbl.find index (T.digest_state q) in
+    Array.iteri
+      (fun oi op ->
+        let q', r = T.apply q op in
+        Buffer.add_string buf
+          (Printf.sprintf "%d.%d->%d;%s " qi oi
+             (intern ~level:(level + 1) q')
+             (Stdlib.Digest.to_hex (Stdlib.Digest.string (digest r)))))
+      ops
+  done;
+  if !next >= fingerprint_state_cap then Buffer.add_string buf "truncated";
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents buf))
+
+let fingerprint (type s o r) ?(depth = 8)
+    (module T : S with type state = s and type op = o and type resp = r) =
+  let key = Obj.repr (module T : S with type state = s and type op = o and type resp = r) in
+  match fp_memo_find key depth with
+  | Some fp -> fp
+  | None ->
+      let fp = fingerprint_uncached ~depth (module T) in
+      fp_memo_add key depth fp;
+      fp
+
+let fingerprint_t ?depth (Pack (module T)) = fingerprint ?depth (module T)
+
 let equal_state (type s o r)
     (module T : S with type state = s and type op = o and type resp = r)
     (a : s) (b : s) =

@@ -63,6 +63,23 @@ type t = Pack : (module S with type state = 's and type op = 'o and type resp = 
 val name : t -> string
 val readable : t -> bool
 
+val fingerprint :
+  ?depth:int -> (module S with type state = 's and type op = 'o and type resp = 'r) -> string
+(** Canonical behavioural fingerprint: an MD5 hex digest over the
+    depth-bounded transition table reachable from
+    {!S.candidate_initial_states} under {!S.update_ops}, together with
+    the {!S.readable} flag.  Two types fingerprint equally iff they
+    behave identically on every operation sequence of length [<= depth]
+    (default 8) from a candidate initial state — the fragment explored
+    by the n-discerning / n-recording searches for [n <= depth].  States
+    are named by BFS discovery index and operations by universe
+    position, so catalogue aliases share fingerprints while any change
+    to [apply], the universes or [readable] invalidates them.  This is
+    the on-disk key of the persisted certificate cache. *)
+
+val fingerprint_t : ?depth:int -> t -> string
+(** {!fingerprint} on a packed type. *)
+
 val digest : 'a -> string
 (** Canonical digest for plain-data values ([Marshal] with sharing
     expanded): byte equality of digests coincides with structural

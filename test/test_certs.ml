@@ -1,0 +1,283 @@
+(* Persisted certificate cache: round-trips (store -> JSON -> load ->
+   revalidate) over the catalogue and over random finite types, and the
+   trust boundary -- poisoned or fingerprint-stale entries must never be
+   believed, only discarded and recomputed. *)
+
+open Rcons_check
+module OT = Rcons_spec.Object_type
+
+let tmp_dir () =
+  let d = Filename.temp_file "rcons-certs" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  d
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file file contents =
+  let oc = open_out_bin file in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+(* Store the live scan result for one (type, property, n), reload it and
+   require the reload to agree with the original bit for bit.  Returns
+   false on any disagreement. *)
+let roundtrip_recording (OT.Pack (module T)) n dir =
+  let module Sc = Recording.Scan (T) in
+  let depth = max 8 n in
+  let fp = OT.fingerprint ~depth (module T) in
+  let r = Sc.witness_at n in
+  Cert_cache.store_recording (module T) ~dir ~fingerprint:fp ~depth ~n r;
+  match (Cert_cache.load_recording (module T) ~check:None ~dir ~fingerprint:fp ~n, r) with
+  | Cert_cache.Hit d, Some d0 -> d = d0
+  | Cert_cache.Negative, None -> true
+  | _ -> false
+
+let roundtrip_discerning (OT.Pack (module T)) n dir =
+  let module Sc = Discerning.Scan (T) in
+  let depth = max 8 n in
+  let fp = OT.fingerprint ~depth (module T) in
+  let r = Sc.witness_at n in
+  Cert_cache.store_discerning (module T) ~dir ~fingerprint:fp ~depth ~n r;
+  match (Cert_cache.load_discerning (module T) ~check:None ~dir ~fingerprint:fp ~n, r) with
+  | Cert_cache.Hit d, Some d0 -> d = d0
+  | Cert_cache.Negative, None -> true
+  | _ -> false
+
+let catalogue_types () =
+  List.map (fun e -> e.Rcons_spec.Catalogue.ot) Rcons_spec.Catalogue.all
+  @ [ Rcons_spec.Sn.make 3; Rcons_spec.Tn.make 3; Rcons_spec.Sn.make 4 ]
+
+(* Round-trip every catalogue type at n = 2..4 and then revalidate every
+   file on disk through the fingerprint-anchored CLI path. *)
+let test_roundtrip_catalogue () =
+  with_dir @@ fun dir ->
+  List.iter
+    (fun ot ->
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "recording %s n=%d" (OT.name ot) n)
+            true (roundtrip_recording ot n dir);
+          Alcotest.(check bool)
+            (Printf.sprintf "discerning %s n=%d" (OT.name ot) n)
+            true (roundtrip_discerning ot n dir))
+        [ 2; 3; 4 ])
+    (catalogue_types ());
+  let entries = Cert_cache.list_dir dir in
+  Alcotest.(check bool) "cache is non-empty" true (List.length entries > 0);
+  List.iter
+    (fun (file, parsed) ->
+      (match parsed with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "corrupt entry %s: %s" file m);
+      match Cert_cache.revalidate_file file with
+      | Cert_cache.Valid -> ()
+      | Cert_cache.Stale_entry m -> Alcotest.failf "stale entry %s: %s" file m
+      | Cert_cache.Corrupt m -> Alcotest.failf "corrupt entry %s: %s" file m)
+    entries
+
+(* qcheck: round-trips also hold for arbitrary random finite types
+   (these exercise the negative-entry path heavily: most random types
+   have no witness).  Random types are not in the catalogue, so only the
+   load path is checked, not the fingerprint-anchored [revalidate_file]. *)
+let table_gen =
+  QCheck2.Gen.(
+    let* num_states = int_range 2 3 in
+    let* num_ops = int_range 1 2 in
+    let* num_resps = int_range 1 2 in
+    let* seed = int_bound 1_000_000 in
+    let rng = Random.State.make [| seed; num_states; num_ops; 11 |] in
+    return (Rcons_spec.Finite_type.random ~num_resps ~num_states ~num_ops rng))
+
+let test_roundtrip_random =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"random finite types round-trip" table_gen (fun table ->
+         let ot = Rcons_spec.Finite_type.of_table table in
+         with_dir @@ fun dir ->
+         List.for_all
+           (fun n -> roundtrip_recording ot n dir && roundtrip_discerning ot n dir)
+           [ 2; 3 ]))
+
+(* The arithmetic candidate count used to validate negative entries must
+   equal the materialized enumeration exactly. *)
+let test_candidate_count () =
+  List.iter
+    (fun (states, ops, n) ->
+      let initial_states = List.init states Fun.id and ops = List.init ops Fun.id in
+      Alcotest.(check int)
+        (Printf.sprintf "%d states, %d ops, n=%d" states (List.length ops) n)
+        (List.length (Enumerate.candidates ~initial_states ~ops n))
+        (Enumerate.candidate_count ~initial_states ~ops n))
+    [ (1, 1, 2); (2, 3, 2); (3, 2, 4); (2, 4, 5); (1, 5, 6); (2, 2, 7) ]
+
+(* Fixture: the first recording-witness entry written for a type known to
+   have one. *)
+let sticky = Rcons_spec.Sticky_bit.t
+
+let store_sticky_witness dir =
+  match sticky with
+  | OT.Pack (module T) ->
+      let module Sc = Recording.Scan (T) in
+      let fp = OT.fingerprint (module T) in
+      let r = Sc.witness_at 2 in
+      Alcotest.(check bool) "sticky-bit is 2-recording" true (Option.is_some r);
+      Cert_cache.store_recording (module T) ~dir ~fingerprint:fp ~depth:8 ~n:2 r;
+      (fp, Filename.concat dir (Cert_cache.file_name ~property:Cert_cache.Recording ~fingerprint:fp ~n:2))
+
+let load_sticky dir fp =
+  match sticky with
+  | OT.Pack (module T) -> (
+      match Cert_cache.load_recording (module T) ~check:None ~dir ~fingerprint:fp ~n:2 with
+      | Cert_cache.Hit _ -> `Hit
+      | Cert_cache.Negative -> `Negative
+      | Cert_cache.Miss -> `Miss)
+
+(* Poisoned certificate: mutate the stored Q_A digest.  The loader must
+   reject the entry (Miss, never Hit) and a cache-backed classify must
+   recompute and heal the file. *)
+let test_poisoned_q_set () =
+  with_dir @@ fun dir ->
+  let fp, file = store_sticky_witness dir in
+  Alcotest.(check bool) "pristine entry loads" true (load_sticky dir fp = `Hit);
+  let poisoned =
+    Str.global_replace (Str.regexp {|"q_a": "[0-9a-f]*"|}) {|"q_a": "deadbeefdeadbeefdeadbeefdeadbeef"|}
+      (read_file file)
+  in
+  write_file file poisoned;
+  Alcotest.(check bool) "poisoned entry is a miss" true (load_sticky dir fp = `Miss);
+  (match Cert_cache.revalidate_file file with
+  | Cert_cache.Stale_entry _ -> ()
+  | Cert_cache.Valid -> Alcotest.fail "poisoned entry revalidated as valid"
+  | Cert_cache.Corrupt m -> Alcotest.failf "poisoned entry reported corrupt (%s), want stale" m);
+  (* A classify run through the cache must agree with a cache-free run
+     and overwrite the poisoned file with a valid one. *)
+  let with_cache = Classify.classify ~limit:3 ~certs:dir sticky in
+  let without = Classify.classify ~limit:3 sticky in
+  Alcotest.(check string)
+    "poisoned cache cannot change the report"
+    (Format.asprintf "%a" Classify.pp_report without)
+    (Format.asprintf "%a" Classify.pp_report with_cache);
+  match Cert_cache.revalidate_file file with
+  | Cert_cache.Valid -> ()
+  | Cert_cache.Stale_entry m | Cert_cache.Corrupt m ->
+      Alcotest.failf "entry not healed by recompute: %s" m
+
+(* Stale fingerprint: the entry claims a fingerprint the live type no
+   longer has (as after any behavioural change).  The loader must reject
+   it and the maintenance path must not find a matching type. *)
+let test_stale_fingerprint () =
+  with_dir @@ fun dir ->
+  let fp, file = store_sticky_witness dir in
+  let bogus = String.init (String.length fp) (fun i -> if fp.[i] = 'f' then '0' else 'f') in
+  write_file file (Str.global_replace (Str.regexp_string fp) bogus (read_file file));
+  Alcotest.(check bool) "fingerprint-stale entry is a miss" true (load_sticky dir fp = `Miss);
+  match Cert_cache.revalidate_file file with
+  | Cert_cache.Stale_entry _ -> ()
+  | Cert_cache.Valid -> Alcotest.fail "fingerprint-stale entry revalidated as valid"
+  | Cert_cache.Corrupt m -> Alcotest.failf "want stale, got corrupt: %s" m
+
+(* Mutating a negative entry's exhausted-candidate count must invalidate
+   it: the enumeration shape is part of what makes a "none" trustworthy. *)
+let test_poisoned_negative () =
+  with_dir @@ fun dir ->
+  match Rcons_spec.Register.default with
+  | OT.Pack (module T) ->
+      let fp = OT.fingerprint (module T) in
+      Cert_cache.store_recording (module T) ~dir ~fingerprint:fp ~depth:8 ~n:2 None;
+      let file =
+        Filename.concat dir (Cert_cache.file_name ~property:Cert_cache.Recording ~fingerprint:fp ~n:2)
+      in
+      let load () =
+        match Cert_cache.load_recording (module T) ~check:None ~dir ~fingerprint:fp ~n:2 with
+        | Cert_cache.Negative -> `Negative
+        | Cert_cache.Hit _ -> `Hit
+        | Cert_cache.Miss -> `Miss
+      in
+      Alcotest.(check bool) "pristine negative loads" true (load () = `Negative);
+      write_file file
+        (Str.global_replace (Str.regexp {|"candidates": [0-9]*|}) {|"candidates": 9999|}
+           (read_file file));
+      Alcotest.(check bool) "mutated candidate count is a miss" true (load () = `Miss)
+
+(* Truncated file: corrupt, not stale -- and [gc] removes it while
+   keeping valid entries. *)
+let test_corrupt_and_gc () =
+  with_dir @@ fun dir ->
+  let _fp, file = store_sticky_witness dir in
+  let other = Filename.concat dir "recording-0000-n2.json" in
+  write_file other "{\"format\": \"rcons-ce";
+  (match Cert_cache.revalidate_file other with
+  | Cert_cache.Corrupt _ -> ()
+  | _ -> Alcotest.fail "truncated file must be corrupt");
+  (match Cert_cache.info_of_file other with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated file must not parse");
+  let removed = Cert_cache.gc dir in
+  Alcotest.(check (list string)) "gc removes only the corrupt file" [ other ]
+    (List.map fst removed);
+  Alcotest.(check bool) "valid entry survives gc" true (Sys.file_exists file)
+
+(* Missing cache directory behaves as an empty cache. *)
+let test_missing_dir () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "rcons-certs-nonexistent" in
+  rm_rf dir;
+  Alcotest.(check int) "list_dir of missing dir" 0 (List.length (Cert_cache.list_dir dir));
+  match sticky with
+  | OT.Pack (module T) -> (
+      let fp = OT.fingerprint (module T) in
+      match Cert_cache.load_recording (module T) ~check:None ~dir ~fingerprint:fp ~n:2 with
+      | Cert_cache.Miss -> ()
+      | _ -> Alcotest.fail "missing dir must be a miss")
+
+(* Warm/cold/cache-free classifications agree, and a warm run is all
+   cache hits (it does not rewrite any file). *)
+let test_classify_warm_equals_cold () =
+  with_dir @@ fun dir ->
+  let types = [ sticky; Rcons_spec.Cas.default; Rcons_spec.Register.default; Rcons_spec.Sn.make 3 ] in
+  let render certs =
+    String.concat "\n"
+      (List.map
+         (fun ot -> Format.asprintf "%a" Classify.pp_report (Classify.classify ~limit:4 ?certs ot))
+         types)
+  in
+  let nocache = render None in
+  let cold = render (Some dir) in
+  let mtimes () =
+    List.map (fun (f, _) -> (f, (Unix.stat f).Unix.st_mtime)) (Cert_cache.list_dir dir)
+  in
+  let before = mtimes () in
+  let warm = render (Some dir) in
+  Alcotest.(check string) "cold = no-cache" nocache cold;
+  Alcotest.(check string) "warm = cold" cold warm;
+  Alcotest.(check bool) "warm run rewrites nothing" true (mtimes () = before)
+
+let suite =
+  [
+    Alcotest.test_case "catalogue round-trip + revalidate" `Quick test_roundtrip_catalogue;
+    test_roundtrip_random;
+    Alcotest.test_case "candidate count matches enumeration" `Quick test_candidate_count;
+    Alcotest.test_case "poisoned Q-set: rejected and recomputed" `Quick test_poisoned_q_set;
+    Alcotest.test_case "stale fingerprint: rejected" `Quick test_stale_fingerprint;
+    Alcotest.test_case "poisoned negative: rejected" `Quick test_poisoned_negative;
+    Alcotest.test_case "corrupt entry: flagged and gc'd" `Quick test_corrupt_and_gc;
+    Alcotest.test_case "missing dir = empty cache" `Quick test_missing_dir;
+    Alcotest.test_case "classify warm = cold = no-cache" `Quick test_classify_warm_equals_cold;
+  ]

@@ -19,6 +19,7 @@ let suites =
     ("enumerate", Test_enumerate.suite, false);
     ("search", Test_search.suite, false);
     ("checkers", Test_checkers.suite, false);
+    ("certs", Test_certs.suite, false);
     ("theorems", Test_theorems.suite, false);
     ("oracle", Test_oracle.suite, false);
     ("runtime", Test_runtime.suite, false);
