@@ -1,18 +1,49 @@
-(* Work-sharing domain pool with deterministic result merging.
+(* Work-stealing domain pool with deterministic result merging.
 
-   Every combinator runs a function over the index range [0, n) and merges
-   per-index results so the outcome does not depend on the number of
-   domains: [?domains:1] (the default) and any larger value produce the
-   same answer, bit for bit.  Work distribution is dynamic — a shared
-   atomic cursor hands out contiguous chunks of indices in increasing
-   order — so imbalanced indices do not idle domains; determinism comes
-   from the merge, never from the schedule.
+   Every combinator runs a function over the index range [0, n) and
+   merges per-index results so the outcome does not depend on the number
+   of domains: [?domains:1] (the default) and any larger value produce
+   the same answer, bit for bit.  Determinism comes from the merge,
+   never from the schedule.
 
-   With [domains <= 1] (or a trivially small range) everything runs inline
-   on the calling domain: no spawns, no atomics, just the plain
-   left-to-right loop.  That inline path is what callers get by default,
-   so threading [?domains] through an existing API cannot perturb the
-   sequential behaviour. *)
+   Two layers keep the overhead proportional to the work instead of to
+   the call count:
+
+   - A {e granularity cutoff}.  Every combinator first runs indices
+     inline on the calling domain until [sequential_cutoff] seconds have
+     elapsed (default 1ms, override with [set_sequential_cutoff] or the
+     RCONS_SEQ_CUTOFF_MS environment variable); only then does it fan
+     the remaining range out.  Scans whose whole work fits in the grace
+     period — the small classify sweeps that used to regress 10-30x
+     under [?domains] — never spawn a domain at all, and a scan that
+     does fan out is guaranteed to carry at least a grace period of
+     work, so the per-job [Domain.spawn] cost (tens of microseconds per
+     worker) stays a few percent in the worst case.
+
+   - {e Chunked work-stealing range deques}.  Each participant owns one
+     atomic cell holding a packed [lo, hi) index range; the owner claims
+     small chunks off the low end (LIFO with respect to its own
+     contiguous block — the indices it touched most recently stay hot),
+     and a participant that runs dry steals the {e upper half} of a
+     victim's remaining range (FIFO end), processing the first chunk of
+     the loot directly and installing the rest as its own.  Every cell
+     mutation is a single CAS on one integer, so there is no shared
+     cursor line that all domains hammer; a global outstanding counter
+     (decremented per processed chunk) detects termination.
+
+   Worker domains are deliberately spawned {e per job} and joined before
+   the combinator returns, never parked in a persistent pool.  On OCaml
+   5.1 every live domain participates in stop-the-world minor
+   collections, so parked idle domains tax allocation-heavy {e
+   sequential} phases measurably (~3x on the explorer); joined domains
+   cost nothing.  Per-job spawning also means worker domain-local state
+   (heap arenas, persistency caches) starts fresh every time, so no
+   cross-job hygiene is needed.
+
+   With [domains <= 1], inside a worker (nested calls run inline rather
+   than nest domain fan-outs), or when the range is trivially small,
+   everything runs on the calling domain: no spawns, no atomics, just
+   the plain left-to-right loop. *)
 
 let available_domains () = max 1 (Domain.recommended_domain_count ())
 
@@ -21,123 +52,365 @@ let resolve_domains = function
   | Some d when d <= 1 -> 1
   | Some d -> min d (4 * available_domains ())
 
-(* Run [body wid] for wid in [0, k): k-1 spawned domains plus the calling
-   one.  All domains are joined before returning; the first exception
-   observed (caller's own first, then spawn order) is re-raised. *)
-let run_workers k body =
-  if k <= 1 then body 0
-  else begin
-    let spawned = Array.init (k - 1) (fun i -> Domain.spawn (fun () -> body (i + 1))) in
-    let first_exn = ref None in
-    let note = function
-      | None -> ()
-      | Some _ as e -> if !first_exn = None then first_exn := e
-    in
-    note (try body 0; None with e -> Some e);
-    Array.iter (fun d -> note (try Domain.join d; None with e -> Some e)) spawned;
-    match !first_exn with None -> () | Some e -> raise e
-  end
+(* ------------------------------------------------------------------ *)
+(* Telemetry: cheap global counters for the bench's per-stage rows.    *)
 
-(* Chunks are claimed in increasing order; small chunks keep the
-   cancellation watermark of [find_first] tight, large enough ones keep
-   the cursor off the hot path. *)
-let chunk_for n k = max 1 (min 64 (n / (k * 4)))
+module Telemetry = struct
+  type snapshot = {
+    jobs : int;  (* parallel jobs submitted to the pool *)
+    chunks : int;  (* chunk claims off a range deque *)
+    steals : int;  (* successful steal-half operations *)
+    seq_cutoffs : int;  (* calls completed inside the grace period *)
+  }
+
+  let jobs = Atomic.make 0
+  let chunks = Atomic.make 0
+  let steals = Atomic.make 0
+  let seq_cutoffs = Atomic.make 0
+
+  let snapshot () =
+    {
+      jobs = Atomic.get jobs;
+      chunks = Atomic.get chunks;
+      steals = Atomic.get steals;
+      seq_cutoffs = Atomic.get seq_cutoffs;
+    }
+
+  let diff a b =
+    {
+      jobs = a.jobs - b.jobs;
+      chunks = a.chunks - b.chunks;
+      steals = a.steals - b.steals;
+      seq_cutoffs = a.seq_cutoffs - b.seq_cutoffs;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Granularity cutoff.                                                 *)
+
+let default_cutoff = 0.001
+
+let cutoff =
+  Atomic.make
+    (match Sys.getenv_opt "RCONS_SEQ_CUTOFF_MS" with
+    | Some s -> ( try max 0. (float_of_string s /. 1000.) with _ -> default_cutoff)
+    | None -> default_cutoff)
+
+let sequential_cutoff () = Atomic.get cutoff
+let set_sequential_cutoff g = Atomic.set cutoff (max 0. g)
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Per-job worker domains.                                             *)
+
+(* True on worker domains, and on the caller domain while it is
+   participating in a job: combinators called from either run inline, so
+   nested parallelism never nests domain fan-outs. *)
+let in_parallel_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Effective participant count for a request of [k] domains: 1 inside a
+   worker or for sequential requests; otherwise capped at one participant
+   per core (with a floor of 4 so single-core test machines still
+   exercise real cross-domain schedules in the determinism suites).
+   Determinism never depends on this number (merge-based), so clamping a
+   generous [--domains] to the machine is free. *)
+let effective_width k =
+  if k <= 1 || Domain.DLS.get in_parallel_region then 1
+  else min k (max 4 (available_domains ()))
+
+(* Run [body p] for every participant p in [0, width); the caller is
+   participant 0, the others are freshly spawned domains (joined before
+   returning, so no idle domain outlives the job to tax later sequential
+   phases with stop-the-world barriers).  The first exception in
+   participant order (caller first) is re-raised. *)
+let run_job width body =
+  let exns = Array.make width None in
+  Atomic.incr Telemetry.jobs;
+  let doms =
+    Array.init (width - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set in_parallel_region true;
+            match body (i + 1) with
+            | () -> ()
+            | exception e -> exns.(i + 1) <- Some e))
+  in
+  Domain.DLS.set in_parallel_region true;
+  (match body 0 with () -> () | exception e -> exns.(0) <- Some e);
+  Domain.DLS.set in_parallel_region false;
+  Array.iter Domain.join doms;
+  Array.iter (function Some e -> raise e | None -> ()) exns
+
+(* ------------------------------------------------------------------ *)
+(* Work-stealing range deques.                                         *)
+
+(* A deque cell packs an unprocessed [lo, hi) index range into one OCaml
+   int (31 bits each half), so claiming and stealing are single CASes.
+   The invariant is simply that at every instant each unprocessed index
+   lives in exactly one cell or in exactly one claimed in-flight chunk;
+   [outstanding] counts indices not yet processed (or skipped), which is
+   what participants poll for termination. *)
+let range_limit = 1 lsl 30
+let pack lo hi = (lo lsl 31) lor hi
+let unpack v = (v lsr 31, v land 0x7FFFFFFF)
+
+type sched = { cells : int Atomic.t array; outstanding : int Atomic.t }
+
+let make_sched lo n width =
+  let total = n - lo in
+  {
+    cells =
+      Array.init width (fun j ->
+          Atomic.make (pack (lo + (total * j / width)) (lo + (total * (j + 1) / width))));
+    outstanding = Atomic.make total;
+  }
+
+(* Owner chunks: small enough that stealing and [find_first]'s
+   cancellation watermark stay tight, large enough to keep CAS traffic
+   off the hot path. *)
+let chunk_size len = max 1 (min 16 ((len + 7) / 8))
+
+let rec claim cell =
+  let v = Atomic.get cell in
+  let lo, hi = unpack v in
+  if lo >= hi then None
+  else
+    let lo' = lo + chunk_size (hi - lo) in
+    let lo' = min lo' hi in
+    if Atomic.compare_and_set cell v (pack lo' hi) then begin
+      Atomic.incr Telemetry.chunks;
+      Some (lo, lo')
+    end
+    else claim cell
+
+(* Steal the upper half of the first victim with work left; the caller
+   installs the loot as its own range (so it becomes stealable again). *)
+let steal cells j =
+  let p = Array.length cells in
+  let rec victims k =
+    if k >= p - 1 then None
+    else
+      let cell = cells.((j + 1 + k) mod p) in
+      let v = Atomic.get cell in
+      let lo, hi = unpack v in
+      if hi <= lo then victims (k + 1)
+      else
+        (* The thief takes the upper half [mid, hi); the victim keeps
+           [lo, mid).  At length 1 this degenerates to stealing the
+           whole range (mid = lo), leaving the victim empty. *)
+        let mid = lo + ((hi - lo) / 2) in
+        if Atomic.compare_and_set cell v (pack lo mid) then begin
+          Atomic.incr Telemetry.steals;
+          Some (mid, hi)
+        end
+        else victims k (* re-examine the same victim *)
+  in
+  victims 0
+
+(* One participant's scheduling loop: drain the own cell, steal when
+   dry, finish when every index has been processed (or [stop] fires).
+   [process a b] must account for all of [a, b) by decrementing
+   [outstanding] — processing and skipping count the same. *)
+let run_sched sched j ~stop ~process =
+  let own = sched.cells.(j) in
+  let rec loop idle =
+    if Atomic.get sched.outstanding > 0 && not (stop ()) then
+      match claim own with
+      | Some (a, b) ->
+          process a b;
+          ignore (Atomic.fetch_and_add sched.outstanding (a - b));
+          loop 0
+      | None -> (
+          match steal sched.cells j with
+          | Some (a, b) ->
+              (* Process the first chunk of the loot immediately and
+                 install only the remainder: every successful steal then
+                 makes progress, so two idle thieves can never ping-pong
+                 a small range between their cells without anyone
+                 claiming from it. *)
+              let c = min (a + chunk_size (b - a)) b in
+              Atomic.set own (pack c b);
+              Atomic.incr Telemetry.chunks;
+              process a c;
+              ignore (Atomic.fetch_and_add sched.outstanding (a - c));
+              loop 0
+          | None ->
+              (* Unclaimable work is in flight on other participants;
+                 back off (gently, then with a real sleep so single-core
+                 boxes do not burn a timeslice spinning). *)
+              if idle > 100 then Unix.sleepf 0.0001 else Domain.cpu_relax ();
+              loop (idle + 1))
+  in
+  loop 0
+
+(* ------------------------------------------------------------------ *)
+(* Combinators.                                                        *)
+
+exception Aborted
+(* Internal: another participant raised; stop contributing. *)
 
 let map ?domains n f =
-  let k = min (resolve_domains domains) n in
-  if k <= 1 then Array.init n f
+  let k = resolve_domains domains in
+  if k <= 1 || n <= 1 then Array.init n f
   else begin
+    if n >= range_limit then invalid_arg "Pool.map: range too large";
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let chunk = chunk_for n k in
-    run_workers k (fun _wid ->
-        let rec loop () =
-          let start = Atomic.fetch_and_add next chunk in
-          if start < n then begin
-            let stop = min n (start + chunk) in
-            for i = start to stop - 1 do
-              results.(i) <- Some (f i)
-            done;
-            loop ()
-          end
-        in
-        loop ());
-    Array.map (function Some v -> v | None -> assert false) results
+    (* Grace period: run inline until the cutoff elapses; if that
+       finishes the range, the pool is never touched. *)
+    let g = Atomic.get cutoff in
+    let t0 = now () in
+    let i = ref 0 in
+    while !i < n && (g > 0. && now () -. t0 < g) do
+      results.(!i) <- Some (f !i);
+      incr i
+    done;
+    let start = !i in
+    let width = if start >= n then 1 else effective_width k in
+    if width <= 1 then begin
+      if start >= n then Atomic.incr Telemetry.seq_cutoffs;
+      for j = start to n - 1 do
+        results.(j) <- Some (f j)
+      done
+    end
+    else begin
+      let sched = make_sched start n width in
+      let failed = Atomic.make false in
+      run_job width (fun j ->
+          run_sched sched j
+            ~stop:(fun () -> Atomic.get failed)
+            ~process:(fun a b ->
+              try
+                for idx = a to b - 1 do
+                  results.(idx) <- Some (f idx)
+                done
+              with e ->
+                Atomic.set failed true;
+                ignore (Atomic.fetch_and_add sched.outstanding (a - b));
+                raise e))
+    end;
+    Array.map (function Some v -> v | None -> raise Aborted) results
   end
 
 let find_first ?domains n f =
-  let k = min (resolve_domains domains) n in
-  if k <= 1 then begin
+  let k = resolve_domains domains in
+  let seq_scan i0 limit =
     let rec scan i =
-      if i >= n then None else match f i with Some _ as r -> r | None -> scan (i + 1)
+      if i >= limit then None else match f i with Some _ as r -> r | None -> scan (i + 1)
     in
-    scan 0
-  end
+    scan i0
+  in
+  if k <= 1 || n <= 1 then seq_scan 0 n
   else begin
-    let next = Atomic.make 0 in
-    (* Lowest index known to succeed; indices at or above it can never win
-       the merge, so workers skip them. *)
-    let best = Atomic.make max_int in
-    let rec lower i =
-      let b = Atomic.get best in
-      if i < b && not (Atomic.compare_and_set best b i) then lower i
-    in
-    let per_worker = Array.make k None in
-    let chunk = chunk_for n k in
-    run_workers k (fun wid ->
-        let rec loop () =
-          let start = Atomic.fetch_and_add next chunk in
-          if start < n && start < Atomic.get best then begin
-            let stop = min n (start + chunk) in
-            let rec scan i =
-              if i < stop && i < Atomic.get best then
-                match f i with
-                | Some v ->
-                    lower i;
-                    per_worker.(wid) <- Some (i, v)
-                | None -> scan (i + 1)
-            in
-            scan start;
-            (* The cursor only moves forward, so after a hit every index
-               this worker could still claim is larger: stop. *)
-            match per_worker.(wid) with None -> loop () | Some _ -> ()
-          end
-        in
-        loop ());
-    Array.fold_left
-      (fun acc r ->
-        match (acc, r) with
-        | Some (i, _), Some (j, _) when j < i -> r
-        | None, r -> r
-        | acc, _ -> acc)
-      None per_worker
-    |> Option.map snd
+    if n >= range_limit then invalid_arg "Pool.find_first: range too large";
+    let g = Atomic.get cutoff in
+    let t0 = now () in
+    let i = ref 0 in
+    let hit = ref None in
+    while !hit = None && !i < n && (g > 0. && now () -. t0 < g) do
+      (match f !i with Some _ as r -> hit := r | None -> ());
+      incr i
+    done;
+    match !hit with
+    | Some _ as r ->
+        Atomic.incr Telemetry.seq_cutoffs;
+        r (* smallest index by construction *)
+    | None ->
+        let start = !i in
+        let width = if start >= n then 1 else effective_width k in
+        if width <= 1 then begin
+          if start >= n then Atomic.incr Telemetry.seq_cutoffs;
+          seq_scan start n
+        end
+        else begin
+          (* Lowest index known to succeed; work at or above it can
+             never win the merge, so chunks there are skipped whole. *)
+          let best = Atomic.make max_int in
+          let rec lower i =
+            let b = Atomic.get best in
+            if i < b && not (Atomic.compare_and_set best b i) then lower i
+          in
+          let per_participant = Array.make width None in
+          let failed = Atomic.make false in
+          let sched = make_sched start n width in
+          run_job width (fun j ->
+              run_sched sched j
+                ~stop:(fun () -> Atomic.get failed)
+                ~process:(fun a b ->
+                  (try
+                     for idx = a to b - 1 do
+                       if idx < Atomic.get best then
+                         match f idx with
+                         | Some v ->
+                             lower idx;
+                             (match per_participant.(j) with
+                             | Some (i0, _) when i0 < idx -> ()
+                             | _ -> per_participant.(j) <- Some (idx, v))
+                         | None -> ()
+                     done
+                   with e ->
+                     Atomic.set failed true;
+                     ignore (Atomic.fetch_and_add sched.outstanding (a - b));
+                     raise e);
+                  ignore ()));
+          Array.fold_left
+            (fun acc r ->
+              match (acc, r) with
+              | Some (i, _), Some (j, _) when j < i -> r
+              | None, r -> r
+              | acc, _ -> acc)
+            None per_participant
+          |> Option.map snd
+        end
   end
 
 let exists ?domains n f =
-  let k = min (resolve_domains domains) n in
-  if k <= 1 then begin
+  let k = resolve_domains domains in
+  let seq_scan i0 =
     let rec scan i = i < n && (f i || scan (i + 1)) in
-    scan 0
-  end
+    scan i0
+  in
+  if k <= 1 || n <= 1 then seq_scan 0
   else begin
-    let next = Atomic.make 0 in
-    let found = Atomic.make false in
-    let chunk = chunk_for n k in
-    run_workers k (fun _wid ->
-        let rec loop () =
-          if not (Atomic.get found) then begin
-            let start = Atomic.fetch_and_add next chunk in
-            if start < n then begin
-              let stop = min n (start + chunk) in
-              let rec scan i = i < stop && not (Atomic.get found) && (f i || scan (i + 1)) in
-              if scan start then Atomic.set found true;
-              loop ()
-            end
-          end
-        in
-        loop ());
-    Atomic.get found
+    if n >= range_limit then invalid_arg "Pool.exists: range too large";
+    let g = Atomic.get cutoff in
+    let t0 = now () in
+    let i = ref 0 in
+    let found = ref false in
+    while (not !found) && !i < n && (g > 0. && now () -. t0 < g) do
+      found := f !i;
+      incr i
+    done;
+    if !found then begin
+      Atomic.incr Telemetry.seq_cutoffs;
+      true
+    end
+    else begin
+      let start = !i in
+      let width = if start >= n then 1 else effective_width k in
+      if width <= 1 then begin
+        if start >= n then Atomic.incr Telemetry.seq_cutoffs;
+        seq_scan start
+      end
+      else begin
+        let found = Atomic.make false in
+        let failed = Atomic.make false in
+        let sched = make_sched start n width in
+        run_job width (fun j ->
+            run_sched sched j
+              ~stop:(fun () -> Atomic.get found || Atomic.get failed)
+              ~process:(fun a b ->
+                try
+                  let idx = ref a in
+                  while !idx < b && not (Atomic.get found) do
+                    if f !idx then Atomic.set found true;
+                    incr idx
+                  done
+                with e ->
+                  Atomic.set failed true;
+                  ignore (Atomic.fetch_and_add sched.outstanding (a - b));
+                  raise e));
+        Atomic.get found
+      end
+    end
   end
 
 let fold ?domains n ~map:m ~fold ~init =

@@ -1,25 +1,51 @@
-(** Work-sharing domain pool with deterministic result merging.
+(** Work-stealing domain pool with deterministic result merging.
 
     All combinators evaluate a function on the index range [0, n) and
-    combine the per-index results so that the outcome is {e independent of
-    the number of domains}: running with [?domains:1] (the default) and
-    with any larger value yields the same value, bit for bit.  This is the
-    determinism contract the parallel decision procedures
-    ({!Rcons_check.Recording}, {!Rcons_check.Discerning}) and the parallel
-    schedule explorer ({!Rcons_runtime.Explore}) rely on.
+    combine the per-index results so that the outcome is {e independent
+    of the number of domains}: running with [?domains:1] (the default)
+    and with any larger value yields the same value, bit for bit.  This
+    is the determinism contract the parallel decision procedures
+    ({!Rcons_check.Recording}, {!Rcons_check.Discerning}) and the
+    parallel schedule explorer ({!Rcons_runtime.Explore}) rely on.
+    Determinism comes from the {e merge} of per-index results, never
+    from the schedule, so it survives work stealing, chunking, and any
+    clamping of the domain count.
 
-    Work distribution is dynamic (a shared atomic cursor hands out
-    contiguous index chunks in increasing order), so load imbalance
-    between indices does not idle domains; determinism comes from the
-    merge step, never from the schedule.  With [domains <= 1], or when the
-    range is trivially small, everything runs inline on the calling domain
-    with no spawns and no atomics — the sequential path is the plain
-    left-to-right loop it always was.
+    {2 Execution model}
+
+    Two mechanisms keep parallel overhead proportional to the work
+    rather than to the call count:
+
+    - {b A granularity cutoff.}  Every combinator runs indices inline on
+      the calling domain until {!sequential_cutoff} seconds have
+      elapsed, and only fans out the remainder.  Small scans never spawn
+      a domain; a scan that does fan out is guaranteed to carry at least
+      a grace period of work, which amortizes the per-job spawn cost.
+    - {b Chunked work-stealing range deques.}  Each participant owns an
+      atomic cell holding its unprocessed [lo, hi) index range.  The
+      owner claims small chunks off the low end (LIFO with respect to
+      its contiguous block); an idle participant steals the {e upper
+      half} of a victim's range (FIFO end), processing the first chunk
+      of the loot directly and installing the rest as its own.  Both
+      operations are one CAS on one integer — there is no shared cursor
+      all domains contend on.
+
+    Worker domains are spawned per job and joined before the combinator
+    returns — never parked in a persistent pool, because on OCaml 5
+    every live domain participates in stop-the-world minor collections
+    and parked idle domains measurably tax allocation-heavy sequential
+    phases.  A fresh domain per job also means worker domain-local state
+    (heap arenas, persistency caches) never leaks between jobs.
+
+    With [domains <= 1], inside a worker (nested calls run inline — they
+    never nest fan-outs), or when the range drains within the grace
+    period, everything runs on the calling domain with no atomics.
 
     The user function may be called from any domain, at most once per
-    index.  It must be pure with respect to shared state (the searches it
-    runs build their own local structures), and exceptions it raises are
-    re-raised in the caller after all domains have been joined. *)
+    index ([map], [fold]) and at most once per index that is still able
+    to affect the merged result ([find_first], [exists]).  It must be
+    pure with respect to shared state; exceptions it raises are
+    re-raised in the caller after all participants have quiesced. *)
 
 val available_domains : unit -> int
 (** The runtime's recommended domain count for this machine
@@ -29,7 +55,9 @@ val resolve_domains : int option -> int
 (** [resolve_domains d] normalizes a user-facing [?domains] knob:
     [None] and values [<= 1] mean sequential (returns 1); [Some k] is
     clamped to at most [4 * available_domains ()] so a generous CLI flag
-    cannot fork-bomb the runtime. *)
+    cannot fork-bomb the runtime.  (The pool itself further clamps a job
+    to its worker count; since determinism is merge-based, the clamp is
+    invisible in results.) *)
 
 val map : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [map ~domains n f] is [Array.init n f] evaluated on up to [domains]
@@ -39,9 +67,9 @@ val map : ?domains:int -> int -> (int -> 'a) -> 'a array
 val find_first : ?domains:int -> int -> (int -> 'a option) -> 'a option
 (** [find_first ~domains n f]: the value of [f i] for the {e smallest}
     [i] with [f i <> None] — exactly what a sequential left-to-right
-    [find_map] over the range returns.  Parallel domains share the index
-    range dynamically; an atomic lowest-success-so-far watermark lets
-    them skip indices that can no longer win, so the search degrades
+    [find_map] over the range returns.  Parallel participants share the
+    range by stealing; an atomic lowest-success-so-far watermark lets
+    them skip chunks that can no longer win, so the search degrades
     gracefully to "evaluate everything below the answer" in the worst
     case and cancels early in the good case. *)
 
@@ -54,3 +82,36 @@ val fold : ?domains:int -> int -> map:(int -> 'a) -> fold:('b -> 'a -> 'b) -> in
 (** [fold ~domains n ~map ~fold ~init]: map every index in parallel, then
     fold the results sequentially in index order — a deterministic
     map-reduce for merging per-shard statistics. *)
+
+(** {2 Tuning} *)
+
+val sequential_cutoff : unit -> float
+(** Current grace period in seconds (default 0.001).  Each combinator
+    call runs inline until this much wall time has elapsed before
+    fanning out.  Initialised from the [RCONS_SEQ_CUTOFF_MS] environment
+    variable when set. *)
+
+val set_sequential_cutoff : float -> unit
+(** Override the grace period (seconds; clamped to [>= 0]).  [0.] fans
+    out immediately — the test suite uses this to force every combinator
+    through the parallel paths regardless of how fast the work is. *)
+
+(** {2 Telemetry}
+
+    Cheap global counters for benchmarking; never consulted by the
+    combinators themselves. *)
+module Telemetry : sig
+  type snapshot = {
+    jobs : int;  (** parallel jobs submitted to the pool *)
+    chunks : int;  (** chunk claims off a range deque *)
+    steals : int;  (** successful steal-half operations *)
+    seq_cutoffs : int;  (** calls completed inside the grace period *)
+  }
+
+  val snapshot : unit -> snapshot
+  (** Current counter values (monotone since program start). *)
+
+  val diff : snapshot -> snapshot -> snapshot
+  (** [diff after before]: per-field subtraction, for bracketing a
+      workload. *)
+end

@@ -20,7 +20,7 @@
    Deduplication ([dedup = true]): two schedules that reach the same
    global state -- same non-volatile heap (via [Heap] arenas and
    [Sim.fingerprint]) and same per-process control state -- have identical
-   futures, so the schedule tree is explored as a state graph: a sharded
+   futures, so the schedule tree is explored as a state graph: a lock-free
    concurrent visited set ([Rcons_par.Visited]) claims each fingerprint
    exactly once, the claimant expands the state's children, and every
    later encounter is counted as a dedup hit and pruned.  Because the
@@ -268,7 +268,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
       (List.rev prefix);
     (t, check)
   in
-  let fp_of t = Digest.string (Sim.fingerprint t) in
+  let fp_of t = Sim.fingerprint_digest t in
   let choices t crashes_used =
     let n = Sim.num_procs t in
     let rec collect i acc =

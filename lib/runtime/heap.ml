@@ -34,14 +34,21 @@ let register f =
    are stable within one binary, which is all one exploration spans). *)
 let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
 
-(* Length-prefix each digest so object boundaries are unambiguous. *)
-let snapshot a =
-  let b = Buffer.create 256 in
+(* Length-prefix each digest so object boundaries are unambiguous.  The
+   [_into] form appends to a caller-owned buffer so the explorer's batch
+   fingerprinting can reuse one scratch buffer across a whole chunk of
+   states instead of allocating a fresh buffer (and an intermediate
+   string) per expanded node. *)
+let snapshot_into b a =
   List.iter
     (fun f ->
       let d = f () in
       Buffer.add_string b (string_of_int (String.length d));
       Buffer.add_char b ':';
       Buffer.add_string b d)
-    a.digests;
+    a.digests
+
+let snapshot a =
+  let b = Buffer.create 256 in
+  snapshot_into b a;
   Buffer.contents b

@@ -52,3 +52,8 @@ val snapshot : t -> string
 (** The concatenated (length-prefixed) digests of every registered
     object, in registration order: the non-volatile half of a state
     fingerprint. *)
+
+val snapshot_into : Buffer.t -> t -> unit
+(** [snapshot_into b a] appends exactly what {!snapshot} would return to
+    [b].  Lets batch fingerprinting reuse one scratch buffer across many
+    states instead of allocating per state. *)

@@ -244,7 +244,7 @@ let abandon t =
    Equal fingerprints therefore imply equal futures: same pending
    continuations, same shared heap, same remaining crash budget
    (crashes used = sum of the per-process crash counts). *)
-let fingerprint t =
+let fingerprint_into b t =
   let arena =
     match t.heap with
     | Some a -> a
@@ -252,7 +252,6 @@ let fingerprint t =
         invalid_arg
           "Sim.fingerprint: system was not created under an active Heap arena"
   in
-  let b = Buffer.create 256 in
   Array.iter
     (fun p ->
       Buffer.add_char b '|';
@@ -277,6 +276,25 @@ let fingerprint t =
             p.trace)
     t.procs;
   Buffer.add_char b '@';
-  Buffer.add_string b (Heap.snapshot arena);
+  Heap.snapshot_into b arena
+
+let fingerprint t =
+  let b = Buffer.create 256 in
+  fingerprint_into b t;
   Buffer.contents b
+
+(* Digest form, batched: the deduplicating explorer hashes every state it
+   expands, so the fingerprint bytes are scratch -- only the 16-byte MD5
+   survives (as the visited-set key and checkpoint entry).  A domain-local
+   buffer is reused across all the states a domain expands, eliminating
+   the per-node Buffer + intermediate string of [Digest.string
+   (fingerprint t)].  Same digest as that expression, byte for byte, so
+   checkpoint files and visited-set contents are unchanged. *)
+let scratch : Buffer.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Buffer.create 1024)
+
+let fingerprint_digest t =
+  let b = Domain.DLS.get scratch in
+  Buffer.clear b;
+  fingerprint_into b t;
+  Digest.bytes (Buffer.to_bytes b)
 

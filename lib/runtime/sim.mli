@@ -121,3 +121,10 @@ val fingerprint : t -> string
 
     @raise Invalid_argument if the system was created with no active
     {!Heap} arena (fingerprinting off). *)
+
+val fingerprint_digest : t -> string
+(** [Digest.string (fingerprint t)], computed into a domain-local
+    scratch buffer reused across calls — the batched form the parallel
+    explorer hashes every expanded state with.  Byte-identical to the
+    unbatched expression, so visited-set keys and checkpoint entries are
+    unchanged. *)

@@ -15,6 +15,14 @@ open Rcons_runtime
 
 let domains = 4
 
+(* Disable the granularity cutoff for the whole test binary: with the
+   default 1ms grace period most of these workloads would finish inline
+   and never touch the pool, and the determinism suites are only worth
+   running if claiming, stealing and the lock-free visited set actually
+   execute.  (A dedicated test below re-enables the cutoff and checks the
+   inline path separately.) *)
+let () = Rcons_par.Pool.set_sequential_cutoff 0.
+
 (* --- the pool primitives themselves --- *)
 
 let test_pool_map () =
@@ -43,6 +51,108 @@ let test_pool_fold () =
 let test_pool_exn_propagates () =
   Alcotest.check_raises "exception crosses domains" (Failure "boom") (fun () ->
       ignore (Rcons_par.Pool.map ~domains 100 (fun i -> if i = 50 then failwith "boom" else i)))
+
+let test_cutoff_config () =
+  let saved = Rcons_par.Pool.sequential_cutoff () in
+  Rcons_par.Pool.set_sequential_cutoff 0.25;
+  Alcotest.(check (float 1e-9)) "set/get" 0.25 (Rcons_par.Pool.sequential_cutoff ());
+  (* Scans that drain inside the grace period take the inline path and
+     must still produce the canonical answers. *)
+  let f i = (i * 37) mod 101 in
+  Alcotest.(check (array int)) "map under cutoff" (Array.init 500 f)
+    (Rcons_par.Pool.map ~domains 500 f);
+  Alcotest.(check (option int)) "find_first under cutoff" (Some 6)
+    (Rcons_par.Pool.find_first ~domains 1000 (fun i -> if i mod 7 = 3 then Some (i * 2) else None));
+  Rcons_par.Pool.set_sequential_cutoff (-1.);
+  Alcotest.(check (float 1e-9)) "clamped at zero" 0. (Rcons_par.Pool.sequential_cutoff ());
+  Rcons_par.Pool.set_sequential_cutoff saved
+
+let test_telemetry () =
+  let saved = Rcons_par.Pool.sequential_cutoff () in
+  let open Rcons_par.Pool in
+  set_sequential_cutoff 10.;
+  let b0 = Telemetry.snapshot () in
+  ignore (map ~domains 200 (fun i -> i));
+  let d = Telemetry.diff (Telemetry.snapshot ()) b0 in
+  Alcotest.(check bool) "grace-period completion counted" true (d.Telemetry.seq_cutoffs >= 1);
+  Alcotest.(check int) "no job submitted under cutoff" 0 d.Telemetry.jobs;
+  set_sequential_cutoff 0.;
+  let b1 = Telemetry.snapshot () in
+  ignore (map ~domains 200 (fun i -> i));
+  let d = Telemetry.diff (Telemetry.snapshot ()) b1 in
+  Alcotest.(check bool) "job submitted" true (d.Telemetry.jobs >= 1);
+  Alcotest.(check bool) "chunks claimed" true (d.Telemetry.chunks >= 1);
+  set_sequential_cutoff saved
+
+(* --- the lock-free visited set --- *)
+
+(* N domains race to claim the same key set (each in a different rotated
+   order, so collisions hit different probe clusters at different times);
+   a tiny initial capacity forces many cooperative migrations under load.
+   Exactly-once means the wins across all domains partition the distinct
+   keys. *)
+let visited_race ~capacity ~num_domains keys =
+  let n = Array.length keys in
+  let v = Rcons_par.Visited.create ~capacity () in
+  let wins =
+    Array.init num_domains (fun d ->
+        Domain.spawn (fun () ->
+            let w = ref 0 in
+            for i = 0 to n - 1 do
+              if Rcons_par.Visited.add v keys.((i + (d * 131)) mod n) then incr w
+            done;
+            !w))
+    |> Array.map Domain.join
+  in
+  (v, Array.fold_left ( + ) 0 wins)
+
+let test_visited_exactly_once () =
+  let n = 5000 in
+  let keys = Array.init n (fun i -> Digest.string (string_of_int i)) in
+  let v, total = visited_race ~capacity:16 ~num_domains:6 keys in
+  Alcotest.(check int) "every key claimed exactly once" n total;
+  Alcotest.(check int) "cardinal" n (Rcons_par.Visited.cardinal v);
+  Alcotest.(check bool) "resizes exercised" true (Rcons_par.Visited.resizes v > 0);
+  Alcotest.(check bool) "all keys present" true
+    (Array.for_all (fun k -> Rcons_par.Visited.mem v k) keys);
+  Alcotest.(check bool) "absent key absent" false (Rcons_par.Visited.mem v (Digest.string "absent"));
+  let sorted l = List.sort compare l in
+  Alcotest.(check bool) "elements = keys (no lost inserts across resize)" true
+    (sorted (Rcons_par.Visited.elements v) = sorted (Array.to_list keys));
+  Alcotest.(check bool) "late add loses" false (Rcons_par.Visited.add v keys.(0))
+
+let visited_gen =
+  QCheck2.Gen.(
+    let* n = int_range 50 600 in
+    let* num_domains = int_range 2 6 in
+    let* capacity = int_range 4 64 in
+    let* seed = int_bound 1_000_000 in
+    return (n, num_domains, capacity, seed))
+
+let print_visited (n, num_domains, capacity, seed) =
+  Printf.sprintf "n=%d domains=%d capacity=%d seed=%d" n num_domains capacity seed
+
+(* Random key sets mix digest-length keys (the fast hash path) with short
+   ones (the fallback path) and contain duplicates, so some [add]s lose
+   within a single domain as well as across domains. *)
+let visited_exactly_once (n, num_domains, capacity, seed) =
+  let rng = Random.State.make [| seed; n; 7 |] in
+  let keys =
+    Array.init n (fun _ ->
+        if Random.State.bool rng then Digest.string (string_of_int (Random.State.int rng 500))
+        else String.init (1 + Random.State.int rng 6) (fun _ ->
+                 Char.chr (32 + Random.State.int rng 90)))
+  in
+  let distinct = List.length (List.sort_uniq compare (Array.to_list keys)) in
+  let v, total = visited_race ~capacity ~num_domains keys in
+  total = distinct
+  && Rcons_par.Visited.cardinal v = distinct
+  && Array.for_all (fun k -> Rcons_par.Visited.mem v k) keys
+
+let qcheck_visited =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"visited set: exactly-once claims under domain races"
+       ~print:print_visited visited_gen visited_exactly_once)
 
 (* --- witness determinism across the catalogue --- *)
 
@@ -137,6 +247,28 @@ let test_explore_stats_identical () =
         seq par)
     [ 1; 3; 7 ]
 
+(* The same workload through both engine modes: raw (frontier fan-out
+   with watermark merge) and dedup (shared lock-free visited set) must
+   each report stats byte-equal to their sequential counterpart, at
+   several frontier depths. *)
+let test_explore_stats_parity_modes () =
+  let cert = Helpers.cert_of (Rcons_spec.Sn.make 2) 2 in
+  List.iter
+    (fun dedup ->
+      let seq = Explore.explore ~dedup ~max_crashes:1 ~mk:(team_mk cert) () in
+      List.iter
+        (fun frontier_depth ->
+          let par =
+            Explore.explore ~dedup ~max_crashes:1 ~domains ~frontier_depth ~mk:(team_mk cert) ()
+          in
+          Alcotest.check stats_eq
+            (Printf.sprintf "%s stats parity (frontier %d)"
+               (if dedup then "dedup" else "raw")
+               frontier_depth)
+            seq par)
+        [ 2; 5 ])
+    [ false; true ]
+
 let test_explore_sticky_identical () =
   (* A different algorithm shape than S_2: the sticky bit's 2-recording
      certificate exercises the q0-free path of Figure 2. *)
@@ -203,6 +335,11 @@ let suite =
     Alcotest.test_case "pool: exists" `Quick test_pool_exists;
     Alcotest.test_case "pool: fold" `Quick test_pool_fold;
     Alcotest.test_case "pool: exceptions propagate" `Quick test_pool_exn_propagates;
+    Alcotest.test_case "pool: sequential cutoff config" `Quick test_cutoff_config;
+    Alcotest.test_case "pool: telemetry counters" `Quick test_telemetry;
+    Alcotest.test_case "visited set: exactly-once across resizes" `Quick
+      test_visited_exactly_once;
+    qcheck_visited;
     Alcotest.test_case "catalogue witnesses byte-equal" `Quick test_witnesses_catalogue;
     Alcotest.test_case "separating-type witnesses byte-equal" `Quick
       test_witnesses_separating_types;
@@ -210,6 +347,8 @@ let suite =
     Alcotest.test_case "brute-force oracle identical" `Quick test_brute_force_agrees;
     Alcotest.test_case "explorer stats identical (incl. frontier sweep)" `Quick
       test_explore_stats_identical;
+    Alcotest.test_case "explorer stats parity: raw and dedup modes" `Quick
+      test_explore_stats_parity_modes;
     Alcotest.test_case "explorer sticky-bit stats identical" `Quick
       test_explore_sticky_identical;
     Alcotest.test_case "violation schedule identical to sequential" `Quick
