@@ -32,6 +32,7 @@ let experiments ~domains =
     ("E10", E10_ablation.run);
     ("E11", fun () -> E11_critical.run ~domains ());
     ("E12", E12_persistency.run);
+    ("E13", E13_reduction.run);
   ]
 
 let canonical name =

@@ -44,6 +44,14 @@ type dedup_stats = {
   dd_hits : int;
   dd_states : int;
   dd_identical : bool; (* dedup seq = dedup par (stats, bit for bit) *)
+  (* Partial-order reduction counters on the same workload: raw+por
+     measures interleavings explored vs. the raw bound, dedup+por the
+     state-graph edges actually walked. *)
+  rp_nodes : int;
+  rp_schedules : int;
+  rp_pruned : int;
+  pd_nodes : int;
+  pd_pruned : int;
 }
 
 (* A workload runs at a given domain count and yields (seconds, canonical
@@ -98,12 +106,19 @@ let explore_workload name ot ~max_crashes =
           let dd_par =
             Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~domains ~mk ()
           in
+          let rp = Rcons.Runtime.Explore.explore ~max_crashes ~por:true ~mk () in
+          let pd = Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~por:true ~mk () in
           {
             raw_nodes;
             dd_nodes = dd_seq.nodes;
             dd_hits = dd_seq.dedup_hits;
             dd_states = dd_seq.distinct_states;
             dd_identical = dd_seq = dd_par;
+            rp_nodes = rp.nodes;
+            rp_schedules = rp.schedules;
+            rp_pruned = rp.por_pruned;
+            pd_nodes = pd.nodes;
+            pd_pruned = pd.por_pruned;
           });
   }
 
@@ -177,6 +192,55 @@ let cert_cache_bench () =
     cc_entries = entries;
   }
 
+(* Reduction ablation: dedup-only vs dedup+por vs dedup+por+symmetry on
+   the 2-crash Figure 2 workload with a two-member team (sticky bit,
+   level 3 -- the smallest workload where both reductions bite; the
+   singleton teams of S_2 give symmetry nothing to quotient).  Node
+   counts are deterministic, so unlike the wall-clock speedup floors the
+   reduction-factor floor is enforceable on any machine. *)
+type reduction_row = {
+  red_name : string;
+  red_dedup : Rcons.Runtime.Explore.stats;
+  red_por : Rcons.Runtime.Explore.stats;
+  red_por_sym : Rcons.Runtime.Explore.stats;
+  red_floor : float;
+}
+
+let reduction_ablation ~floor () =
+  let cert = Option.get (Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 3) in
+  let classes = Rcons.Check.Certificate.symmetry_classes cert in
+  let na, nb = Rcons.Check.Certificate.recording_teams cert in
+  let inputs = Array.init (na + nb) (fun i -> if i < na then 111 else 222) in
+  let mk () =
+    let outputs = Rcons.Algo.Outputs.make ~inputs in
+    let tc = Rcons.Algo.Team_consensus.create cert in
+    let body pid () =
+      let team, slot =
+        if pid < na then (Rcons.Spec.Team.A, pid) else (Rcons.Spec.Team.B, pid - na)
+      in
+      Rcons.Algo.Outputs.record outputs pid
+        (tc.Rcons.Algo.Team_consensus.decide team slot inputs.(pid))
+    in
+    ( Rcons.Runtime.Sim.create ~n:(na + nb) body,
+      fun () -> Rcons.Algo.Outputs.check_exn ~fail:Rcons.Runtime.Explore.fail outputs )
+  in
+  let explore ?(por = false) ?symmetry () =
+    Rcons.Runtime.Explore.explore ~max_crashes:2 ~dedup:true ~por ?symmetry ~mk ()
+  in
+  {
+    red_name = "Figure 2 on sticky-bit level 3 (2 crashes)";
+    red_dedup = explore ();
+    red_por = explore ~por:true ();
+    red_por_sym = explore ~por:true ~symmetry:classes ();
+    red_floor = floor;
+  }
+
+let reduction_factor r =
+  if r.red_por_sym.Rcons.Runtime.Explore.nodes > 0 then
+    float_of_int r.red_dedup.Rcons.Runtime.Explore.nodes
+    /. float_of_int r.red_por_sym.Rcons.Runtime.Explore.nodes
+  else 0.
+
 (* Speedup floors (enforced at the headline domain count on machines
    with at least that many cores).  The committed BENCH_parallel.json is
    the source of truth: a floor recorded there is read back and enforced
@@ -206,6 +270,15 @@ let recorded_floors path =
                  | None -> None)
         with _ -> [])
 
+let recorded_reduction_floor path =
+  if not (Sys.file_exists path) then None
+  else
+    let module J = Rcons.Runtime.Json in
+    match J.parse (In_channel.with_open_text path In_channel.input_all) with
+    | Error _ -> None
+    | Ok j -> (
+        try Option.map J.to_float (J.member "floor" (J.field "reduction" j)) with _ -> None)
+
 type row = {
   r_name : string;
   r_seq : float;
@@ -224,6 +297,9 @@ let nodes_of_rendering s =
   | None -> 0
   | Some _ -> (
       try Scanf.sscanf s "{schedules=%d; nodes=%d" (fun _ n -> n) with _ -> 0)
+
+let schedules_of_rendering s =
+  try Scanf.sscanf s "{schedules=%d" (fun n -> n) with _ -> 0
 
 let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   let cores = Rcons.Par.Pool.available_domains () in
@@ -273,7 +349,12 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
               dd.raw_nodes dd.dd_nodes
               (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
                else 0.)
-              dd.dd_hits dd.dd_states dd.dd_identical);
+              dd.dd_hits dd.dd_states dd.dd_identical;
+            Util.row
+              "    por: %d of %d raw interleavings explored (%d pruned); dedup+por %d nodes (%d pruned)@."
+              dd.rp_schedules
+              (schedules_of_rendering seq_render)
+              dd.rp_pruned dd.pd_nodes dd.pd_pruned);
         {
           r_name = w.w_name;
           r_seq = seq_t;
@@ -291,6 +372,19 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   Util.row "@.certificate cache: %s@." cc.cc_name;
   Util.row "    cold %8.4fs   warm %8.4fs   no-cache %8.4fs   warm speedup %8.2fx   %d entries, identical=%b@."
     cc.cc_cold cc.cc_warm cc.cc_nocache cc_speedup cc.cc_entries cc.cc_identical;
+  let red =
+    reduction_ablation
+      ~floor:(Option.value (recorded_reduction_floor out) ~default:10.0)
+      ()
+  in
+  let red_factor = reduction_factor red in
+  Util.row "@.reduction ablation: %s@." red.red_name;
+  Util.row
+    "    dedup %d nodes -> dedup+por %d -> dedup+por+sym %d (%.1fx, floor %.1fx); %d por-pruned, %d symmetry hits@."
+    red.red_dedup.Rcons.Runtime.Explore.nodes red.red_por.Rcons.Runtime.Explore.nodes
+    red.red_por_sym.Rcons.Runtime.Explore.nodes red_factor red.red_floor
+    red.red_por_sym.Rcons.Runtime.Explore.por_pruned
+    red.red_por_sym.Rcons.Runtime.Explore.symmetry_hits;
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -300,6 +394,14 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
     "  \"cert_cache\": {\"name\": %S, \"cold_s\": %.4f, \"warm_s\": %.4f, \"nocache_s\": %.4f, \
      \"warm_speedup\": %.2f, \"entries\": %d, \"identical\": %b},\n"
     cc.cc_name cc.cc_cold cc.cc_warm cc.cc_nocache cc_speedup cc.cc_entries cc.cc_identical;
+  p
+    "  \"reduction\": {\"name\": %S, \"dedup_nodes\": %d, \"dedup_por_nodes\": %d, \
+     \"dedup_por_sym_nodes\": %d, \"por_pruned\": %d, \"symmetry_hits\": %d, \
+     \"factor\": %.1f, \"floor\": %.1f},\n"
+    red.red_name red.red_dedup.Rcons.Runtime.Explore.nodes
+    red.red_por.Rcons.Runtime.Explore.nodes red.red_por_sym.Rcons.Runtime.Explore.nodes
+    red.red_por_sym.Rcons.Runtime.Explore.por_pruned
+    red.red_por_sym.Rcons.Runtime.Explore.symmetry_hits red_factor red.red_floor;
   p "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
@@ -328,12 +430,13 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
           p
             "     \"dedup\": {\"raw_nodes\": %d, \"dedup_nodes\": %d, \"dedup_hits\": %d, \
              \"distinct_states\": %d, \"hit_rate\": %.4f, \"node_reduction\": %.1f, \
-             \"identical\": %b}\n"
+             \"identical\": %b,\n      \"raw_por_nodes\": %d, \"raw_por_schedules\": %d, \
+             \"por_pruned\": %d, \"dedup_por_nodes\": %d, \"dedup_por_pruned\": %d}\n"
             dd.raw_nodes dd.dd_nodes dd.dd_hits dd.dd_states
             (if dd.dd_nodes > 0 then float_of_int dd.dd_hits /. float_of_int dd.dd_nodes else 0.)
             (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
              else 0.)
-            dd.dd_identical);
+            dd.dd_identical dd.rp_nodes dd.rp_schedules dd.rp_pruned dd.pd_nodes dd.pd_pruned);
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n}\n";
@@ -347,6 +450,13 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
     Util.row "all parallel results identical to sequential ones@."
   else begin
     Util.row "DETERMINISM VIOLATION: some parallel result differs from its sequential run@.";
+    exit 1
+  end;
+  (* The reduction factor is a deterministic node-count ratio, so its
+     floor holds on any machine (RCONS_BENCH_NO_FLOOR still escapes). *)
+  if Sys.getenv_opt "RCONS_BENCH_NO_FLOOR" = None && red_factor < red.red_floor then begin
+    Util.row "REDUCTION FLOOR VIOLATION: %s at %.1fx, floor %.1fx@." red.red_name red_factor
+      red.red_floor;
     exit 1
   end;
   (* Speedup floors are only meaningful with real cores behind the

@@ -226,28 +226,40 @@ let explore_cmd =
             Format.eprintf "%s@." msg;
             2)
   in
-  let run name max_crashes domains dedup broken level node_budget time_budget checkpoint resume
-      save_cex replay_file persist annotated flush_cost =
+  let run name max_crashes domains dedup por symmetry broken level node_budget time_budget
+      checkpoint resume save_cex replay_file persist annotated flush_cost =
     match (replay_file, name) with
     | Some file, _ -> replay_artifact file
     | None, None ->
         Format.eprintf "one of --type or --replay is required@.";
         2
+    | None, Some _ when por && resume <> None ->
+        (* A reduced run prunes a different frontier than the checkpointed
+           one walked; silently resuming would under-count.  Refuse. *)
+        Format.eprintf "--resume cannot be combined with --por: reduced runs are not resumable@.";
+        2
     | None, Some name -> (
         let w = Cex.team2 ~faithful:(not broken) ~level ~persist ~annotated ~flush_cost name in
-        match Cex.mk w with
-        | Error e ->
+        let classes =
+          if not symmetry then Ok None
+          else
+            match Cex.symmetry_classes w with
+            | Error e -> Error e
+            | Ok cls -> Ok (Some cls)
+        in
+        match (Cex.mk w, classes) with
+        | Error e, _ | _, Error e ->
             Format.eprintf "%s@." e;
             1
-        | Ok mk -> (
+        | Ok mk, Ok classes -> (
             let resume_from = Option.map (fun file -> E.load_checkpoint ~file) resume in
             match
               (* The ambient cache makes the explorer record the policy
                  in provenance; each replayed system still gets its own
                  fresh cache (from the workload builder). *)
               with_persist persist flush_cost @@ fun () ->
-              E.explore ~max_crashes ~domains ~dedup ?node_budget ?time_budget ?resume_from
-                ~fingerprint:(Cex.fingerprint w) ~mk ()
+              E.explore ~max_crashes ~domains ~dedup ~por ?symmetry:classes ?node_budget
+                ?time_budget ?resume_from ~fingerprint:(Cex.fingerprint w) ~mk ()
             with
             | stats ->
                 Format.printf "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
@@ -256,6 +268,9 @@ let explore_cmd =
                   Format.printf
                     "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
                     stats.E.distinct_states stats.E.dedup_hits;
+                if por || symmetry then
+                  Format.printf "reduction: %d por-pruned, %d symmetry hits@." stats.E.por_pruned
+                    stats.E.symmetry_hits;
                 0
             | exception E.Interrupted cp ->
                 let file = Option.value checkpoint ~default:"explore.ckpt.json" in
@@ -308,6 +323,24 @@ let explore_cmd =
           ~doc:
             "Deduplicate states by canonical fingerprint: much faster on multi-crash budgets, \
              but node/schedule counts then refer to the state graph, not the raw schedule tree.")
+  in
+  let por =
+    Arg.(
+      value & flag
+      & info [ "por" ]
+          ~doc:
+            "Sleep-set partial-order reduction over step footprints: interleavings differing \
+             only by swaps of independent steps are explored once.  Finds a violation iff the \
+             raw run does.  With --dedup it is sequential-only and not resumable.")
+  in
+  let symmetry =
+    Arg.(
+      value & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Process-symmetry reduction (requires --dedup): canonicalize fingerprints over \
+             relabelings of interchangeable processes (equal-operation team slots of the \
+             certificate, which share one input in this workload).")
   in
   let broken =
     Arg.(
@@ -387,9 +420,9 @@ let explore_cmd =
          "Exhaustively model-check Figure 2 on the type's 2-recording certificate; \
           budgeted/resumable, with counterexample shrinking and replay")
     Term.(
-      const run $ type_name $ max_crashes $ domains_arg $ dedup $ broken $ level $ node_budget
-      $ time_budget $ checkpoint $ resume $ save_cex $ replay_file $ persist_arg $ annotated
-      $ flush_cost_arg)
+      const run $ type_name $ max_crashes $ domains_arg $ dedup $ por $ symmetry $ broken
+      $ level $ node_budget $ time_budget $ checkpoint $ resume $ save_cex $ replay_file
+      $ persist_arg $ annotated $ flush_cost_arg)
 
 (* --- certs --- *)
 

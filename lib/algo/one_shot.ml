@@ -17,7 +17,8 @@ let create () = { cell = Cell.make None }
 
 (* Atomic propose: one step, like any other object operation. *)
 let decide t v =
-  Sim.step ~label:"one-shot-consensus" (fun () ->
+  Sim.step ~label:"one-shot-consensus"
+    ~fp:(Cell.footprint t.cell Rcons_spec.Footprint.Update) (fun () ->
       match Cell.peek t.cell with
       | Some w -> w
       | None ->

@@ -7,10 +7,18 @@ type 'v t = { inputs : 'v array; outputs : 'v list array }
 
 (* The log is part of the state the explorer's invariants read, so it
    registers with the active Heap arena (if any): two executions only
-   share a fingerprint when their output histories agree too. *)
+   share a fingerprint when their output histories agree too.  The array
+   is indexed by pid, so a symmetry snapshot relabels it: process i's
+   history moves to slot perm.(i). *)
 let make ~inputs =
   let t = { inputs; outputs = Array.map (fun _ -> []) inputs } in
-  Rcons_runtime.Heap.register (fun () -> Rcons_runtime.Heap.digest t.outputs);
+  Rcons_runtime.Heap.register_sym (fun perm ->
+      match perm with
+      | None -> Rcons_runtime.Heap.digest t.outputs
+      | Some perm ->
+          let a = Array.make (Array.length t.outputs) [] in
+          Array.iteri (fun i l -> a.(perm.(i)) <- l) t.outputs;
+          Rcons_runtime.Heap.digest a);
   t
 let record t i v = t.outputs.(i) <- v :: t.outputs.(i)
 let all t = Array.to_list t.outputs |> List.concat

@@ -59,7 +59,7 @@ let create ?(equal = ( = )) ~n initial =
 (* Atomic compare-and-swap on the underlying tagged cell: one step, like
    a hardware CAS. *)
 let cas_tagged c ~expected_tag ~desired_tag =
-  Sim.step (fun () ->
+  Sim.step ~fp:(Cell.footprint c Rcons_spec.Footprint.Update) (fun () ->
       if Cell.peek c = expected_tag then begin
         Cell.poke c desired_tag;
         true

@@ -45,6 +45,32 @@ type discerning =
       -> discerning
 
 let recording_teams (Recording (_, d)) = (List.length d.ops_a, List.length d.ops_b)
+
+(* Interchangeable-process classes for the symmetry-reducing explorer:
+   slots of one team assigned compare_op-equal operations run the same
+   code in the Figure 2 algorithm, so -- provided the workload also gives
+   them the same input -- relabeling them maps executions to executions.
+   Pids follow the standard layout (team A slots first, then team B);
+   singleton classes carry no symmetry and are dropped. *)
+let symmetry_classes (Recording ((module T), d)) =
+  let group off ops =
+    let rec insert groups i op =
+      match groups with
+      | [] -> [ (op, [ i ]) ]
+      | (o, is) :: tl when T.compare_op o op = 0 -> (o, i :: is) :: tl
+      | g :: tl -> g :: insert tl i op
+    in
+    let _, groups = List.fold_left (fun (i, gs) op -> (i + 1, insert gs i op)) (0, []) ops in
+    List.filter_map
+      (fun (_, is) ->
+        match is with
+        | [] | [ _ ] -> None
+        | is -> Some (List.rev_map (fun i -> i + off) is))
+      groups
+  in
+  let na = List.length d.ops_a in
+  group 0 d.ops_a @ group na d.ops_b
+
 let discerning_size (Discerning (_, d)) = Array.length d.procs
 
 let discerning_teams (Discerning (_, d)) =

@@ -47,6 +47,16 @@ type discerning =
 val recording_teams : recording -> int * int
 (** Sizes [(|A|, |B|)] of the certificate's two teams. *)
 
+val symmetry_classes : recording -> int list list
+(** Classes of processes made interchangeable by the certificate's
+    operation assignment, under the standard pid layout (team A slots
+    first, then team B): slots of one team whose operations are
+    [compare_op]-equal.  Singleton classes are dropped, so the result is
+    [[]] when the certificate carries no symmetry.  Suitable for
+    {!Rcons_runtime.Explore.explore}'s [?symmetry] {e only if} the
+    workload also gives every member of a class the same input -- the
+    explorer cannot check that, the caller must. *)
+
 val discerning_size : discerning -> int
 (** Number of processes in the certificate's assignment. *)
 

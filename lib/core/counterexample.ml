@@ -46,6 +46,21 @@ let canonical w =
 
 let fingerprint w = Digest.to_hex (Digest.string (canonical w))
 
+(* Interchangeable-process classes of the workload, for the
+   symmetry-reducing explorer: the certificate's equal-operation slots
+   per team.  Sound here because the workload gives every member of a
+   team the same input (one input value per team). *)
+let symmetry_classes w =
+  match Rcons_spec.Catalogue.of_name w.type_name with
+  | Error e -> Error e
+  | Ok ot -> (
+      match Rcons_check.Recording.witness ot w.level with
+      | None ->
+          Error
+            (Printf.sprintf "%s has no level-%d recording witness"
+               (Rcons_spec.Object_type.name ot) w.level)
+      | Some cert -> Ok (Rcons_check.Certificate.symmetry_classes cert))
+
 let mk w =
   match Rcons_spec.Catalogue.of_name w.type_name with
   | Error e -> Error e

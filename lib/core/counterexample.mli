@@ -58,6 +58,13 @@ val fingerprint : workload -> string
     provenance records to tie a schedule to the system it was recorded
     against. *)
 
+val symmetry_classes : workload -> (int list list, string) result
+(** Interchangeable-process classes of the workload
+    ({!Rcons_check.Certificate.symmetry_classes} of its certificate),
+    for {!Rcons_runtime.Explore.explore}'s [?symmetry].  Sound for this
+    workload because every member of a team shares one input value.
+    [Ok []] when the certificate carries no symmetry. *)
+
 val mk : workload -> (unit -> Rcons_runtime.Sim.t * (unit -> unit), string) result
 (** Resolve the workload into a system builder suitable for
     {!Rcons_runtime.Explore.explore} / {!Rcons_runtime.Shrink}.

@@ -6,16 +6,25 @@
    read sees, [persisted] the durable copy a crash may revert to.  With
    no cache (or an eager one) [line] is [None], [persisted] is unused,
    and behavior -- including the registered digest -- is bit-identical to
-   the write-through model. *)
+   the write-through model.
+
+   Footprints: every cell carries a per-execution object id, and each of
+   its accesses declares (oid, kind) so the partial-order-reducing
+   explorer can tell which pending steps commute (accesses of distinct
+   cells always do; see [Rcons_spec.Footprint] for the same-cell
+   matrix). *)
+
+open Rcons_spec
 
 type 'a t = {
   mutable contents : 'a; (* volatile copy: what reads see *)
   mutable persisted : 'a; (* durable copy: what crashes revert to *)
   mutable line : Persist.line option;
+  oid : int; (* per-execution object id, for step footprints *)
 }
 
 let alloc v =
-  let c = { contents = v; persisted = v; line = None } in
+  let c = { contents = v; persisted = v; line = None; oid = Footprint.fresh_oid () } in
   c.line <-
     Persist.attach
       ~persist:(fun () -> c.persisted <- c.contents)
@@ -26,6 +35,8 @@ let alloc v =
    registration (Growable) rather than its own. *)
 let make_unregistered v = alloc v
 
+let footprint c kind = Footprint.Obj { oid = c.oid; kind }
+
 let make v =
   let c = alloc v in
   (match c.line with
@@ -33,11 +44,20 @@ let make v =
   | Some l ->
       (* The durable copy and the line owner are part of the global
          state: two executions in which the same value was written but
-         only one flushed it have different futures. *)
-      Heap.register (fun () -> Heap.digest (c.contents, c.persisted, Persist.owner l)));
+         only one flushed it have different futures.  The owner is a
+         pid, so it is relabeled when the snapshot carries a process
+         permutation (symmetry canonicalization). *)
+      Heap.register_sym (fun perm ->
+          let owner =
+            match (Persist.owner l, perm) with
+            | None, _ -> None
+            | Some p, None -> Some p
+            | Some p, Some perm -> Some perm.(p)
+          in
+          Heap.digest (c.contents, c.persisted, owner)));
   c
 
-let read c = Sim.step ~label:"register" (fun () -> c.contents)
+let read c = Sim.step ~label:"register" ~fp:(footprint c Footprint.Read) (fun () -> c.contents)
 
 (* Silent-store elision: a write whose value is physically identical to
    the current volatile contents changes nothing, so it is absorbed into
@@ -48,7 +68,7 @@ let read c = Sim.step ~label:"register" (fun () -> c.contents)
    closures); it is conservative -- structurally equal but distinct
    values still dirty the line, which costs nothing but precision. *)
 let write c v =
-  Sim.step ~label:"register" (fun () ->
+  Sim.step ~label:"register" ~fp:(footprint c Footprint.Write) (fun () ->
       match c.line with
       | None -> c.contents <- v
       | Some l ->
@@ -56,7 +76,7 @@ let write c v =
           c.contents <- v;
           if changed then Persist.dirty l)
 
-let flush c = Sim.flush c.line
+let flush c = Sim.flush ~fp:(footprint c Footprint.Flush) c.line
 let line c = c.line
 
 (* Read a value that is guaranteed durable: read, flush the line, and
@@ -69,12 +89,13 @@ let line c = c.line
    value is durable.  Always read + flush + read steps per attempt,
    whatever the policy.  [equal] compares the two reads (default
    structural; pass [( == )] for values that cannot be compared
-   structurally). *)
+   structurally).  The confirm step observes the line's clean/dirty
+   status on top of the contents, hence its [Sync] footprint. *)
 let rec read_persist ?(equal = ( = )) c =
   let v = read c in
   flush c;
   let v', clean =
-    Sim.step ~label:"register" (fun () ->
+    Sim.step ~label:"register" ~fp:(footprint c Footprint.Sync) (fun () ->
         (c.contents, match c.line with None -> true | Some l -> Persist.owner l = None))
   in
   if clean && equal v v' then v' else read_persist ~equal c

@@ -37,6 +37,13 @@ val read_persist : ?equal:('a -> 'a -> bool) -> 'a t -> 'a
 val line : 'a t -> Persist.line option
 (** The cell's cache line, if it has one. *)
 
+val footprint : 'a t -> Rcons_spec.Footprint.kind -> Rcons_spec.Footprint.t
+(** The cell's step footprint with the given access kind, for code that
+    performs compound atomic accesses through raw {!Sim.step} (e.g. the
+    read-modify-write of [One_shot.decide] declares the cell with kind
+    [Update]).  {!read}/{!write}/{!flush}/{!read_persist} already
+    declare their own. *)
+
 val peek : 'a t -> 'a
 (** Direct access for set-up/checking code outside the simulation. *)
 

@@ -31,6 +31,43 @@
    dedup ([nodes] counts state-graph edges, not tree edges), which is why
    it is off by default: raw counts are what the paper-facing tables use.
 
+   Partial-order reduction ([por = true]): every shared-memory access
+   declares a step footprint, which yields a sound independence relation
+   over choices (see [Rcons_spec.Footprint]).  Crashes never commute
+   with their victim's steps; two crashes of distinct processes commute
+   when at least two crash credits remain (each reverts only its own
+   victim's lines); a crash commutes with another process's step only
+   under the eager persistency model (a lossy cache makes the crash
+   revert shared lines the step may read).  The walker then runs the
+   classic sleep-set algorithm: a choice in the node's sleep set starts
+   a subtree that differs from an already-explored sibling subtree only
+   by swaps of adjacent independent transitions, so it is skipped and
+   counted in [por_pruned].  Sleep sets prune *interleavings*, never
+   *states*: every reachable state is still visited by some schedule,
+   and the invariants here are state properties (output agreement and
+   validity), so a reduced run finds a violation iff the raw run does.
+   With [dedup] the fingerprint switches to the ungraded form (total
+   crashes only -- see [Sim.fingerprint_digest ~graded:false]) so that
+   states differing only in a discarded pre-crash prefix collapse, and
+   the visited store records the sleep mask and depth each state was
+   expanded under, pruning a revisit only when a previous expansion used
+   a subset sleep mask at no greater depth (re-expanding otherwise,
+   after Godefroid--Holzmann--Pirottin); the combination stays sound but
+   its statistics are visit-order dependent, so por + dedup is
+   sequential only and not resumable.  Raw por composes with the
+   parallel walkers: frontier items carry their sleep sets into phase 2,
+   and the phase split does not change which subtrees are explored, so
+   parallel reduced runs report the sequential reduced statistics.
+
+   Symmetry reduction ([symmetry = classes]): states that differ only by
+   a relabeling of interchangeable processes -- same code, same input;
+   the *caller* asserts interchangeability by listing the pid classes --
+   share a canonical fingerprint ([Sim.fingerprint_digest_canonical]),
+   so the deduplicating explorer expands one representative per orbit.
+   [symmetry_hits] counts expanded-edge targets whose canonical digest
+   beat the identity labeling.  Every schedule actually walked remains a
+   concrete one, so violation replay needs no unwinding.
+
    Parallel mode ([domains > 1]): the tree is walked sequentially down to
    [frontier_depth]; the nodes of that frontier -- in DFS order, which
    with the fixed choice ordering is lexicographic order on schedules --
@@ -81,6 +118,8 @@ type stats = {
   max_depth : int;
   dedup_hits : int; (* 0 unless [dedup] *)
   distinct_states : int; (* 0 unless [dedup] *)
+  por_pruned : int; (* 0 unless [por] *)
+  symmetry_hits : int; (* 0 unless [symmetry] *)
 }
 
 let apply_choice = Schedule.apply
@@ -106,6 +145,7 @@ type checkpoint = {
   cp_max_crashes : int;
   cp_max_steps : int;
   cp_dedup : bool;
+  cp_por : bool; (* recorded so a resume attempt fails loudly *)
 }
 
 exception Interrupted of checkpoint
@@ -121,6 +161,7 @@ let checkpoint_to_json cp =
       ("max_crashes", Json.Int cp.cp_max_crashes);
       ("max_steps", Json.Int cp.cp_max_steps);
       ("dedup", Json.Bool cp.cp_dedup);
+      ("por", Json.Bool cp.cp_por);
       ( "stats",
         Json.Obj
           [
@@ -129,6 +170,8 @@ let checkpoint_to_json cp =
             ("max_depth", Json.Int cp.cp_stats.max_depth);
             ("dedup_hits", Json.Int cp.cp_stats.dedup_hits);
             ("distinct_states", Json.Int cp.cp_stats.distinct_states);
+            ("por_pruned", Json.Int cp.cp_stats.por_pruned);
+            ("symmetry_hits", Json.Int cp.cp_stats.symmetry_hits);
           ] );
       ("cursor", Schedule.to_json cp.cp_cursor);
       ("visited", Json.List (List.map (fun d -> Json.String (Digest.to_hex d)) cp.cp_visited));
@@ -139,6 +182,9 @@ let checkpoint_of_json j =
   then invalid_arg "Explore.checkpoint_of_json: not an explore checkpoint";
   let stats = Json.field "stats" j in
   let int k v = Json.to_int (Json.field k v) in
+  (* Fields added after the v1 format default when absent, so pre-reduction
+     checkpoints stay loadable. *)
+  let opt_int k v = match Json.member k v with Some x -> Json.to_int x | None -> 0 in
   {
     cp_cursor = Schedule.of_json (Json.field "cursor" j);
     cp_stats =
@@ -148,12 +194,15 @@ let checkpoint_of_json j =
         max_depth = int "max_depth" stats;
         dedup_hits = int "dedup_hits" stats;
         distinct_states = int "distinct_states" stats;
+        por_pruned = opt_int "por_pruned" stats;
+        symmetry_hits = opt_int "symmetry_hits" stats;
       };
     cp_visited =
       List.map (fun s -> Digest.from_hex (Json.to_str s)) (Json.to_list (Json.field "visited" j));
     cp_max_crashes = int "max_crashes" j;
     cp_max_steps = int "max_steps" j;
     cp_dedup = Json.to_bool (Json.field "dedup" j);
+    cp_por = (match Json.member "por" j with Some b -> Json.to_bool b | None -> false);
   }
 
 let save_checkpoint ~file cp =
@@ -176,12 +225,41 @@ type counter = {
   mutable c_nodes : int;
   mutable c_max_depth : int;
   mutable c_dedup_hits : int;
+  mutable c_por_pruned : int;
+  mutable c_symmetry_hits : int;
 }
 
-let fresh_counter () = { c_schedules = 0; c_nodes = 0; c_max_depth = 0; c_dedup_hits = 0 }
+let fresh_counter () =
+  {
+    c_schedules = 0;
+    c_nodes = 0;
+    c_max_depth = 0;
+    c_dedup_hits = 0;
+    c_por_pruned = 0;
+    c_symmetry_hits = 0;
+  }
 
 let counter_of_stats s =
-  { c_schedules = s.schedules; c_nodes = s.nodes; c_max_depth = s.max_depth; c_dedup_hits = s.dedup_hits }
+  {
+    c_schedules = s.schedules;
+    c_nodes = s.nodes;
+    c_max_depth = s.max_depth;
+    c_dedup_hits = s.dedup_hits;
+    c_por_pruned = s.por_pruned;
+    c_symmetry_hits = s.symmetry_hits;
+  }
+
+(* Internal: pluggable visited-state store.  Graded dedup (and dedup +
+   symmetry) uses the lock-free shared [Rcons_par.Visited] set; the
+   por + dedup mode uses a sequential store keyed by ungraded
+   fingerprint that remembers the (sleep mask, depth) pairs each state
+   was expanded under.  [st_claim] returns whether the caller should
+   expand the state (false = already covered). *)
+type store = {
+  st_claim : counter -> Sim.t -> mask:int -> depth:int -> bool;
+  st_distinct : unit -> int;
+  st_elements : unit -> string list;
+}
 
 exception Cancelled
 (* Internal: a parallel subtree walker learned that its result can no
@@ -193,15 +271,25 @@ exception Interrupt_at of choice list
    explore entry point converts it into [Interrupted] with a checkpoint. *)
 
 let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?domains
-    ?(frontier_depth = 4) ?(dedup = false) ?node_budget ?time_budget ?resume_from ?fingerprint
-    ~mk () =
+    ?(frontier_depth = 4) ?(dedup = false) ?(por = false) ?symmetry ?node_budget ?time_budget
+    ?resume_from ?fingerprint ~mk () =
   let workers = Rcons_par.Pool.resolve_domains domains in
   let frontier_depth = max 1 frontier_depth in
   let budgeted = node_budget <> None || time_budget <> None in
   if (budgeted || resume_from <> None) && workers > 1 then
     invalid_arg "Explore.explore: budgets and resume require domains = 1";
+  if por && dedup && workers > 1 then
+    invalid_arg "Explore.explore: por + dedup is order-dependent and requires domains = 1";
+  if symmetry <> None && not dedup then
+    invalid_arg "Explore.explore: symmetry reduction requires dedup";
   (match resume_from with
   | Some cp ->
+      if por then
+        invalid_arg "Explore.explore: resume with por is unsupported (reduced runs are not resumable)";
+      if symmetry <> None then
+        invalid_arg "Explore.explore: resume with symmetry is unsupported";
+      if cp.cp_por then
+        invalid_arg "Explore.explore: checkpoint was taken with por; reduced runs are not resumable";
       if cp.cp_max_crashes <> max_crashes || cp.cp_max_steps <> max_steps || cp.cp_dedup <> dedup
       then
         invalid_arg
@@ -226,6 +314,12 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     | Some c -> Some (Persist.policy c, Persist.flush_cost c)
     | None -> None
   in
+  (* Under the eager model a crash touches only its victim's control
+     state, so it commutes with other processes' steps; a lossy cache
+     makes it revert shared lines, which those steps may read. *)
+  let eager_model =
+    match persist_cfg with None | Some (Persist.Eager, _) -> true | Some _ -> false
+  in
   (* A process body may raise (e.g. an algorithm hitting an assertion
      because a crash reverted an un-flushed write under a lossy cache);
      that is a property violation with a schedule, not an explorer
@@ -249,7 +343,9 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
        keep registering (the explorer runs one system at a time per
        domain).  The arena active before [explore] is restored on exit.
        Likewise every system gets a fresh write-back cache of the ambient
-       policy: lines are per-system state. *)
+       policy: lines are per-system state.  Object ids restart at zero so
+       footprints are comparable across replays of the same prefix. *)
+    Rcons_spec.Footprint.reset_oids ();
     if dedup then Heap.activate (Heap.create ());
     (match persist_cfg with
     | Some (p, fc) -> Persist.activate (Persist.create ~flush_cost:fc p)
@@ -268,7 +364,70 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
       (List.rev prefix);
     (t, check)
   in
-  let fp_of t = Sim.fingerprint_digest t in
+  (* The symmetry group is derived from the class list and the process
+     count of the first system built; computed once, in the main domain
+     (the root state is always fingerprinted before workers start). *)
+  let perms_cache = Atomic.make None in
+  let perms_for t =
+    match Atomic.get perms_cache with
+    | Some ps -> ps
+    | None ->
+        let ps =
+          Sim.relabelings
+            ~classes:(match symmetry with Some c -> c | None -> assert false)
+            (Sim.num_procs t)
+        in
+        Atomic.set perms_cache (Some ps);
+        ps
+  in
+  (* por + dedup identifies states by the ungraded fingerprint: remaining
+     crash budget is all a state's futures depend on, so the discarded
+     prefixes of crashed runs collapse. *)
+  let ungraded = por && dedup in
+  let fp_of cnt t =
+    match symmetry with
+    | None -> Sim.fingerprint_digest ~graded:(not ungraded) t
+    | Some _ ->
+        let d, beat =
+          Sim.fingerprint_digest_canonical ~graded:(not ungraded) ~perms:(perms_for t) t
+        in
+        if beat then cnt.c_symmetry_hits <- cnt.c_symmetry_hits + 1;
+        d
+  in
+  let visited_store vset =
+    {
+      st_claim = (fun cnt t ~mask:_ ~depth:_ -> Rcons_par.Visited.add vset (fp_of cnt t));
+      st_distinct = (fun () -> Rcons_par.Visited.cardinal vset);
+      st_elements = (fun () -> Rcons_par.Visited.elements vset);
+    }
+  in
+  (* The por + dedup store (GHP95): a revisit is covered only if a
+     previous expansion of the same state used a subset sleep mask (it
+     explored at least the transitions we would) at no greater depth
+     (its subtree was not truncated earlier by [max_steps] than ours
+     would be); otherwise the state is re-expanded and the new
+     (mask, depth) recorded.  Sequential-only, so a plain Hashtbl. *)
+  let masked_store () =
+    let tbl : (string, (int * int) list) Hashtbl.t = Hashtbl.create 4096 in
+    {
+      st_claim =
+        (fun cnt t ~mask ~depth ->
+          let fp = fp_of cnt t in
+          let stored = Option.value (Hashtbl.find_opt tbl fp) ~default:[] in
+          if List.exists (fun (m, d) -> m land mask = m && d <= depth) stored then false
+          else begin
+            Hashtbl.replace tbl fp ((mask, depth) :: stored);
+            true
+          end);
+      st_distinct = (fun () -> Hashtbl.length tbl);
+      st_elements = (fun () -> []);
+    }
+  in
+  let mask_of_choice = function
+    | Step_choice i -> 1 lsl (2 * i)
+    | Crash_choice i -> 1 lsl ((2 * i) + 1)
+  in
+  let mask_of sleep = List.fold_left (fun m c -> m lor mask_of_choice c) 0 sleep in
   let choices t crashes_used =
     let n = Sim.num_procs t in
     let rec collect i acc =
@@ -284,7 +443,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     in
     collect (n - 1) []
   in
-  (* One DFS walker over the schedule tree (or, with [visited], the state
+  (* One DFS walker over the schedule tree (or, with [store], the state
      graph).  [stop_depth = Some d] turns nodes at depth d into frontier
      emissions instead of recursions (phase 1 of the parallel split);
      [cancelled] is polled at every node by parallel subtree walkers.
@@ -292,18 +451,21 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
      [prefix0]; the walker owns it (spine reuse).  [resume] is the
      remaining cursor path of a checkpoint being resumed: its spine is
      re-descended without counting, subtrees to its left are skipped, and
-     everything to its right runs normally.  The [stop_depth = None],
-     no-cancellation, no-visited, no-resume instantiation is the plain
-     sequential explorer. *)
-  let walk ?stop_depth ?(emit = fun _ _ -> ()) ?(cancelled = fun () -> false) ?visited ?sys
-      ?(resume = []) cnt prefix0 depth0 crashes0 =
+     everything to its right runs normally.  [sleep0] is the node's
+     inherited sleep set (por mode; frontier items carry theirs into
+     phase 2).  The [stop_depth = None], no-cancellation, no-store,
+     no-resume instantiation is the plain sequential explorer. *)
+  let walk ?stop_depth ?(emit = fun _ _ _ -> ()) ?(cancelled = fun () -> false) ?store ?sys
+      ?(resume = []) ?(sleep0 = []) cnt prefix0 depth0 crashes0 =
     let budget_stats total =
       {
         schedules = cnt.c_schedules;
         nodes = total;
         max_depth = cnt.c_max_depth;
         dedup_hits = cnt.c_dedup_hits;
-        distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
+        distinct_states = (match store with Some st -> st.st_distinct () | None -> 0);
+        por_pruned = cnt.c_por_pruned;
+        symmetry_hits = cnt.c_symmetry_hits;
       }
     in
     let over_budget () =
@@ -316,13 +478,37 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     (* Expand one node: [sys] is live, positioned after [prefix], and is
        consumed (handed to the first descended child, or abandoned at a
        leaf / after the loop / on an exception). *)
-    let rec expand (t, check) prefix depth crashes_used resume =
+    let rec expand (t, check) prefix depth crashes_used resume sleep_in =
       let cs = choices t crashes_used in
       match cs with
       | [] ->
           Sim.abandon t;
           cnt.c_schedules <- cnt.c_schedules + 1
       | cs ->
+          (* Footprints are read off the live system at node entry,
+             before the first descended child consumes it. *)
+          let fps =
+            if por then begin
+              let n = Sim.num_procs t in
+              if n > 30 then invalid_arg "Explore.explore: por supports at most 30 processes";
+              Array.init n (fun i ->
+                  match Sim.pending_footprint t i with
+                  | Some f -> f
+                  | None -> Rcons_spec.Footprint.Global)
+            end
+            else [||]
+          in
+          let indep u c =
+            match (u, c) with
+            | Step_choice p, Step_choice q ->
+                p <> q && Rcons_spec.Footprint.independent fps.(p) fps.(q)
+            | Crash_choice p, Crash_choice q ->
+                (* Swapping two crashes needs both executable in either
+                   order, i.e. two remaining crash credits. *)
+                p <> q && max_crashes - crashes_used >= 2
+            | Crash_choice p, Step_choice q | Step_choice q, Crash_choice p ->
+                p <> q && eager_model
+          in
           (* Position of the resume cursor among this node's children:
              children before it were fully explored before the
              interrupt; the cursor spine itself ([on_path]) was already
@@ -340,7 +526,22 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                 in
                 (find 0 cs, rest)
           in
-          let live_k = max resume_idx 0 in
+          (* The first child actually descended inherits the parent's
+             live system; under por the leading children may be asleep
+             (por and resume are mutually exclusive, so [sleep_in] fully
+             determines which).  -1: every child asleep, nobody takes
+             the live system. *)
+          let live_k =
+            if resume_idx >= 0 then resume_idx
+            else if not por then 0
+            else
+              let rec first k = function
+                | [] -> -1
+                | c :: tl -> if List.mem c sleep_in then first (k + 1) tl else k
+              in
+              first 0 cs
+          in
+          let sleep = ref sleep_in in
           let live = ref (Some (t, check)) in
           let take_live () =
             match !live with
@@ -354,6 +555,11 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
              List.iteri
                (fun k c ->
                  if k < resume_idx then () (* left of the cursor: already explored *)
+                 else if por && List.mem c !sleep then
+                   (* Asleep: a sibling subtree already covers every
+                      interleaving this child would start (modulo swaps
+                      of independent transitions). *)
+                   cnt.c_por_pruned <- cnt.c_por_pruned + 1
                  else begin
                    let on_path = k = resume_idx && resume_rest <> [] in
                    let depth' = depth + 1 in
@@ -362,6 +568,9 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                      match c with
                      | Crash_choice _ -> crashes_used + 1
                      | Step_choice _ -> crashes_used
+                   in
+                   let child_sleep =
+                     if por then List.filter (fun u -> indep u c) !sleep else []
                    in
                    let position () =
                      (* A live system positioned after [prefix']; the
@@ -379,50 +588,55 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                      end
                      else replay prefix'
                    in
-                   if on_path then
-                     (* Re-descend the checkpoint spine: counted and (in
-                        dedup mode) claimed before the interrupt, so
-                        neither is repeated. *)
-                     expand (position ()) prefix' depth' crashes' resume_rest
-                   else begin
-                     cnt.c_nodes <- cnt.c_nodes + 1;
-                     let total = Atomic.fetch_and_add nodes_total 1 + 1 in
-                     if total > max_nodes then raise (Budget_exceeded (budget_stats total));
-                     if budgeted && over_budget () then begin
-                       (* Roll the uncounted-on-resume node back out of
-                          the counters: the checkpoint's statistics are
-                          exactly those of the explored region. *)
-                       cnt.c_nodes <- cnt.c_nodes - 1;
-                       raise (Interrupt_at (List.rev prefix'))
-                     end;
-                     if cancelled () then raise Cancelled;
-                     if depth' > max_steps then
-                       raise (violation "step bound exceeded (wait-freedom?)" prefix');
-                     if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
-                     let frontier =
-                       match stop_depth with Some d -> depth' >= d | None -> false
-                     in
-                     match visited with
-                     | None ->
-                         if frontier then emit prefix' crashes'
-                         else expand (position ()) prefix' depth' crashes' []
-                     | Some vset ->
-                         (* Dedup mode: position the child system even at
-                            the frontier (its fingerprint must be claimed
-                            before emission so phase 2 expands it exactly
-                            once). *)
-                         let sys' = position () in
-                         if Rcons_par.Visited.add vset (fp_of (fst sys')) then
-                           if frontier then begin
-                             Sim.abandon (fst sys');
-                             emit prefix' crashes'
-                           end
-                           else expand sys' prefix' depth' crashes' []
-                         else begin
-                           cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
-                           Sim.abandon (fst sys')
-                         end
-                   end
+                   (if on_path then
+                      (* Re-descend the checkpoint spine: counted and (in
+                         dedup mode) claimed before the interrupt, so
+                         neither is repeated. *)
+                      expand (position ()) prefix' depth' crashes' resume_rest []
+                    else begin
+                      cnt.c_nodes <- cnt.c_nodes + 1;
+                      let total = Atomic.fetch_and_add nodes_total 1 + 1 in
+                      if total > max_nodes then raise (Budget_exceeded (budget_stats total));
+                      if budgeted && over_budget () then begin
+                        (* Roll the uncounted-on-resume node back out of
+                           the counters: the checkpoint's statistics are
+                           exactly those of the explored region. *)
+                        cnt.c_nodes <- cnt.c_nodes - 1;
+                        raise (Interrupt_at (List.rev prefix'))
+                      end;
+                      if cancelled () then raise Cancelled;
+                      if depth' > max_steps then
+                        raise (violation "step bound exceeded (wait-freedom?)" prefix');
+                      if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
+                      let frontier =
+                        match stop_depth with Some d -> depth' >= d | None -> false
+                      in
+                      match store with
+                      | None ->
+                          if frontier then emit prefix' crashes' child_sleep
+                          else expand (position ()) prefix' depth' crashes' [] child_sleep
+                      | Some st ->
+                          (* Dedup mode: position the child system even at
+                             the frontier (its fingerprint must be claimed
+                             before emission so phase 2 expands it exactly
+                             once). *)
+                          let sys' = position () in
+                          if st.st_claim cnt (fst sys') ~mask:(mask_of child_sleep) ~depth:depth'
+                          then
+                            if frontier then begin
+                              Sim.abandon (fst sys');
+                              emit prefix' crashes' child_sleep
+                            end
+                            else expand sys' prefix' depth' crashes' [] child_sleep
+                          else begin
+                            cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
+                            Sim.abandon (fst sys')
+                          end
+                    end);
+                   (* The child's subtree is now fully covered (explored
+                      here, emitted for phase 2, or claimed earlier), so
+                      later siblings may sleep on it. *)
+                   if por then sleep := c :: !sleep
                  end)
                cs;
              (* In raw parallel phase 1 every child of a pre-frontier node
@@ -447,69 +661,70 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
     match stop_depth with
     | Some d when depth0 >= d ->
         (match sys with Some (t, _) -> Sim.abandon t | None -> ());
-        emit prefix0 crashes0
+        emit prefix0 crashes0 sleep0
     | _ ->
         let sys = match sys with Some s -> s | None -> replay prefix0 in
-        expand sys prefix0 depth0 crashes0 resume
+        expand sys prefix0 depth0 crashes0 resume sleep0
   in
-  (* Claim the root state in the visited set and hand its live system to
-     the walker (the root is expanded, never reached through an edge).
-     On a resumed run the root is already claimed; [Visited.add] is then
-     a no-op returning [false]. *)
-  let claim_root vset =
+  (* Claim the root state in the visited store and hand its live system
+     to the walker (the root is expanded, never reached through an edge).
+     On a resumed run the root is already claimed; the claim is then a
+     no-op returning [false]. *)
+  let claim_root store cnt =
     let t, check = replay [] in
-    ignore (Rcons_par.Visited.add vset (fp_of t));
+    ignore (store.st_claim cnt t ~mask:0 ~depth:0);
     (t, check)
   in
-  let stats_of ?visited cnt =
+  let stats_of ?store cnt =
     {
       schedules = cnt.c_schedules;
       nodes = cnt.c_nodes;
       max_depth = cnt.c_max_depth;
       dedup_hits = cnt.c_dedup_hits;
-      distinct_states = (match visited with Some v -> Rcons_par.Visited.cardinal v | None -> 0);
+      distinct_states = (match store with Some st -> st.st_distinct () | None -> 0);
+      por_pruned = cnt.c_por_pruned;
+      symmetry_hits = cnt.c_symmetry_hits;
     }
   in
   (* Sequential runs (plain and resumed): convert a budget trip into a
      self-describing checkpoint. *)
-  let run_seq ?visited cnt resume =
-    let restore_visited vset =
-      match resume_from with
-      | Some cp -> List.iter (fun d -> ignore (Rcons_par.Visited.add vset d)) cp.cp_visited
-      | None -> ()
-    in
+  let run_seq ?store cnt resume =
     match
-      match visited with
-      | Some vset ->
-          restore_visited vset;
-          let sys = claim_root vset in
-          walk ~visited:vset ~sys ~resume cnt [] 0 0
+      match store with
+      | Some st ->
+          let sys = claim_root st cnt in
+          walk ~store:st ~sys ~resume cnt [] 0 0
       | None -> walk ~resume cnt [] 0 0
     with
-    | () -> stats_of ?visited cnt
+    | () -> stats_of ?store cnt
     | exception Interrupt_at cursor ->
         raise
           (Interrupted
              {
                cp_cursor = cursor;
-               cp_stats = stats_of ?visited cnt;
-               cp_visited =
-                 (match visited with
-                 | Some v -> Rcons_par.Visited.elements v
-                 | None -> []);
+               cp_stats = stats_of ?store cnt;
+               cp_visited = (match store with Some st -> st.st_elements () | None -> []);
                cp_max_crashes = max_crashes;
                cp_max_steps = max_steps;
                cp_dedup = dedup;
+               cp_por = por;
              })
   in
   let run_seq_dedup () =
-    let visited = Rcons_par.Visited.create () in
     let cnt =
       match resume_from with
       | Some cp -> counter_of_stats cp.cp_stats
       | None -> fresh_counter ()
     in
-    run_seq ~visited cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
+    if por then run_seq ~store:(masked_store ()) cnt []
+    else begin
+      let vset = Rcons_par.Visited.create () in
+      (match resume_from with
+      | Some cp -> List.iter (fun d -> ignore (Rcons_par.Visited.add vset d)) cp.cp_visited
+      | None -> ());
+      run_seq ~store:(visited_store vset) cnt
+        (match resume_from with Some cp -> cp.cp_cursor | None -> [])
+    end
   in
   let saved_arena = Heap.current () in
   let saved_cache = Persist.current () in
@@ -527,6 +742,18 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
            ("max_steps", string_of_int max_steps);
            ("dedup", string_of_bool dedup);
          ]
+        @ (if por then [ ("por", "true") ] else [])
+        @ (match symmetry with
+          | None -> []
+          | Some classes ->
+              [
+                ( "symmetry",
+                  String.concat ""
+                    (List.map
+                       (fun cls ->
+                         "[" ^ String.concat " " (List.map string_of_int cls) ^ "]")
+                       classes) );
+              ])
         @
         match persist_cfg with
         | None | Some (Persist.Eager, 1) -> []
@@ -542,141 +769,158 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
   in
   attach_provenance @@ fun () ->
   Fun.protect ~finally:restore_arena @@ fun () ->
-  if workers <= 1 then
-    if dedup then run_seq_dedup ()
-    else begin
-      let cnt =
-        match resume_from with
-        | Some cp -> counter_of_stats cp.cp_stats
-        | None -> fresh_counter ()
-      in
-      run_seq cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
-    end
-  else if dedup then begin
-    (* Parallel dedup: walkers share the visited set; exactly-once
-       expansion makes all statistics schedule-order independent, so no
-       watermark is needed for pass runs.  Any violation falls back to
-       the deterministic sequential dedup pass (see header comment). *)
-    let visited = Rcons_par.Visited.create () in
-    let frontier_rev = ref [] in
-    let cnt0 = fresh_counter () in
-    let violated = Atomic.make false in
-    let phase1 =
-      match
-        let sys = claim_root visited in
-        walk ~stop_depth:frontier_depth
-          ~emit:(fun prefix crashes -> frontier_rev := (prefix, crashes) :: !frontier_rev)
-          ~visited ~sys cnt0 [] 0 0
-      with
-      | () -> Ok ()
-      | exception Violation _ -> Error ()
-    in
-    match phase1 with
-    | Error () -> run_seq_dedup ()
-    | Ok () -> (
+  match resume_from with
+  | Some cp when cp.cp_cursor = [] ->
+      (* An empty cursor marks a checkpoint of a completed exploration:
+         there is nothing to its right.  Resuming used to re-walk the
+         whole tree on top of the checkpoint's totals; return them
+         unchanged instead. *)
+      cp.cp_stats
+  | _ ->
+      if workers <= 1 then
+        if dedup then run_seq_dedup ()
+        else begin
+          let cnt =
+            match resume_from with
+            | Some cp -> counter_of_stats cp.cp_stats
+            | None -> fresh_counter ()
+          in
+          run_seq cnt (match resume_from with Some cp -> cp.cp_cursor | None -> [])
+        end
+      else if dedup then begin
+        (* Parallel dedup: walkers share the visited set; exactly-once
+           expansion makes all statistics schedule-order independent, so no
+           watermark is needed for pass runs.  Any violation falls back to
+           the deterministic sequential dedup pass (see header comment). *)
+        let store = visited_store (Rcons_par.Visited.create ()) in
+        let frontier_rev = ref [] in
+        let cnt0 = fresh_counter () in
+        let violated = Atomic.make false in
+        let phase1 =
+          match
+            let sys = claim_root store cnt0 in
+            walk ~stop_depth:frontier_depth
+              ~emit:(fun prefix crashes sleep ->
+                frontier_rev := (prefix, crashes, sleep) :: !frontier_rev)
+              ~store ~sys cnt0 [] 0 0
+          with
+          | () -> Ok ()
+          | exception Violation _ -> Error ()
+        in
+        match phase1 with
+        | Error () -> run_seq_dedup ()
+        | Ok () -> (
+            let frontier = Array.of_list (List.rev !frontier_rev) in
+            let nf = Array.length frontier in
+            let results =
+              Rcons_par.Pool.map ~domains:workers nf (fun i ->
+                  if Atomic.get violated then None
+                  else
+                    let prefix, crashes, sleep = frontier.(i) in
+                    let cnt = fresh_counter () in
+                    match
+                      walk
+                        ~cancelled:(fun () -> Atomic.get violated)
+                        ~store ~sleep0:sleep cnt prefix frontier_depth crashes
+                    with
+                    | () -> Some (Ok cnt)
+                    | exception Cancelled -> None
+                    | exception Violation _ ->
+                        Atomic.set violated true;
+                        Some (Error ()))
+            in
+            match
+              Array.exists (function Some (Error ()) -> true | _ -> false) results
+            with
+            | true -> run_seq_dedup ()
+            | false ->
+                let merged =
+                  Array.fold_left
+                    (fun acc r ->
+                      match r with
+                      | Some (Ok c) ->
+                          {
+                            acc with
+                            schedules = acc.schedules + c.c_schedules;
+                            nodes = acc.nodes + c.c_nodes;
+                            max_depth = max acc.max_depth c.c_max_depth;
+                            dedup_hits = acc.dedup_hits + c.c_dedup_hits;
+                            por_pruned = acc.por_pruned + c.c_por_pruned;
+                            symmetry_hits = acc.symmetry_hits + c.c_symmetry_hits;
+                          }
+                      | Some (Error ()) | None -> acc)
+                    (stats_of cnt0) results
+                in
+                { merged with distinct_states = store.st_distinct () })
+      end
+      else begin
+        (* Phase 1: sequential walk down to the frontier.  A violation at
+           depth < frontier_depth does NOT abort immediately: in DFS order it
+           comes after the complete subtrees of every frontier node emitted
+           before it, so those subtrees must still be searched -- one of them
+           may contain the violation the sequential explorer would have
+           reported first. *)
+        let frontier_rev = ref [] in
+        let cnt0 = fresh_counter () in
+        let phase1_violation =
+          match
+            walk ~stop_depth:frontier_depth
+              ~emit:(fun prefix crashes sleep ->
+                frontier_rev := (prefix, crashes, sleep) :: !frontier_rev)
+              cnt0 [] 0 0
+          with
+          | () -> None
+          | exception Violation v -> Some v
+        in
         let frontier = Array.of_list (List.rev !frontier_rev) in
         let nf = Array.length frontier in
+        (* Phase 2: fan the frontier subtrees out across domains.  [best] is
+           the smallest frontier index known to hold a violation; subtrees at
+           larger indices cancel themselves. *)
+        let best = Atomic.make max_int in
+        let rec lower i =
+          let b = Atomic.get best in
+          if i < b && not (Atomic.compare_and_set best b i) then lower i
+        in
         let results =
           Rcons_par.Pool.map ~domains:workers nf (fun i ->
-              if Atomic.get violated then None
+              if Atomic.get best < i then None
               else
-                let prefix, crashes = frontier.(i) in
+                let prefix, crashes, sleep = frontier.(i) in
                 let cnt = fresh_counter () in
                 match
                   walk
-                    ~cancelled:(fun () -> Atomic.get violated)
-                    ~visited cnt prefix frontier_depth crashes
+                    ~cancelled:(fun () -> Atomic.get best < i)
+                    ~sleep0:sleep cnt prefix frontier_depth crashes
                 with
-                | () -> Some (Ok cnt)
+                | () -> Some (Ok (stats_of cnt))
                 | exception Cancelled -> None
-                | exception Violation _ ->
-                    Atomic.set violated true;
-                    Some (Error ()))
+                | exception Violation v ->
+                    lower i;
+                    Some (Error v))
         in
-        match
-          Array.exists (function Some (Error ()) -> true | _ -> false) results
-        with
-        | true -> run_seq_dedup ()
-        | false ->
-            let merged =
-              Array.fold_left
-                (fun acc r ->
-                  match r with
-                  | Some (Ok c) ->
-                      {
-                        acc with
-                        schedules = acc.schedules + c.c_schedules;
-                        nodes = acc.nodes + c.c_nodes;
-                        max_depth = max acc.max_depth c.c_max_depth;
-                        dedup_hits = acc.dedup_hits + c.c_dedup_hits;
-                      }
-                  | Some (Error ()) | None -> acc)
-                (stats_of cnt0) results
-            in
-            { merged with distinct_states = Rcons_par.Visited.cardinal visited })
-  end
-  else begin
-    (* Phase 1: sequential walk down to the frontier.  A violation at
-       depth < frontier_depth does NOT abort immediately: in DFS order it
-       comes after the complete subtrees of every frontier node emitted
-       before it, so those subtrees must still be searched -- one of them
-       may contain the violation the sequential explorer would have
-       reported first. *)
-    let frontier_rev = ref [] in
-    let cnt0 = fresh_counter () in
-    let phase1_violation =
-      match
-        walk ~stop_depth:frontier_depth
-          ~emit:(fun prefix crashes -> frontier_rev := (prefix, crashes) :: !frontier_rev)
-          cnt0 [] 0 0
-      with
-      | () -> None
-      | exception Violation v -> Some v
-    in
-    let frontier = Array.of_list (List.rev !frontier_rev) in
-    let nf = Array.length frontier in
-    (* Phase 2: fan the frontier subtrees out across domains.  [best] is
-       the smallest frontier index known to hold a violation; subtrees at
-       larger indices cancel themselves. *)
-    let best = Atomic.make max_int in
-    let rec lower i =
-      let b = Atomic.get best in
-      if i < b && not (Atomic.compare_and_set best b i) then lower i
-    in
-    let results =
-      Rcons_par.Pool.map ~domains:workers nf (fun i ->
-          if Atomic.get best < i then None
-          else
-            let prefix, crashes = frontier.(i) in
-            let cnt = fresh_counter () in
-            match walk ~cancelled:(fun () -> Atomic.get best < i) cnt prefix frontier_depth crashes with
-            | () -> Some (Ok (stats_of cnt))
-            | exception Cancelled -> None
-            | exception Violation v ->
-                lower i;
-                Some (Error v))
-    in
-    (* Merge in frontier order: the first subtree violation is exactly the
-       first violation of the sequential DFS; a phase-1 violation orders
-       after every emitted subtree. *)
-    let first_violation =
-      Array.to_seq results
-      |> Seq.filter_map (function Some (Error v) -> Some v | _ -> None)
-      |> Seq.uncons
-    in
-    (match first_violation with Some (v, _) -> raise (Violation v) | None -> ());
-    (match phase1_violation with Some v -> raise (Violation v) | None -> ());
-    Array.fold_left
-      (fun acc r ->
-        match r with
-        | Some (Ok s) ->
-            {
-              acc with
-              schedules = acc.schedules + s.schedules;
-              nodes = acc.nodes + s.nodes;
-              max_depth = max acc.max_depth s.max_depth;
-            }
-        | Some (Error _) -> acc
-        | None -> acc)
-      (stats_of cnt0) results
-  end
+        (* Merge in frontier order: the first subtree violation is exactly the
+           first violation of the sequential DFS; a phase-1 violation orders
+           after every emitted subtree. *)
+        let first_violation =
+          Array.to_seq results
+          |> Seq.filter_map (function Some (Error v) -> Some v | _ -> None)
+          |> Seq.uncons
+        in
+        (match first_violation with Some (v, _) -> raise (Violation v) | None -> ());
+        (match phase1_violation with Some v -> raise (Violation v) | None -> ());
+        Array.fold_left
+          (fun acc r ->
+            match r with
+            | Some (Ok s) ->
+                {
+                  acc with
+                  schedules = acc.schedules + s.schedules;
+                  nodes = acc.nodes + s.nodes;
+                  max_depth = max acc.max_depth s.max_depth;
+                  por_pruned = acc.por_pruned + s.por_pruned;
+                }
+            | Some (Error _) -> acc
+            | None -> acc)
+          (stats_of cnt0) results
+      end

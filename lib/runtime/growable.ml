@@ -16,7 +16,7 @@ type 'a t = { default : int -> 'a; table : (int, 'a Cell.t) Hashtbl.t }
 
 let make default =
   let t = { default; table = Hashtbl.create 16 } in
-  Heap.register (fun () ->
+  Heap.register_sym (fun perm ->
       Hashtbl.fold
         (fun i c acc ->
           let d = Heap.digest (Cell.peek c) in
@@ -29,7 +29,8 @@ let make default =
             | Some l ->
                 (* Cache-backed entry: the durable copy and the line
                    owner are part of the state; elide only entries that
-                   are clean and default in both copies. *)
+                   are clean and default in both copies.  The owner is a
+                   pid, relabeled under a symmetry snapshot. *)
                 let dp = Heap.digest (Cell.peek_persisted c) in
                 let ddef = Heap.digest (t.default i) in
                 if Persist.owner l = None && String.equal d ddef && String.equal dp ddef
@@ -38,9 +39,10 @@ let make default =
                   Some
                     (Printf.sprintf "%d=%d:%s~%d:%s~%s" i (String.length d) d
                        (String.length dp) dp
-                       (match Persist.owner l with
-                       | None -> "c"
-                       | Some p -> "p" ^ string_of_int p))
+                       (match (Persist.owner l, perm) with
+                       | None, _ -> "c"
+                       | Some p, None -> "p" ^ string_of_int p
+                       | Some p, Some perm -> "p" ^ string_of_int perm.(p)))
           in
           match entry with None -> acc | Some e -> (i, e) :: acc)
         t.table []

@@ -15,7 +15,16 @@
    objects (Growable entries, the consensus instances of Figure 4) must
    keep registering into the arena of the system currently executing. *)
 
-type t = { mutable digests : (unit -> string) list (* reverse registration order *) }
+(* Digest thunks take an optional process relabeling [perm]
+   ([perm.(old_pid) = new_pid], None = identity): the explorer's
+   process-symmetry canonicalization snapshots the heap under candidate
+   relabelings, and the handful of containers whose digests mention pids
+   (cache-line owners, the per-process output logs) must relabel them.
+   Pid-free digests ignore the argument ([register] wraps them), so a
+   [None] snapshot is byte-identical to the pre-symmetry format. *)
+type t = {
+  mutable digests : (int array option -> string) list; (* reverse registration order *)
+}
 
 let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
@@ -25,8 +34,10 @@ let deactivate () = Domain.DLS.set key None
 let current () = Domain.DLS.get key
 let active () = Domain.DLS.get key <> None
 
-let register f =
+let register_sym f =
   match Domain.DLS.get key with None -> () | Some a -> a.digests <- f :: a.digests
+
+let register f = register_sym (fun _ -> f ())
 
 (* Canonical digest of a plain-data value: with sharing expanded
    ([No_sharing]) the marshalled bytes coincide with structural equality;
@@ -39,16 +50,16 @@ let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
    fingerprinting can reuse one scratch buffer across a whole chunk of
    states instead of allocating a fresh buffer (and an intermediate
    string) per expanded node. *)
-let snapshot_into b a =
+let snapshot_into ?perm b a =
   List.iter
     (fun f ->
-      let d = f () in
+      let d = f perm in
       Buffer.add_string b (string_of_int (String.length d));
       Buffer.add_char b ':';
       Buffer.add_string b d)
     a.digests
 
-let snapshot a =
+let snapshot ?perm a =
   let b = Buffer.create 256 in
-  snapshot_into b a;
+  snapshot_into ?perm b a;
   Buffer.contents b

@@ -42,18 +42,30 @@ val register : (unit -> string) -> unit
     arena; no-op if none.  The thunk is called at every {!snapshot}, so
     it must digest the object's {e current} state. *)
 
+val register_sym : (int array option -> string) -> unit
+(** Like {!register}, for objects whose digest mentions process ids
+    (cache-line owners, per-process output logs).  The thunk receives
+    the process relabeling of the snapshot being taken
+    ([perm.(old_pid) = new_pid]; [None] = identity) and must digest the
+    object {e as relabeled} — the explorer's process-symmetry
+    canonicalization snapshots the heap under candidate relabelings.
+    With [None] the digest must be byte-identical to what {!register}
+    of the plain thunk would produce. *)
+
 val digest : 'a -> string
 (** Canonical digest of a plain-data value (Marshal with sharing
     expanded): byte equality coincides with structural equality.  Values
     capturing closures are digested by code pointer, which is stable
     within one binary. *)
 
-val snapshot : t -> string
+val snapshot : ?perm:int array -> t -> string
 (** The concatenated (length-prefixed) digests of every registered
     object, in registration order: the non-volatile half of a state
-    fingerprint. *)
+    fingerprint.  [?perm] relabels processes ([perm.(old) = new]) in
+    every pid-bearing digest (see {!register_sym}); omitted = identity,
+    byte-identical to the pre-symmetry format. *)
 
-val snapshot_into : Buffer.t -> t -> unit
+val snapshot_into : ?perm:int array -> Buffer.t -> t -> unit
 (** [snapshot_into b a] appends exactly what {!snapshot} would return to
     [b].  Lets batch fingerprinting reuse one scratch buffer across many
     states instead of allocating per state. *)

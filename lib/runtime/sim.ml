@@ -14,7 +14,8 @@
    Process bodies must be deterministic (they are re-executed after each
    crash) and must not catch the internal [Crashed] exception. *)
 
-type _ Effect.t += Step : string option * (unit -> 'a) -> 'a Effect.t
+type _ Effect.t +=
+  | Step : string option * Rcons_spec.Footprint.t option * (unit -> 'a) -> 'a Effect.t
 
 exception Crashed
 (* Raised inside a discarded continuation to unwind it cleanly. *)
@@ -22,8 +23,11 @@ exception Crashed
 (* [label] optionally names the shared object the access touches; the
    critical-execution explorer reads it off suspended processes to
    reproduce the "all processes are poised on the same object O" step of
-   Theorem 14's proof. *)
-let step ?label f = Effect.perform (Step (label, f))
+   Theorem 14's proof.  [fp] is the access's step footprint ([None] =
+   unknown, treated as conflicting with everything); the partial-order
+   reduction reads it off suspended processes to decide which pending
+   steps commute. *)
+let step ?label ?fp f = Effect.perform (Step (label, fp, f))
 
 type proc = {
   id : int;
@@ -32,6 +36,7 @@ type proc = {
   mutable resume : (unit -> unit) option; (* None = this run has finished *)
   mutable discard : (unit -> unit) option; (* unwinds a pending continuation *)
   mutable pending_label : string option; (* label of the suspended access *)
+  mutable pending_fp : Rcons_spec.Footprint.t option; (* footprint of same *)
   mutable started : bool; (* has taken a step since its last (re)start *)
   mutable crash_count : int;
   mutable step_count : int;
@@ -66,10 +71,11 @@ let run_body p =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Step (label, f) ->
+          | Step (label, fp, f) ->
               Some
                 (fun (k : (a, _) continuation) ->
                   p.pending_label <- label;
+                  p.pending_fp <- fp;
                   p.resume <-
                     Some
                       (fun () ->
@@ -89,6 +95,7 @@ let arm p =
   p.started <- false;
   p.discard <- None;
   p.pending_label <- None;
+  p.pending_fp <- None;
   p.trace <- [];
   p.resume <- Some (fun () -> run_body p)
 
@@ -105,6 +112,7 @@ let create ~n body_of =
             resume = None;
             discard = None;
             pending_label = None;
+            pending_fp = None;
             started = false;
             crash_count = 0;
             step_count = 0;
@@ -124,6 +132,12 @@ let started t i = t.procs.(i).started
 (* The label of the shared access process [i] is suspended on, if its
    pending step was labelled; None for unstarted/finished processes. *)
 let pending_label t i = t.procs.(i).pending_label
+
+(* The footprint of the shared access process [i] is suspended on; None
+   for unstarted processes (their first access is not yet known),
+   finished processes, and accesses that did not declare one.  Callers
+   must treat None as [Footprint.Global]. *)
+let pending_footprint t i = if finished t i then None else t.procs.(i).pending_fp
 let crash_count t i = t.procs.(i).crash_count
 let step_count t i = t.procs.(i).step_count
 let total_steps t = t.total_steps
@@ -196,11 +210,13 @@ let barrier_steps = function
   | Some l -> Persist.flush_cost (Persist.cache_of l)
   | None -> ( match Persist.current () with Some c -> Persist.flush_cost c | None -> 1)
 
-(* Write one location's cache line back to durable memory (CLWB). *)
-let flush line =
+(* Write one location's cache line back to durable memory (CLWB).  [fp]
+   is the owning container's flush footprint (flushes of distinct
+   objects commute; an un-attributed flush conflicts with everything). *)
+let flush ?fp line =
   let k = barrier_steps line in
   for i = 1 to k do
-    step ~label:"flush" (fun () -> if i = k then Option.iter Persist.flush_line line)
+    step ~label:"flush" ?fp (fun () -> if i = k then Option.iter Persist.flush_line line)
   done
 
 (* Write back every line the calling process owns (SFENCE + implicit
@@ -243,8 +259,25 @@ let abandon t =
 
    Equal fingerprints therefore imply equal futures: same pending
    continuations, same shared heap, same remaining crash budget
-   (crashes used = sum of the per-process crash counts). *)
-let fingerprint_into b t =
+   (crashes used = sum of the per-process crash counts).
+
+   [graded = false] drops the cumulative per-process counts and records
+   only the total number of crashes used: the remaining crash budget is
+   all a state's futures depend on, not how the spent crashes were
+   distributed or how many steps each process wasted before crashing.
+   Many graded states collapse (everything about a crashed run's
+   discarded prefix disappears), which is what the partial-order-reduced
+   explorer exploits; the price is that the state graph is no longer
+   graded by depth, so ungraded fingerprints are only used by the
+   sequential reduced modes.  The format is prefixed so graded and
+   ungraded fingerprints can never collide.
+
+   [perm] relabels processes ([perm.(old) = new]): process sections are
+   emitted in relabeled order and the heap snapshot relabels every
+   pid-bearing digest.  The symmetry-canonicalizing explorer takes the
+   minimum over a group of relabelings; [None] is the identity and is
+   byte-identical to the historical format. *)
+let fingerprint_into ?(graded = true) ?perm b t =
   let arena =
     match t.heap with
     | Some a -> a
@@ -252,36 +285,99 @@ let fingerprint_into b t =
         invalid_arg
           "Sim.fingerprint: system was not created under an active Heap arena"
   in
-  Array.iter
-    (fun p ->
-      Buffer.add_char b '|';
+  let n = Array.length t.procs in
+  (* [inv.(new_pid) = old_pid]: section [j] of the relabeled fingerprint
+     describes the process relabeled to [j]. *)
+  let proc_at =
+    match perm with
+    | None -> fun j -> t.procs.(j)
+    | Some p ->
+        let inv = Array.make n 0 in
+        Array.iteri (fun old_pid new_pid -> inv.(new_pid) <- old_pid) p;
+        fun j -> t.procs.(inv.(j))
+  in
+  if not graded then begin
+    Buffer.add_char b 'U';
+    Buffer.add_string b
+      (string_of_int (Array.fold_left (fun acc p -> acc + p.crash_count) 0 t.procs))
+  end;
+  for j = 0 to n - 1 do
+    let p = proc_at j in
+    Buffer.add_char b '|';
+    if graded then begin
       Buffer.add_string b (string_of_int p.step_count);
       Buffer.add_char b ',';
-      Buffer.add_string b (string_of_int p.crash_count);
-      match p.resume with
-      | None -> Buffer.add_char b 'F'
-      | Some _ ->
-          Buffer.add_char b (if p.started then 'R' else 'I');
-          (match p.pending_label with
-          | None -> ()
-          | Some l ->
-              Buffer.add_char b '#';
-              Buffer.add_string b l);
-          List.iter
-            (fun d ->
-              Buffer.add_char b '.';
-              Buffer.add_string b (string_of_int (String.length d));
-              Buffer.add_char b ':';
-              Buffer.add_string b d)
-            p.trace)
-    t.procs;
+      Buffer.add_string b (string_of_int p.crash_count)
+    end;
+    match p.resume with
+    | None -> Buffer.add_char b 'F'
+    | Some _ ->
+        Buffer.add_char b (if p.started then 'R' else 'I');
+        (match p.pending_label with
+        | None -> ()
+        | Some l ->
+            Buffer.add_char b '#';
+            Buffer.add_string b l);
+        List.iter
+          (fun d ->
+            Buffer.add_char b '.';
+            Buffer.add_string b (string_of_int (String.length d));
+            Buffer.add_char b ':';
+            Buffer.add_string b d)
+          p.trace
+  done;
   Buffer.add_char b '@';
-  Heap.snapshot_into b arena
+  Heap.snapshot_into ?perm b arena
 
 let fingerprint t =
   let b = Buffer.create 256 in
   fingerprint_into b t;
   Buffer.contents b
+
+(* All process relabelings that permute pids within each class of
+   [classes] and fix every other pid, as [perm] arrays for
+   [fingerprint_into]; the identity is always first.  Classes declare
+   which processes are interchangeable (same code, same input — the
+   team members of Figure 2, the leaves of a tournament); soundness of
+   quotienting by them is the caller's obligation. *)
+let relabelings ~classes n =
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun p ->
+          if p < 0 || p >= n then
+            invalid_arg
+              (Printf.sprintf "Sim.relabelings: pid %d out of range [0,%d)" p n))
+        cls)
+    classes;
+  let all = List.concat classes in
+  if List.length (List.sort_uniq compare all) <> List.length all then
+    invalid_arg "Sim.relabelings: symmetry classes overlap";
+  (* Permutations of [xs] with [xs] itself first (elements are picked in
+     list order, so the head of the result is the unpermuted list). *)
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat_map
+          (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (( <> ) x) xs)))
+          xs
+  in
+  let id () = Array.init n Fun.id in
+  List.fold_left
+    (fun perms cls ->
+      let arrangements = permutations cls in
+      List.concat_map
+        (fun perm ->
+          List.map
+            (fun arrangement ->
+              let p = Array.copy perm in
+              (* class member at position k is relabeled to the class
+                 member originally at position k *)
+              List.iter2 (fun old_pid new_pid -> p.(old_pid) <- new_pid) arrangement cls;
+              p)
+            arrangements)
+        perms)
+    [ id () ] classes
 
 (* Digest form, batched: the deduplicating explorer hashes every state it
    expands, so the fingerprint bytes are scratch -- only the 16-byte MD5
@@ -292,9 +388,28 @@ let fingerprint t =
    checkpoint files and visited-set contents are unchanged. *)
 let scratch : Buffer.t Domain.DLS.key = Domain.DLS.new_key (fun () -> Buffer.create 1024)
 
-let fingerprint_digest t =
+let fingerprint_digest ?graded ?perm t =
   let b = Domain.DLS.get scratch in
   Buffer.clear b;
-  fingerprint_into b t;
+  fingerprint_into ?graded ?perm b t;
   Digest.bytes (Buffer.to_bytes b)
+
+(* Canonical symmetry-quotiented digest: the lexicographic minimum over
+   the given relabelings (identity included by {!relabelings}).  Two
+   states that are relabelings of one another under the group share the
+   canonical digest.  Also reports whether the minimum beat the identity
+   digest — the explorer's [symmetry_hits] counter. *)
+let fingerprint_digest_canonical ?graded ~perms t =
+  match perms with
+  | [] -> invalid_arg "Sim.fingerprint_digest_canonical: empty relabeling group"
+  | p0 :: rest ->
+      let d0 = fingerprint_digest ?graded ~perm:p0 t in
+      let min_d =
+        List.fold_left
+          (fun acc p ->
+            let d = fingerprint_digest ?graded ~perm:p t in
+            if String.compare d acc < 0 then d else acc)
+          d0 rest
+      in
+      (min_d, String.compare min_d d0 < 0)
 

@@ -17,16 +17,20 @@
     step boundary, which is faithful because local state is lost anyway
     and shared state changes only at steps. *)
 
-type _ Effect.t += Step : string option * (unit -> 'a) -> 'a Effect.t
+type _ Effect.t +=
+  | Step : string option * Rcons_spec.Footprint.t option * (unit -> 'a) -> 'a Effect.t
 
 exception Crashed
 (** Used internally to unwind discarded continuations. *)
 
-val step : ?label:string -> (unit -> 'a) -> 'a
+val step : ?label:string -> ?fp:Rcons_spec.Footprint.t -> (unit -> 'a) -> 'a
 (** [step f] performs one atomic shared-memory access: the simulated
     process suspends, and [f] runs atomically when the driver schedules
     the process's next step.  [label] optionally names the object
-    touched, for the critical-execution explorer. *)
+    touched, for the critical-execution explorer; [fp] optionally
+    declares the access's step footprint ({!Rcons_spec.Footprint.t}) for
+    the partial-order-reducing explorer — an access without one is
+    treated as touching everything. *)
 
 type t
 
@@ -51,6 +55,12 @@ val started : t -> int -> bool
 val pending_label : t -> int -> string option
 (** The label of the access process [i] is suspended on, if any --
     the "poised to apply an operation on O" of Theorem 14's proof. *)
+
+val pending_footprint : t -> int -> Rcons_spec.Footprint.t option
+(** The footprint of the access process [i] is suspended on; [None] for
+    unstarted processes (the first access of a run is unknown until the
+    run executes), finished processes, and accesses that declared none.
+    Callers must treat [None] as {!Rcons_spec.Footprint.Global}. *)
 
 val crash_count : t -> int -> int
 val step_count : t -> int -> int
@@ -81,12 +91,14 @@ val crash : t -> int -> unit
     @raise Invalid_argument on an out-of-range pid or an {!abandon}ed
     system. *)
 
-val flush : Persist.line option -> unit
+val flush : ?fp:Rcons_spec.Footprint.t -> Persist.line option -> unit
 (** Persist barrier: write one location's cache line back to durable
     memory.  Takes [flush_cost] labelled steps (default 1) regardless of
     the ambient policy -- under eager it is a semantic no-op -- so
     annotated algorithms keep an identical schedule-tree shape across
-    policies.  Exposed through [Cell.flush] / [Growable.flush] /
+    policies.  [fp] attributes the barrier steps to the flushed
+    container for the partial-order reduction (flushes of distinct
+    objects commute).  Exposed through [Cell.flush] / [Growable.flush] /
     [Sim_obj.flush]; only process bodies may call it. *)
 
 val fence : unit -> unit
@@ -122,9 +134,39 @@ val fingerprint : t -> string
     @raise Invalid_argument if the system was created with no active
     {!Heap} arena (fingerprinting off). *)
 
-val fingerprint_digest : t -> string
+val fingerprint_digest : ?graded:bool -> ?perm:int array -> t -> string
 (** [Digest.string (fingerprint t)], computed into a domain-local
     scratch buffer reused across calls — the batched form the parallel
-    explorer hashes every expanded state with.  Byte-identical to the
-    unbatched expression, so visited-set keys and checkpoint entries are
-    unchanged. *)
+    explorer hashes every expanded state with.  With the defaults
+    ([graded = true], no [perm]) it is byte-identical to the unbatched
+    expression, so visited-set keys and checkpoint entries are
+    unchanged.
+
+    [graded = false] drops the cumulative per-process step/crash counts
+    and records only the {e total} crashes used: remaining crash budget
+    is all a state's futures depend on, so many graded states collapse
+    (the discarded prefix of a crashed run disappears entirely).  The
+    resulting state graph is no longer graded by depth; only the
+    sequential reduced explorer modes use it.  [perm] relabels processes
+    ([perm.(old) = new]) in both the control sections and the heap
+    snapshot — see {!relabelings}. *)
+
+val relabelings : classes:int list list -> int -> int array list
+(** [relabelings ~classes n]: every relabeling of [n] processes that
+    permutes pids within each class and fixes all others, identity
+    first.  A class lists processes that are interchangeable — same
+    code, same input (Figure 2 team members, tournament leaves); the
+    {e caller} is responsible for that symmetry actually holding.
+
+    @raise Invalid_argument on out-of-range pids or overlapping
+    classes. *)
+
+val fingerprint_digest_canonical :
+  ?graded:bool -> perms:int array list -> t -> string * bool
+(** The lexicographically least {!fingerprint_digest} over [perms] (a
+    {!relabelings} group, identity first), plus whether the minimum beat
+    the identity digest (the explorer's [symmetry_hits] signal).  States
+    that are relabelings of one another share the canonical digest, so
+    using it as the visited-set key quotients the state graph by the
+    symmetry group — while every schedule the explorer actually walks
+    remains a concrete, directly replayable one. *)

@@ -7,6 +7,8 @@
    non-eager [Persist] cache is ambient at creation -- [state] is the
    volatile copy, [persisted] the durable one. *)
 
+open Rcons_spec
+
 type ('s, 'o, 'r) t = {
   mutable state : 's;
   mutable persisted : 's;
@@ -14,9 +16,11 @@ type ('s, 'o, 'r) t = {
   apply_spec : 's -> 'o -> 's * 'r;
   equal_state : 's -> 's -> bool;
   obj_name : string;
+  oid : int; (* per-execution object id, for step footprints *)
+  op_kind : 'o -> Footprint.kind; (* footprint classification of updates *)
 }
 
-let alloc ~equal_state ~apply ~name init =
+let alloc ~equal_state ~apply ~name ?(op_kind = fun _ -> Footprint.Update) init =
   let t =
     {
       state = init;
@@ -25,6 +29,8 @@ let alloc ~equal_state ~apply ~name init =
       apply_spec = apply;
       equal_state;
       obj_name = name;
+      oid = Footprint.fresh_oid ();
+      op_kind;
     }
   in
   t.line <-
@@ -37,16 +43,23 @@ let register t digest =
   match t.line with
   | None -> Heap.register (fun () -> digest t.state)
   | Some l ->
-      Heap.register (fun () ->
+      (* The line owner is a pid: relabel it when the snapshot carries a
+         process permutation (symmetry canonicalization). *)
+      Heap.register_sym (fun perm ->
           let d = digest t.state and dp = digest t.persisted in
           Printf.sprintf "%d:%s%d:%s%s" (String.length d) d (String.length dp) dp
-            (match Persist.owner l with None -> "c" | Some p -> "p" ^ string_of_int p))
+            (match (Persist.owner l, perm) with
+            | None, _ -> "c"
+            | Some p, None -> "p" ^ string_of_int p
+            | Some p, Some perm -> "p" ^ string_of_int perm.(p)))
 
 let make (type s o r)
     (module T : Rcons_spec.Object_type.S with type state = s and type op = o and type resp = r)
     init =
   let t =
-    alloc ~equal_state:(fun a b -> T.compare_state a b = 0) ~apply:T.apply ~name:T.name init
+    alloc
+      ~equal_state:(fun a b -> T.compare_state a b = 0)
+      ~apply:T.apply ~name:T.name ~op_kind:T.op_kind init
   in
   register t T.digest_state;
   t
@@ -63,8 +76,10 @@ let of_apply ?(name = "object") ~apply init =
    changed the state, and only THAT process's crash may revert it.
    Without this, a no-op apply by q would re-own p's un-flushed change
    and q's crash would silently destroy p's write. *)
+let footprint t kind = Footprint.Obj { oid = t.oid; kind }
+
 let apply t op =
-  Sim.step ~label:t.obj_name (fun () ->
+  Sim.step ~label:t.obj_name ~fp:(footprint t (t.op_kind op)) (fun () ->
       let state, resp = t.apply_spec t.state op in
       match t.line with
       | None -> (* eager: no comparison, identical to the seed behaviour *)
@@ -76,9 +91,10 @@ let apply t op =
           if changed then Persist.dirty l;
           resp)
 
-let read t = Sim.step ~label:(t.obj_name ^ ".read") (fun () -> t.state)
+let read t =
+  Sim.step ~label:(t.obj_name ^ ".read") ~fp:(footprint t Footprint.Read) (fun () -> t.state)
 
-let flush t = Sim.flush t.line
+let flush t = Sim.flush ~fp:(footprint t Footprint.Flush) t.line
 
 (* Link-and-persist read: the returned state is durable (see
    [Cell.read_persist] for why the re-read must also find the line
@@ -87,7 +103,7 @@ let rec read_persist t =
   let q = read t in
   flush t;
   let q', clean =
-    Sim.step ~label:(t.obj_name ^ ".read") (fun () ->
+    Sim.step ~label:(t.obj_name ^ ".read") ~fp:(footprint t Footprint.Sync) (fun () ->
         (t.state, match t.line with None -> true | Some l -> Persist.owner l = None))
   in
   if clean && t.equal_state q q' then q' else read_persist t

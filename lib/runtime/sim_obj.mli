@@ -15,8 +15,20 @@ val make :
   ('s, 'o, 'r) t
 
 val of_apply : ?name:string -> apply:('s -> 'o -> 's * 'r) -> 's -> ('s, 'o, 'r) t
+(** Ad-hoc object from a bare transition function.  Its operations are
+    classified {!Rcons_spec.Footprint.Update} (conservative); {!make}
+    instead classifies each operation with the type's [op_kind]. *)
+
 val apply : ('s, 'o, 'r) t -> 'o -> 'r
 val read : ('s, 'o, 'r) t -> 's
+
+val footprint :
+  ('s, 'o, 'r) t -> Rcons_spec.Footprint.kind -> Rcons_spec.Footprint.t
+(** The object's step footprint with the given access kind, for
+    compound atomic accesses performed through raw {!Sim.step}.  The
+    object's own accessors already declare theirs ({!apply} via the
+    type's [op_kind], {!read} as [Read], {!flush} as [Flush], the
+    confirm step of {!read_persist} as [Sync]). *)
 
 val flush : ('s, 'o, 'r) t -> unit
 (** Persist barrier for this object's cache line (see {!Cell.flush}). *)

@@ -37,6 +37,7 @@ let make ~domain : Object_type.t =
           (List.init domain Fun.id)
 
       let readable = true
+      let op_kind _ = Footprint.Update
     end)
 
 let default = make ~domain:2

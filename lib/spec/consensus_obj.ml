@@ -27,6 +27,7 @@ let make ~domain : Object_type.t =
       let candidate_initial_states = [ None ]
       let update_ops = List.init domain (fun v -> Propose v)
       let readable = true
+      let op_kind _ = Footprint.Update
     end)
 
 let default = make ~domain:2

@@ -23,6 +23,7 @@ let make ~modulus ~increments : Object_type.t =
       let candidate_initial_states = [ 0 ]
       let update_ops = List.map (fun k -> Add k) increments
       let readable = true
+      let op_kind _ = Footprint.Update
     end)
 
 let default = make ~modulus:8 ~increments:[ 1; 2 ]

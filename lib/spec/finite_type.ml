@@ -48,6 +48,7 @@ let of_table t : Object_type.t =
       let candidate_initial_states = t.initials
       let update_ops = List.init t.num_ops Fun.id
       let readable = true
+      let op_kind _ = Footprint.Update
     end)
 
 (* Random table with [num_states] states, [num_ops] operations and

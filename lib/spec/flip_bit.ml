@@ -26,4 +26,5 @@ let t : Object_type.t =
       let candidate_initial_states = [ false ]
       let update_ops = [ Flip ]
       let readable = false
+      let op_kind _ = Footprint.Update
     end)

@@ -30,6 +30,7 @@ let make ~domain : Object_type.t =
       let candidate_initial_states = [ 0 ]
       let update_ops = List.init domain (fun v -> Write_max (v + 1))
       let readable = true
+      let op_kind _ = Footprint.Update
     end)
 
 let default = make ~domain:2

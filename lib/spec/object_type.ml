@@ -43,6 +43,16 @@ module type S = sig
   (** Whether the type has a READ operation returning the entire state
       without changing it.  Readability is required by the sufficiency
       results (Theorems 3 and 8); the necessary conditions hold without. *)
+
+  val op_kind : op -> Footprint.kind
+  (** Step-footprint classification of [op] for the explorer's
+      independence relation: {!Footprint.Update} for operations that may
+      change the state (every catalogue update operation — a CAS that
+      happens to fail still conflicts with reads, so the classification
+      must be state-independent and conservative), {!Footprint.Read}
+      only for operations that provably never change any state.  The
+      READ operation of readable types is not in [update_ops]; it is
+      classified by the runtime ({!Rcons_runtime.Sim_obj.read}). *)
 end
 
 type t = Pack : (module S with type state = 's and type op = 'o and type resp = 'r) -> t

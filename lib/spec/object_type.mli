@@ -54,6 +54,17 @@ module type S = sig
       state without changing it (footnote 3 of the paper).  Readability
       is required by the sufficiency results (Theorems 3 and 8); the
       necessary conditions hold without it. *)
+
+  val op_kind : op -> Footprint.kind
+  (** Step-footprint classification of [op] for the explorer's
+      independence relation ({!Rcons_runtime.Explore} with [?por]):
+      {!Footprint.Update} for operations that may change the state —
+      the classification must be state-independent and conservative, so
+      a CAS that happens to fail is still an update — and
+      {!Footprint.Read} only for operations that provably never change
+      any state.  The READ operation of readable types is not part of
+      [update_ops] and is classified by the runtime
+      ({!Rcons_runtime.Sim_obj.read}). *)
 end
 
 (** An object type packed with its state/op/resp types hidden; the

@@ -64,4 +64,9 @@ let make (Object_type.Pack (module T1)) (Object_type.Pack (module T2)) : Object_
         List.map (fun op -> L op) T1.update_ops @ List.map (fun op -> R op) T2.update_ops
 
       let readable = T1.readable && T2.readable
+
+      (* An operation on one component inherits that component's
+         classification (it leaves the other component untouched, but
+         footprints are per whole object, so no finer grain is usable). *)
+      let op_kind = function L op -> T1.op_kind op | R op -> T2.op_kind op
     end)

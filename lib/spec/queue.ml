@@ -39,6 +39,7 @@ let spec ~domain ~readable :
       let candidate_initial_states = [ []; [ 0 ]; [ 0; 1 ] ]
       let update_ops = Deq :: List.init domain (fun v -> Enq v)
       let readable = readable
+      let op_kind _ = Footprint.Update
     end)
 
 let make ~domain ?(readable = false) () : Object_type.t =

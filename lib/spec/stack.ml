@@ -45,6 +45,7 @@ let spec ~domain ~readable :
       let candidate_initial_states = [ []; [ 0 ]; [ 0; 1 ] ]
       let update_ops = Pop :: List.init domain (fun v -> Push v)
       let readable = readable
+      let op_kind _ = Footprint.Update
     end)
 
 let make ~domain ?(readable = false) () : Object_type.t =

@@ -29,4 +29,5 @@ let t : Object_type.t =
       let candidate_initial_states = [ None ]
       let update_ops = [ Stick 0; Stick 1 ]
       let readable = true
+      let op_kind _ = Footprint.Update
     end)

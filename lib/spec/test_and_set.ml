@@ -28,4 +28,5 @@ let t : Object_type.t =
       let candidate_initial_states = [ false ]
       let update_ops = [ Tas ]
       let readable = false
+      let op_kind _ = Footprint.Update
     end)

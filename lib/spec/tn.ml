@@ -58,4 +58,5 @@ let make n : Object_type.t =
       let candidate_initial_states = [ initial ]
       let update_ops = [ OpA; OpB ]
       let readable = true
+      let op_kind _ = Footprint.Update
     end)

@@ -23,8 +23,11 @@ let domains = 4
 let stats_eq =
   Alcotest.testable
     (fun ppf (s : Explore.stats) ->
-      Format.fprintf ppf "{schedules=%d; nodes=%d; max_depth=%d; dedup_hits=%d; distinct_states=%d}"
-        s.schedules s.nodes s.max_depth s.dedup_hits s.distinct_states)
+      Format.fprintf ppf
+        "{schedules=%d; nodes=%d; max_depth=%d; dedup_hits=%d; distinct_states=%d; por_pruned=%d; \
+         symmetry_hits=%d}"
+        s.schedules s.nodes s.max_depth s.dedup_hits s.distinct_states s.por_pruned
+        s.symmetry_hits)
     ( = )
 
 let team_mk ?faithful cert () =
@@ -46,7 +49,7 @@ let fig4_mk n () =
   (Sim.create ~n body, fun () -> Outputs.check_exn ~fail:Explore.fail outputs)
 
 let raw (schedules, nodes, max_depth) : Explore.stats =
-  { schedules; nodes; max_depth; dedup_hits = 0; distinct_states = 0 }
+  { schedules; nodes; max_depth; dedup_hits = 0; distinct_states = 0; por_pruned = 0; symmetry_hits = 0 }
 
 (* --- raw mode is byte-identical to the seed explorer --- *)
 

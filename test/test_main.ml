@@ -40,6 +40,7 @@ let suites =
     ("integration", Test_integration.suite, true);
     ("parallel", Test_parallel.suite, true);
     ("dedup", Test_dedup.suite, true);
+    ("reduction", Test_reduction.suite, true);
   ]
 
 let () =

@@ -269,6 +269,26 @@ let test_explore_stats_parity_modes () =
         [ 2; 5 ])
     [ false; true ]
 
+(* Raw+por across the parallel frontier: sleep sets travel with frontier
+   items, so the reduced walk stays deterministic -- merged parallel
+   stats (including the por_pruned counter) must equal the sequential
+   reduced run at every frontier depth.  (dedup+por is sequential-only
+   by construction and refused with domains > 1, pinned in
+   test_reduction.ml.) *)
+let test_explore_stats_parity_por () =
+  let cert = Helpers.cert_of (Rcons_spec.Sn.make 2) 2 in
+  let seq = Explore.explore ~por:true ~max_crashes:1 ~mk:(team_mk cert) () in
+  Alcotest.(check bool) "por actually pruned" true (seq.por_pruned > 0);
+  List.iter
+    (fun frontier_depth ->
+      let par =
+        Explore.explore ~por:true ~max_crashes:1 ~domains ~frontier_depth ~mk:(team_mk cert) ()
+      in
+      Alcotest.check stats_eq
+        (Printf.sprintf "raw+por stats parity (frontier %d)" frontier_depth)
+        seq par)
+    [ 2; 5 ]
+
 let test_explore_sticky_identical () =
   (* A different algorithm shape than S_2: the sticky bit's 2-recording
      certificate exercises the q0-free path of Figure 2. *)
@@ -349,6 +369,8 @@ let suite =
       test_explore_stats_identical;
     Alcotest.test_case "explorer stats parity: raw and dedup modes" `Quick
       test_explore_stats_parity_modes;
+    Alcotest.test_case "explorer stats parity: raw+por across the frontier" `Quick
+      test_explore_stats_parity_por;
     Alcotest.test_case "explorer sticky-bit stats identical" `Quick
       test_explore_sticky_identical;
     Alcotest.test_case "violation schedule identical to sequential" `Quick
