@@ -33,6 +33,7 @@ let experiments ~domains =
     ("E11", fun () -> E11_critical.run ~domains ());
     ("E12", E12_persistency.run);
     ("E13", E13_reduction.run);
+    ("E14", fun () -> E14_log.run ());
   ]
 
 let canonical name =

@@ -190,11 +190,107 @@ let impossible_cmd =
     (Cmd.info "impossible" ~doc:"Appendix H valency sweeps: which types have rcons = 1 (E8)")
     Term.(const run $ verbose)
 
+(* --- explore / log: shared exhaustive machinery --- *)
+
+module E = Rcons.Runtime.Explore
+module Cex = Rcons.Counterexample
+
+(* Exhaustively explore a counterexample workload (team consensus or
+   replicated log), with the budget/checkpoint/resume/shrink plumbing.
+   [resume_hint] is the command prefix echoed in the "resume with:"
+   line.  Exit codes: 0 done (violation or not), 1 workload does not
+   build, 2 bad input (corrupt checkpoint, invalid combination), 3
+   interrupted with a checkpoint saved. *)
+let run_exhaustive ~resume_hint w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget
+    ~time_budget ~checkpoint ~resume ~save_cex ~persist ~flush_cost =
+  if por && resume <> None then begin
+    (* A reduced run prunes a different frontier than the checkpointed
+       one walked; silently resuming would under-count.  Refuse. *)
+    Format.eprintf "--resume cannot be combined with --por: reduced runs are not resumable@.";
+    2
+  end
+  else begin
+    let classes =
+      if not symmetry then Ok None
+      else match Cex.symmetry_classes w with Error e -> Error e | Ok cls -> Ok (Some cls)
+    in
+    match (Cex.mk w, classes) with
+    | Error e, _ | _, Error e ->
+        Format.eprintf "%s@." e;
+        1
+    | Ok mk, Ok classes -> (
+        (* A corrupt or truncated checkpoint must fail with one
+           diagnostic line and exit 2 (unusable input), not a
+           backtrace -- same contract as a corrupt artifact. *)
+        match Option.map (fun file -> E.load_checkpoint ~file) resume with
+        | exception (Invalid_argument msg | Sys_error msg | Failure msg) ->
+            Format.eprintf "cannot load checkpoint: %s@." msg;
+            2
+        | resume_from -> (
+            match
+              (* The ambient cache makes the explorer record the policy
+                 in provenance; each replayed system still gets its own
+                 fresh cache (from the workload builder). *)
+              with_persist persist flush_cost @@ fun () ->
+              E.explore ~max_crashes ~domains ~dedup ~por ?symmetry:classes ?node_budget
+                ?time_budget ?resume_from ~fingerprint:(Cex.fingerprint w) ~mk ()
+            with
+            | stats ->
+                Format.printf "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
+                  stats.E.schedules stats.E.nodes stats.E.max_depth;
+                if dedup then
+                  Format.printf
+                    "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
+                    stats.E.distinct_states stats.E.dedup_hits;
+                if por || symmetry then
+                  Format.printf "reduction: %d por-pruned, %d symmetry hits@." stats.E.por_pruned
+                    stats.E.symmetry_hits;
+                0
+            | exception E.Interrupted cp ->
+                let file = Option.value checkpoint ~default:"explore.ckpt.json" in
+                E.save_checkpoint ~file cp;
+                let s = E.checkpoint_stats cp in
+                Format.printf
+                  "interrupted: %d schedules, %d nodes explored so far; checkpoint -> %s@.resume \
+                   with: %s --max-crashes %d%s --resume %s@."
+                  s.E.schedules s.E.nodes file resume_hint max_crashes
+                  (if dedup then " --dedup" else "")
+                  file;
+                3
+            | exception E.Violation v ->
+                Format.printf "VIOLATION: %s at %a@." v.E.v_msg E.pp_schedule v.E.v_schedule;
+                (match v.E.v_provenance with
+                | Some p -> Format.printf "provenance: %a@." Rcons.Runtime.Schedule.pp_provenance p
+                | None -> ());
+                (match save_cex with
+                | None -> ()
+                | Some file -> (
+                    let cex = Cex.of_violation w v in
+                    match Cex.minimize cex with
+                    | Ok m ->
+                        Cex.save ~file m;
+                        Format.printf "shrunk %d -> %d choices; witness -> %s@."
+                          (List.length cex.Cex.schedule)
+                          (List.length m.Cex.schedule)
+                          file
+                    | Error e ->
+                        Cex.save ~file cex;
+                        Format.printf "shrink failed (%s); unshrunk witness -> %s@." e file));
+                0
+            | exception E.Budget_exceeded stats ->
+                Format.eprintf
+                  "node budget exceeded after %d nodes (%d schedules): partial exploration, no \
+                   violation found within the budget; raise --node-budget or add --dedup/--por@."
+                  stats.E.nodes stats.E.schedules;
+                3
+            | exception Invalid_argument msg ->
+                Format.eprintf "%s@." msg;
+                2))
+  end
+
 (* --- explore --- *)
 
 let explore_cmd =
-  let module E = Rcons.Runtime.Explore in
-  let module Cex = Rcons.Counterexample in
   let replay_artifact file =
     (* Malformed input must fail with one diagnostic line, not a
        backtrace: [Json.parse_exn] reports the offset and the expected
@@ -233,79 +329,12 @@ let explore_cmd =
     | None, None ->
         Format.eprintf "one of --type or --replay is required@.";
         2
-    | None, Some _ when por && resume <> None ->
-        (* A reduced run prunes a different frontier than the checkpointed
-           one walked; silently resuming would under-count.  Refuse. *)
-        Format.eprintf "--resume cannot be combined with --por: reduced runs are not resumable@.";
-        2
-    | None, Some name -> (
+    | None, Some name ->
         let w = Cex.team2 ~faithful:(not broken) ~level ~persist ~annotated ~flush_cost name in
-        let classes =
-          if not symmetry then Ok None
-          else
-            match Cex.symmetry_classes w with
-            | Error e -> Error e
-            | Ok cls -> Ok (Some cls)
-        in
-        match (Cex.mk w, classes) with
-        | Error e, _ | _, Error e ->
-            Format.eprintf "%s@." e;
-            1
-        | Ok mk, Ok classes -> (
-            let resume_from = Option.map (fun file -> E.load_checkpoint ~file) resume in
-            match
-              (* The ambient cache makes the explorer record the policy
-                 in provenance; each replayed system still gets its own
-                 fresh cache (from the workload builder). *)
-              with_persist persist flush_cost @@ fun () ->
-              E.explore ~max_crashes ~domains ~dedup ~por ?symmetry:classes ?node_budget
-                ?time_budget ?resume_from ~fingerprint:(Cex.fingerprint w) ~mk ()
-            with
-            | stats ->
-                Format.printf "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
-                  stats.E.schedules stats.E.nodes stats.E.max_depth;
-                if dedup then
-                  Format.printf
-                    "dedup: %d distinct states, %d hits (node counts are state-graph edges)@."
-                    stats.E.distinct_states stats.E.dedup_hits;
-                if por || symmetry then
-                  Format.printf "reduction: %d por-pruned, %d symmetry hits@." stats.E.por_pruned
-                    stats.E.symmetry_hits;
-                0
-            | exception E.Interrupted cp ->
-                let file = Option.value checkpoint ~default:"explore.ckpt.json" in
-                E.save_checkpoint ~file cp;
-                let s = E.checkpoint_stats cp in
-                Format.printf
-                  "interrupted: %d schedules, %d nodes explored so far; checkpoint -> %s@.resume \
-                   with: rcons explore --type %s --max-crashes %d%s --resume %s@."
-                  s.E.schedules s.E.nodes file name max_crashes
-                  (if dedup then " --dedup" else "")
-                  file;
-                3
-            | exception E.Violation v ->
-                Format.printf "VIOLATION: %s at %a@." v.E.v_msg E.pp_schedule v.E.v_schedule;
-                (match v.E.v_provenance with
-                | Some p -> Format.printf "provenance: %a@." Rcons.Runtime.Schedule.pp_provenance p
-                | None -> ());
-                (match save_cex with
-                | None -> ()
-                | Some file -> (
-                    let cex = Cex.of_violation w v in
-                    match Cex.minimize cex with
-                    | Ok m ->
-                        Cex.save ~file m;
-                        Format.printf "shrunk %d -> %d choices; witness -> %s@."
-                          (List.length cex.Cex.schedule)
-                          (List.length m.Cex.schedule)
-                          file
-                    | Error e ->
-                        Cex.save ~file cex;
-                        Format.printf "shrink failed (%s); unshrunk witness -> %s@." e file));
-                0
-            | exception Invalid_argument msg ->
-                Format.eprintf "%s@." msg;
-                2))
+        run_exhaustive
+          ~resume_hint:(Printf.sprintf "rcons explore --type %s" name)
+          w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget ~time_budget ~checkpoint
+          ~resume ~save_cex ~persist ~flush_cost
   in
   let type_name =
     Arg.(
@@ -423,6 +452,238 @@ let explore_cmd =
       const run $ type_name $ max_crashes $ domains_arg $ dedup $ por $ symmetry $ broken
       $ level $ node_budget $ time_budget $ checkpoint $ resume $ save_cex $ replay_file
       $ persist_arg $ annotated $ flush_cost_arg)
+
+(* --- log --- *)
+
+let log_cmd =
+  let module Adv = Rcons.Runtime.Adversary in
+  let module Rlog = Rcons.Log.Rlog in
+  let module Conditions = Rcons.History.Conditions in
+  let run name slots procs adversary seed crash_prob adv_crashes persist annotated vote_first
+      broken no_certs certs_dir exhaustive max_crashes domains dedup por symmetry node_budget
+      time_budget checkpoint resume save_cex flush_cost =
+    if slots < 1 then begin
+      Format.eprintf "rcons log: --slots must be >= 1 (got %d)@." slots;
+      2
+    end
+    else if exhaustive then begin
+      if vote_first then begin
+        (* The exhaustive path runs through the replayable workload
+           record, which deliberately has no vote-first field (it is a
+           test-only negative control, not an artifact variant). *)
+        Format.eprintf "rcons log: --vote-first is not supported with --exhaustive@.";
+        2
+      end
+      else
+        let w =
+          Cex.log ~faithful:(not broken) ~level:procs ~persist ~annotated ~flush_cost ~slots
+            name
+        in
+        run_exhaustive
+          ~resume_hint:
+            (Printf.sprintf "rcons log --type %s --slots %d --procs %d --exhaustive" name slots
+               procs)
+          w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget ~time_budget ~checkpoint
+          ~resume ~save_cex ~persist ~flush_cost
+    end
+    else
+      (* Randomized mode: drive the log to completion under a seeded
+         crash adversary, sampling the committed prefix after every
+         crash and at the end, then check the prefix-durability verdict
+         over the recorded history. *)
+      match Adv.policy_of_string ~crash_prob ~max_crashes:adv_crashes adversary with
+      | Error e ->
+          Format.eprintf "rcons log: %s@." e;
+          2
+      | Ok policy -> (
+          match parse_type name with
+          | Error (`Msg e) ->
+              Format.eprintf "rcons log: %s@." e;
+              2
+          | Ok ot -> (
+              match Rcons.recording_witness ?certs:(certs_of no_certs certs_dir) ot procs with
+              | None ->
+                  Format.eprintf "%s has no %d-recording witness: cannot build the %d-process log@."
+                    (Rcons.Spec.Object_type.name ot) procs procs;
+                  1
+              | Some cert -> (
+                  with_persist persist flush_cost @@ fun () ->
+                  let t, sim =
+                    Rlog.instance ~faithful:(not broken) ~annotated ~vote_first ~slots cert
+                  in
+                  let trace = ref [] in
+                  let on_crash pid =
+                    Rlog.note_crash t ~pid;
+                    trace := Rlog.committed t :: !trace
+                  in
+                  match Adv.run ~on_crash (Adv.create ~seed policy) sim with
+                  | exception Adv.Stuck msg ->
+                      Format.eprintf "stuck: %s@." msg;
+                      1
+                  | outcome ->
+                      let committed_trace = List.rev (Rlog.committed t :: !trace) in
+                      let state_violation = ref None in
+                      Rlog.check_exn
+                        ~fail:(fun m ->
+                          if !state_violation = None then state_violation := Some m)
+                        t;
+                      let v = Rlog.verdict ~committed_trace t in
+                      Format.printf "%d slots x %d procs: %d steps, %d crashes, committed=%d@."
+                        slots (Rlog.num_procs t) outcome.Adv.steps outcome.Adv.crashes
+                        (Rlog.committed t);
+                      Format.printf "committed trace: %s@."
+                        (String.concat " " (List.map string_of_int committed_trace));
+                      Format.printf "recovery replay steps per process: %s@."
+                        (String.concat " "
+                           (List.map string_of_int (Array.to_list (Rlog.recovery_steps t))));
+                      Format.printf
+                        "verdict: slot-agreement=%b prefix-monotone=%b durable-linearizable=%b@."
+                        v.Conditions.slot_agreement v.Conditions.prefix_monotone
+                        v.Conditions.durable_lin;
+                      (match !state_violation with
+                      | Some m ->
+                          Format.printf "VIOLATION: %s@." m;
+                          1
+                      | None ->
+                          if Conditions.log_verdict_ok v then 0
+                          else begin
+                            Format.printf "VIOLATION: prefix-durability verdict failed@.";
+                            1
+                          end))))
+  in
+  let type_name =
+    Arg.(
+      value & opt string "sticky"
+      & info [ "type" ]
+          ~doc:
+            "Object type whose recording certificate decides each slot (catalogue name, alias, \
+             or S<n>/T<n>).  Default $(b,sticky).")
+  in
+  let slots = Arg.(value & opt int 3 & info [ "slots" ] ~doc:"Number of log slots (>= 1).") in
+  let procs =
+    Arg.(
+      value & opt int 3
+      & info [ "procs"; "n" ]
+          ~doc:
+            "Number of processes = recording level of the per-slot certificates (team sizes \
+             come from the certificate).")
+  in
+  let adversary =
+    Arg.(
+      value & opt string "storm"
+      & info [ "adversary" ] ~docv:"POLICY"
+          ~doc:
+            "Crash adversary for the randomized run: $(b,uniform), $(b,storm), $(b,targeted), \
+             $(b,simultaneous) or $(b,quiescent).  An unknown name lists the valid policies and \
+             exits 2.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Adversary seed (deterministic).") in
+  let crash_prob =
+    Arg.(value & opt float 0.2 & info [ "crash-prob" ] ~doc:"Per-opportunity crash probability.")
+  in
+  let adv_crashes =
+    Arg.(
+      value & opt int 6
+      & info [ "crashes" ] ~doc:"Crash budget for the randomized adversary (default 6).")
+  in
+  let annotated =
+    Arg.(
+      value & flag
+      & info [ "annotated" ]
+          ~doc:
+            "Persist-annotated log: each slot's decision is made durable (link-and-persist) \
+             before the quorum-counter vote advertising it is flushed.  Without this flag the \
+             barrier-free log violates per-slot agreement under $(b,--persist lossy).")
+  in
+  let vote_first =
+    Arg.(
+      value & flag
+      & info [ "vote-first" ]
+          ~doc:
+            "Negative control (randomized mode only): flush the vote $(i,before) the slot's \
+             decision is durable, so a crash can un-persist a committed slot.")
+  in
+  let broken =
+    Arg.(
+      value & flag
+      & info [ "broken" ]
+          ~doc:"Drop the |B| = 1 guard of Figure 2 line 19 in every slot's instance.")
+  in
+  let exhaustive =
+    Arg.(
+      value & flag
+      & info [ "exhaustive" ]
+          ~doc:
+            "Exhaustively model-check the log instead of running one randomized schedule \
+             (supports --max-crashes/--dedup/--por/--symmetry/--node-budget/--resume/\
+             --save-counterexample, like $(b,rcons explore)).")
+  in
+  let max_crashes =
+    Arg.(
+      value & opt int 2
+      & info [ "max-crashes" ] ~doc:"Crash budget for the exhaustive explorer (default 2).")
+  in
+  let dedup =
+    Arg.(
+      value & flag
+      & info [ "dedup" ] ~doc:"State-space deduplication for the exhaustive explorer.")
+  in
+  let por =
+    Arg.(
+      value & flag
+      & info [ "por" ] ~doc:"Sleep-set partial-order reduction for the exhaustive explorer.")
+  in
+  let symmetry =
+    Arg.(
+      value & flag
+      & info [ "symmetry" ]
+          ~doc:
+            "Process-symmetry reduction (requires --dedup); sound here because every member of \
+             a team proposes the same per-slot value.")
+  in
+  let node_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "node-budget" ]
+          ~doc:"Interrupt the exhaustive run after $(docv) nodes, saving a checkpoint.")
+  in
+  let time_budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~doc:"Interrupt after $(docv) wall-clock seconds.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:"Where to write the checkpoint on interrupt (default explore.ckpt.json).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~doc:"Resume an interrupted exhaustive run from its checkpoint.")
+  in
+  let save_cex =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-counterexample" ]
+          ~doc:"On violation, shrink the schedule (ddmin) and write a replayable JSON witness.")
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:
+         "Recoverable replicated log: per-slot RC instances under a quorum-counter committed \
+          prefix -- randomized adversary runs and exhaustive prefix-durability checks")
+    Term.(
+      const run $ type_name $ slots $ procs $ adversary $ seed $ crash_prob $ adv_crashes
+      $ persist_arg $ annotated $ vote_first $ broken $ no_certs_arg $ certs_dir_arg
+      $ exhaustive $ max_crashes $ domains_arg $ dedup $ por $ symmetry $ node_budget
+      $ time_budget $ checkpoint $ resume $ save_cex $ flush_cost_arg)
 
 (* --- certs --- *)
 
@@ -543,4 +804,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; certs_cmd; critical_cmd ]))
+          [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; log_cmd; certs_cmd; critical_cmd ]))

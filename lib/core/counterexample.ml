@@ -16,6 +16,7 @@ type workload = {
   persist : Persist.policy;
   annotated : bool;
   flush_cost : int;
+  log_slots : int option;
 }
 
 let team2 ?(faithful = true) ?(level = 2) ?(inputs = (111, 222)) ?(persist = Persist.Eager)
@@ -29,20 +30,45 @@ let team2 ?(faithful = true) ?(level = 2) ?(inputs = (111, 222)) ?(persist = Per
     persist;
     annotated;
     flush_cost;
+    log_slots = None;
+  }
+
+let log ?(faithful = true) ?(level = 2) ?(persist = Persist.Eager) ?(annotated = false)
+    ?(flush_cost = 1) ~slots type_name =
+  if slots < 1 then invalid_arg "Counterexample.log: slots must be >= 1";
+  (* The log derives one proposal per (team, slot), so the team-input
+     fields are unused; they keep their defaults for JSON stability. *)
+  {
+    type_name;
+    level;
+    faithful;
+    input_a = 111;
+    input_b = 222;
+    persist;
+    annotated;
+    flush_cost;
+    log_slots = Some slots;
   }
 
 (* Non-default persistency parameters are appended as suffixes so the
    canonical string -- and hence the fingerprint binding committed
    artifacts to their workload -- is unchanged for every pre-existing
    (eager) artifact. *)
+let persist_suffixes w =
+  (match w.persist with
+  | Persist.Eager -> ""
+  | p -> ":persist=" ^ Persist.policy_to_string p)
+  ^ (if w.annotated then ":annotated" else "")
+  ^ if w.flush_cost = 1 then "" else Printf.sprintf ":flush-cost=%d" w.flush_cost
+
 let canonical w =
-  Printf.sprintf "team-consensus:%s:level=%d:faithful=%b:inputs=%d,%d%s%s%s" w.type_name
-    w.level w.faithful w.input_a w.input_b
-    (match w.persist with
-    | Persist.Eager -> ""
-    | p -> ":persist=" ^ Persist.policy_to_string p)
-    (if w.annotated then ":annotated" else "")
-    (if w.flush_cost = 1 then "" else Printf.sprintf ":flush-cost=%d" w.flush_cost)
+  match w.log_slots with
+  | None ->
+      Printf.sprintf "team-consensus:%s:level=%d:faithful=%b:inputs=%d,%d%s" w.type_name
+        w.level w.faithful w.input_a w.input_b (persist_suffixes w)
+  | Some slots ->
+      Printf.sprintf "replicated-log:%s:level=%d:faithful=%b:slots=%d%s" w.type_name w.level
+        w.faithful slots (persist_suffixes w)
 
 let fingerprint w = Digest.to_hex (Digest.string (canonical w))
 
@@ -73,32 +99,47 @@ let mk w =
       | Some cert ->
           let size_a, size_b = Rcons_check.Certificate.recording_teams cert in
           let n = size_a + size_b in
+          (* Each system gets a fresh cache of the workload's policy
+             (lines are per-system state); a pure-eager workload
+             explicitly clears the slot so a stale cache from an
+             earlier build can never leak in.  [Explore] and
+             [Shrink] restore the ambient cache on exit. *)
+          let activate_cache () =
+            match (w.persist, w.flush_cost) with
+            | Persist.Eager, 1 -> Persist.deactivate ()
+            | p, fc -> Persist.activate (Persist.create ~flush_cost:fc p)
+          in
           Ok
-            (fun () ->
-              (* Each system gets a fresh cache of the workload's policy
-                 (lines are per-system state); a pure-eager workload
-                 explicitly clears the slot so a stale cache from an
-                 earlier build can never leak in.  [Explore] and
-                 [Shrink] restore the ambient cache on exit. *)
-              (match (w.persist, w.flush_cost) with
-              | Persist.Eager, 1 -> Persist.deactivate ()
-              | p, fc -> Persist.activate (Persist.create ~flush_cost:fc p));
-              let inputs = Array.init n (fun i -> if i < size_a then w.input_a else w.input_b) in
-              let outputs = Rcons_algo.Outputs.make ~inputs in
-              let tc =
-                Rcons_algo.Team_consensus.create ~faithful:w.faithful ~annotated:w.annotated
-                  cert
-              in
-              let body pid () =
-                let team, slot =
-                  if pid < size_a then (Rcons_spec.Team.A, pid)
-                  else (Rcons_spec.Team.B, pid - size_a)
-                in
-                Rcons_algo.Outputs.record outputs pid
-                  (tc.Rcons_algo.Team_consensus.decide team slot inputs.(pid))
-              in
-              ( Sim.create ~n body,
-                fun () -> Rcons_algo.Outputs.check_exn ~fail:Explore.fail outputs )))
+            (match w.log_slots with
+            | Some slots ->
+                fun () ->
+                  activate_cache ();
+                  let t, sim =
+                    Rcons_log.Rlog.instance ~faithful:w.faithful ~annotated:w.annotated ~slots
+                      cert
+                  in
+                  (sim, fun () -> Rcons_log.Rlog.check_exn ~fail:Explore.fail t)
+            | None ->
+                fun () ->
+                  activate_cache ();
+                  let inputs =
+                    Array.init n (fun i -> if i < size_a then w.input_a else w.input_b)
+                  in
+                  let outputs = Rcons_algo.Outputs.make ~inputs in
+                  let tc =
+                    Rcons_algo.Team_consensus.create ~faithful:w.faithful
+                      ~annotated:w.annotated cert
+                  in
+                  let body pid () =
+                    let team, slot =
+                      if pid < size_a then (Rcons_spec.Team.A, pid)
+                      else (Rcons_spec.Team.B, pid - size_a)
+                    in
+                    Rcons_algo.Outputs.record outputs pid
+                      (tc.Rcons_algo.Team_consensus.decide team slot inputs.(pid))
+                  in
+                  ( Sim.create ~n body,
+                    fun () -> Rcons_algo.Outputs.check_exn ~fail:Explore.fail outputs )))
 
 type t = {
   workload : workload;
@@ -143,22 +184,28 @@ let replay t =
 
 let workload_to_json w =
   Json.Obj
-    [
-      ("kind", Json.String "team-consensus");
-      ("type", Json.String w.type_name);
-      ("level", Json.Int w.level);
-      ("faithful", Json.Bool w.faithful);
-      ("input_a", Json.Int w.input_a);
-      ("input_b", Json.Int w.input_b);
-      ("persist", Json.String (Persist.policy_to_string w.persist));
-      ("annotated", Json.Bool w.annotated);
-      ("flush_cost", Json.Int w.flush_cost);
-    ]
+    ([
+       ( "kind",
+         Json.String
+           (match w.log_slots with None -> "team-consensus" | Some _ -> "replicated-log") );
+       ("type", Json.String w.type_name);
+       ("level", Json.Int w.level);
+       ("faithful", Json.Bool w.faithful);
+       ("input_a", Json.Int w.input_a);
+       ("input_b", Json.Int w.input_b);
+       ("persist", Json.String (Persist.policy_to_string w.persist));
+       ("annotated", Json.Bool w.annotated);
+       ("flush_cost", Json.Int w.flush_cost);
+     ]
+    @ match w.log_slots with None -> [] | Some s -> [ ("slots", Json.Int s) ])
 
 let workload_of_json j =
-  (match Json.member "kind" j with
-  | Some (Json.String "team-consensus") -> ()
-  | _ -> invalid_arg "Counterexample.of_json: unknown workload kind");
+  let log_slots =
+    match Json.member "kind" j with
+    | Some (Json.String "team-consensus") -> None
+    | Some (Json.String "replicated-log") -> Some (Json.to_int (Json.field "slots" j))
+    | _ -> invalid_arg "Counterexample.of_json: unknown workload kind"
+  in
   {
     type_name = Json.to_str (Json.field "type" j);
     level = Json.to_int (Json.field "level" j);
@@ -172,6 +219,7 @@ let workload_of_json j =
       | None -> Persist.Eager);
     annotated = (match Json.member "annotated" j with Some v -> Json.to_bool v | None -> false);
     flush_cost = (match Json.member "flush_cost" j with Some v -> Json.to_int v | None -> 1);
+    log_slots;
   }
 
 let to_json t =

@@ -10,13 +10,15 @@
     against a freshly built system and watch the violation fire again,
     or be told that it no longer does (a fixed bug, or a stale witness).
 
-    The workload is the Figure 2 team-consensus harness: an object type
-    (by catalogue name), the recording level whose certificate
-    instantiates the algorithm, the faithful/broken variant switch, and
-    the two team inputs.  Certificates are re-derived at replay time by
-    the same deterministic witness search that produced them, so the
-    artifact stores {e names}, not marshalled closures, and stays
-    readable and diffable.
+    The workload is either the Figure 2 team-consensus harness -- an
+    object type (by catalogue name), the recording level whose
+    certificate instantiates the algorithm, the faithful/broken variant
+    switch, and the two team inputs -- or, with [log_slots] set, the
+    replicated-log harness ({!Rcons_log.Rlog}) built over per-slot
+    instances of the same certificate.  Certificates are re-derived at
+    replay time by the same deterministic witness search that produced
+    them, so the artifact stores {e names}, not marshalled closures, and
+    stays readable and diffable.
 
     {!minimize} runs the delta-debugging shrinker
     ({!Rcons_runtime.Shrink}) over the artifact's schedule, recording
@@ -34,6 +36,11 @@ type workload = {
       (** persistency model the system is built under (default [Eager]) *)
   annotated : bool;  (** persist-annotated algorithm variant *)
   flush_cost : int;  (** steps per persist barrier *)
+  log_slots : int option;
+      (** [Some k]: the {!Rcons_log.Rlog} replicated-log harness with
+          [k] slots instead of the single team-consensus instance (the
+          team-input fields are then unused -- the log derives one
+          proposal per (team, slot)) *)
 }
 
 val team2 :
@@ -52,6 +59,22 @@ val team2 :
     fingerprint) when non-default, so pre-existing eager artifacts keep
     their stored fingerprints; absent JSON fields likewise default to
     the eager model. *)
+
+val log :
+  ?faithful:bool ->
+  ?level:int ->
+  ?persist:Rcons_runtime.Persist.policy ->
+  ?annotated:bool ->
+  ?flush_cost:int ->
+  slots:int ->
+  string ->
+  workload
+(** [log ~slots name]: the replicated-log workload on type [name] --
+    JSON kind ["replicated-log"], canonical prefix ["replicated-log:"]
+    -- with one {!Rcons_algo.Team_consensus} instance per slot and the
+    quorum-counter committed prefix checked by
+    {!Rcons_log.Rlog.check_exn}.  Same defaults as {!team2}.
+    @raise Invalid_argument when [slots < 1]. *)
 
 val fingerprint : workload -> string
 (** Hex digest of the canonical workload description; stored in

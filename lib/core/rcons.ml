@@ -29,6 +29,10 @@ module History = Rcons_history
 module Valency = Rcons_valency
 module Par = Rcons_par
 
+(* The recoverable replicated log built over per-slot RC instances, with
+   its quorum-counter committed prefix (PR 8). *)
+module Log = Rcons_log
+
 (* Replayable counterexample artifacts (workload + violating schedule +
    provenance), shared by the CLI's replay command, the bench negative
    controls, and CI. *)

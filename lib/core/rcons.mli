@@ -30,6 +30,11 @@ module History = Rcons_history
 module Valency = Rcons_valency
 module Par = Rcons_par
 
+module Log = Rcons_log
+(** The recoverable replicated log ({!Rcons_log.Rlog}): per-slot
+    recoverable-consensus instances chained under a quorum-counter
+    committed prefix, with crash-recovery replay. *)
+
 module Counterexample = Counterexample
 (** Replayable counterexample artifacts: a violating schedule packaged
     with a self-describing workload and provenance, as diffable JSON

@@ -107,3 +107,64 @@ let classify spec history =
   let strict = recoverable && strictly_linearizable spec history in
   let durable = durably_linearizable spec history in
   { recoverable; strict; durable }
+
+(* --- Prefix durability of the replicated-log API ---
+
+   The recoverable replicated log ([Rcons_log.Rlog]) is a chain of
+   consensus instances indexed by slot; its API-level contract has three
+   parts, checked over the operation history the log records:
+
+   - per-slot agreement: every APPEND response for one slot returns the
+     same value (each slot is one consensus instance -- the first
+     durably installed proposal wins and everyone adopts it);
+   - no committed-prefix regression: the quorum-counter readout over
+     durable votes never decreases (the harness samples it into
+     [committed_trace] -- after crashes, where a weak-persistency model
+     could revert an un-flushed vote, and at the end);
+   - durable linearizability of the log as one object: APPENDs with a
+     [History.Persist] marker are mandatory in the linearization,
+     completed-but-unpersisted ones may vanish at a crash
+     ({!durably_linearizable} over {!log_spec}). *)
+
+type 'v log_op = Append of { slot : int; value : 'v }
+
+(* Sequential specification of the log: APPEND to a decided slot adopts
+   the decided value, APPEND to a free slot installs its proposal.  The
+   state is the decided-slot map. *)
+let log_spec () =
+  {
+    Linearizability.init = [];
+    apply =
+      (fun s (Append { slot; value }) ->
+        match List.assoc_opt slot s with
+        | Some w -> (s, w)
+        | None -> ((slot, value) :: s, value));
+    equal_resp = ( = );
+  }
+
+type log_verdict = { slot_agreement : bool; prefix_monotone : bool; durable_lin : bool }
+
+let log_verdict_ok v = v.slot_agreement && v.prefix_monotone && v.durable_lin
+
+let log_slot_agreement history =
+  let responses =
+    History.operations history
+    |> List.filter_map (fun (op : _ History.operation) ->
+           match (op.op, op.resp) with
+           | Append { slot; _ }, Some v -> Some (slot, v)
+           | _, None -> None)
+  in
+  List.for_all
+    (fun (s, v) -> List.for_all (fun (s', v') -> s <> s' || v = v') responses)
+    responses
+
+let prefix_durability ~committed_trace history =
+  let rec monotone = function
+    | a :: (b :: _ as tl) -> a <= b && monotone tl
+    | [] | [ _ ] -> true
+  in
+  {
+    slot_agreement = log_slot_agreement history;
+    prefix_monotone = monotone committed_trace;
+    durable_lin = durably_linearizable (log_spec ()) history;
+  }

@@ -1,0 +1,262 @@
+(* Recoverable replicated log over per-slot recoverable-consensus
+   instances; see the interface for the architecture overview.
+
+   The shared state is three layers, all in the simulated non-volatile
+   heap:
+
+   - [tc.(slot)]: one fresh Figure 2 team-consensus instance per slot
+     (its recording object and proposal registers), deciding the slot's
+     value;
+   - [decided.(slot)]: the chain itself -- a register caching the slot's
+     decision so recovery can replay it without re-running consensus;
+   - [votes.(pid)]: the quorum counter (modeled on Wasp's QC module):
+     process [pid]'s durably completed prefix length.  The committed
+     prefix is the largest [li] such that a quorum of processes have a
+     durable vote >= [li] (QCReached/QCMax), computed over the durable
+     copies only -- volatile progress does not commit anything.
+
+   Barrier discipline (the [annotated] variant): a slot's decision must
+   be durable BEFORE the vote that advertises it.  Writing the decision
+   uses a write + link-and-persist-read retry loop ([install_durable])
+   rather than write + flush: under [Lossy] a concurrent writer can take
+   the cache line and crash between our write and our flush, in which
+   case the revert discards our volatile write with its own and our
+   flush would persist the reverted [None] -- the same absorbed-write
+   hazard [Team_consensus.apply_o_durable] retries against.  The vote is
+   private to its process (no other process ever writes [votes.(pid)]),
+   so a plain write + flush is enough there.  [vote_first] deliberately
+   inverts the order -- vote flushed before the decision is durable --
+   as a negative control: the explorer exhibits a committed slot whose
+   decision a crash then un-persists. *)
+
+open Rcons_runtime
+module TC = Rcons_algo.Team_consensus
+module Certificate = Rcons_check.Certificate
+module History = Rcons_history.History
+module Conditions = Rcons_history.Conditions
+
+type t = {
+  slots : int;
+  size_a : int;
+  size_b : int;
+  n : int;
+  quorum : int;
+  annotated : bool;
+  vote_first : bool;
+  tc : int TC.t array;
+  decided : int option Cell.t array;
+  votes : int Cell.t array;
+  (* Heap-registered meta-observations: the explorer's invariants read
+     them, so two executions share a fingerprint only when these agree
+     too (same contract as [Outputs]). *)
+  obs : int option array array; (* obs.(pid).(slot): last value observed *)
+  obs_conflict : bool ref;
+  watermark : int ref; (* highest committed prefix the checker has seen *)
+  (* Unregistered instrumentation, consumed only by the random harness
+     and the bench (never by explorer invariants). *)
+  history : (int Conditions.log_op, int) History.t;
+  tags : int option array array;
+  responded : bool array array;
+  recovery_steps : int array;
+  recoveries : int array;
+  entered : bool array;
+}
+
+(* One proposal value per (team, slot): every member of a team proposes
+   the same value for a slot, so the certificate's symmetry classes
+   remain sound for the symmetry-reducing explorer. *)
+let proposal_a slot = ((slot + 1) * 1000) + 111
+let proposal_b slot = ((slot + 1) * 1000) + 222
+let proposal t ~pid ~slot = if pid < t.size_a then proposal_a slot else proposal_b slot
+
+let create ?(faithful = true) ?(annotated = false) ?(vote_first = false) ~slots cert =
+  if slots < 1 then invalid_arg "Rlog.create: slots must be >= 1";
+  let size_a, size_b = Certificate.recording_teams cert in
+  let n = size_a + size_b in
+  let tc = Array.init slots (fun _ -> TC.create ~faithful ~annotated cert) in
+  let decided = Array.init slots (fun _ -> Cell.make None) in
+  let votes = Array.init n (fun _ -> Cell.make 0) in
+  let obs = Array.init n (fun _ -> Array.make slots None) in
+  let obs_conflict = ref false in
+  let watermark = ref 0 in
+  (* [obs] is pid-indexed, so a symmetry snapshot relabels its rows,
+     exactly like the [Outputs] log. *)
+  Heap.register_sym (fun perm ->
+      match perm with
+      | None -> Heap.digest obs
+      | Some perm ->
+          let a = Array.make n [||] in
+          Array.iteri (fun i row -> a.(perm.(i)) <- row) obs;
+          Heap.digest a);
+  (* The conflict flag and the checker's watermark are part of the state
+     the invariants read; registering them keeps deduplication sound
+     (the watermark is redundant with the durable votes on correct runs,
+     so it does not grow the state space there). *)
+  Heap.register (fun () -> Heap.digest (!obs_conflict, !watermark));
+  {
+    slots;
+    size_a;
+    size_b;
+    n;
+    quorum = (n / 2) + 1;
+    annotated;
+    vote_first;
+    tc;
+    decided;
+    votes;
+    obs;
+    obs_conflict;
+    watermark;
+    history = History.create ();
+    tags = Array.init n (fun _ -> Array.make slots None);
+    responded = Array.init n (fun _ -> Array.make slots false);
+    recovery_steps = Array.make n 0;
+    recoveries = Array.make n 0;
+    entered = Array.make n false;
+  }
+
+let num_procs t = t.n
+let num_slots t = t.slots
+let teams t = (t.size_a, t.size_b)
+
+(* --- instrumentation (meta-observations, not shared-memory steps) --- *)
+
+let observe t pid slot v =
+  (match t.obs.(pid).(slot) with Some w when w <> v -> t.obs_conflict := true | _ -> ());
+  t.obs.(pid).(slot) <- Some v
+
+(* An APPEND interrupted by a crash and completed by recovery is ONE
+   operation whose response arrives late, so the tag is allocated once
+   per (pid, slot) and survives restarts. *)
+let invoke_once t pid slot prop =
+  match t.tags.(pid).(slot) with
+  | Some _ -> ()
+  | None ->
+      t.tags.(pid).(slot) <-
+        Some (History.invoke t.history ~pid (Conditions.Append { slot; value = prop }))
+
+let respond_once t pid slot v =
+  if not t.responded.(pid).(slot) then (
+    (match t.tags.(pid).(slot) with
+    | Some tag -> History.respond t.history ~pid ~tag v
+    | None -> ());
+    t.responded.(pid).(slot) <- true)
+
+let persist_marker t pid slot =
+  match t.tags.(pid).(slot) with
+  | Some tag -> History.persist t.history ~pid ~tag
+  | None -> ()
+
+let note_crash t ~pid = History.crash t.history ~pid
+
+(* --- the process body --- *)
+
+(* Durably install [Some v]: write, then link-and-persist read until the
+   durable copy actually holds a decision (see the header for why a
+   plain write + flush is not enough under [Lossy]). *)
+let rec install_durable cell v =
+  Cell.write cell (Some v);
+  match Cell.read_persist cell with Some w -> w | None -> install_durable cell v
+
+let read_vote t pid =
+  if t.annotated then Cell.read_persist t.votes.(pid) else Cell.read t.votes.(pid)
+
+let read_decided t slot =
+  if t.annotated then Cell.read_persist t.decided.(slot) else Cell.read t.decided.(slot)
+
+let append t pid slot =
+  let team, tslot =
+    if pid < t.size_a then (Rcons_spec.Team.A, pid) else (Rcons_spec.Team.B, pid - t.size_a)
+  in
+  let prop = proposal t ~pid ~slot in
+  invoke_once t pid slot prop;
+  let v = t.tc.(slot).TC.decide team tslot prop in
+  let write_decided () =
+    if t.annotated then ignore (install_durable t.decided.(slot) v)
+    else Cell.write t.decided.(slot) (Some v)
+  in
+  let write_vote () =
+    Cell.write t.votes.(pid) (slot + 1);
+    if t.annotated then Cell.flush t.votes.(pid)
+  in
+  if t.vote_first then (
+    write_vote ();
+    write_decided ())
+  else (
+    write_decided ();
+    write_vote ());
+  observe t pid slot v;
+  respond_once t pid slot v;
+  if t.annotated then persist_marker t pid slot
+
+let body t pid () =
+  if t.entered.(pid) then t.recoveries.(pid) <- t.recoveries.(pid) + 1
+  else t.entered.(pid) <- true;
+  (* Recovery: my durable vote bounds the prefix I completed; replay
+     those slots from the chain instead of re-running consensus.  A slot
+     inside the prefix whose decision is unreadable (the [vote_first]
+     bug, or a barrier-free run) falls through to a full re-append. *)
+  let k = min (read_vote t pid) t.slots in
+  for slot = 0 to t.slots - 1 do
+    let replayed =
+      slot < k
+      &&
+      match read_decided t slot with
+      | Some v ->
+          t.recovery_steps.(pid) <- t.recovery_steps.(pid) + 1;
+          observe t pid slot v;
+          respond_once t pid slot v;
+          if t.annotated then persist_marker t pid slot;
+          true
+      | None -> false
+    in
+    if not replayed then append t pid slot
+  done
+
+let instance ?faithful ?annotated ?vote_first ~slots cert =
+  let t = create ?faithful ?annotated ?vote_first ~slots cert in
+  (t, Sim.create ~n:t.n (body t))
+
+(* --- checking --- *)
+
+let committed t =
+  let durable = Array.map Cell.peek_persisted t.votes in
+  let reached li =
+    Array.fold_left (fun c v -> if v >= li then c + 1 else c) 0 durable >= t.quorum
+  in
+  let rec go li = if li < t.slots && reached (li + 1) then go (li + 1) else li in
+  go 0
+
+let recovery_steps t = Array.copy t.recovery_steps
+let recoveries t = Array.copy t.recoveries
+let history t = t.history
+
+let check_exn ~fail t =
+  if !(t.obs_conflict) then
+    fail "log agreement violated: a process observed two different values for one slot";
+  for slot = 0 to t.slots - 1 do
+    let vals =
+      Array.fold_left
+        (fun acc row -> match row.(slot) with Some v when not (List.mem v acc) -> v :: acc | _ -> acc)
+        [] t.obs
+    in
+    (match vals with
+    | v :: w :: _ ->
+        fail (Printf.sprintf "log agreement violated: slot %d observed as both %d and %d" slot w v)
+    | _ -> ());
+    List.iter
+      (fun v ->
+        if v <> proposal_a slot && v <> proposal_b slot then
+          fail (Printf.sprintf "log validity violated: slot %d decided %d, not a proposal" slot v))
+      vals
+  done;
+  let c = committed t in
+  if c < !(t.watermark) then
+    fail (Printf.sprintf "committed prefix regressed: %d after %d" c !(t.watermark));
+  t.watermark := c;
+  for slot = 0 to c - 1 do
+    if Cell.peek_persisted t.decided.(slot) = None then
+      fail (Printf.sprintf "slot %d is committed but its decision is not durable" slot)
+  done
+
+let verdict ~committed_trace t = Conditions.prefix_durability ~committed_trace t.history

@@ -41,6 +41,28 @@ let policy_name = function
   | Simultaneous _ -> "simultaneous"
   | Quiescent _ -> "quiescent"
 
+(* The one authoritative name list: [policy_of_string] and every CLI
+   error message derive from it, so adding a policy here is enough to
+   make it parseable and listed. *)
+let policy_names = [ "uniform"; "storm"; "targeted"; "simultaneous"; "quiescent" ]
+
+let policy_of_string ?(crash_prob = 0.2) ?(max_crashes = 6) ?(burst = 2) ?victims ?crash_at
+    ?(period = 12) ?(active = 4) name =
+  match String.lowercase_ascii name with
+  | "uniform" -> Ok (Uniform { crash_prob; max_crashes })
+  | "storm" -> Ok (Storm { crash_prob; burst; max_crashes })
+  | "targeted" ->
+      (* With no explicit grudge list the adversary targets process 0:
+         a deterministic default that still exercises recovery. *)
+      Ok (Targeted { victims = Option.value victims ~default:[ 0 ]; crash_prob; max_crashes })
+  | "simultaneous" ->
+      Ok (Simultaneous { crash_at = Option.value crash_at ~default:[ 5; 17 ] })
+  | "quiescent" -> Ok (Quiescent { period; active; crash_prob; max_crashes })
+  | _ ->
+      Error
+        (Printf.sprintf "unknown adversary policy %S (valid: %s)" name
+           (String.concat ", " policy_names))
+
 let policy_params = function
   | Uniform { crash_prob; max_crashes } ->
       [ ("crash_prob", string_of_float crash_prob); ("max_crashes", string_of_int max_crashes) ]

@@ -60,6 +60,26 @@ type policy =
 
 val pp_policy : Format.formatter -> policy -> unit
 
+val policy_names : string list
+(** The valid policy names, in declaration order: the single source the
+    CLI's error messages and {!policy_of_string} both draw from. *)
+
+val policy_of_string :
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  ?burst:int ->
+  ?victims:int list ->
+  ?crash_at:int list ->
+  ?period:int ->
+  ?active:int ->
+  string ->
+  (policy, string) result
+(** Resolve a policy by name (case-insensitive), instantiated with the
+    given knobs (defaults: [crash_prob 0.2], [max_crashes 6], [burst 2],
+    [victims [0]], [crash_at [5; 17]], [period 12], [active 4]).
+    [Error] names the offender and lists {!policy_names} -- the one-line
+    diagnosis CLI callers print before exiting 2. *)
+
 val policy_params : policy -> (string * string) list
 (** Rendered policy knobs, for {!Schedule.provenance}. *)
 

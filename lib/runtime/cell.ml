@@ -105,7 +105,11 @@ let rec read_persist ?(equal = ( = )) c =
    durable; a [poke] from inside a step (the read-modify-write of
    [One_shot.decide]) dirties the line like any other write. *)
 let peek c = c.contents
-let peek_persisted c = c.persisted
+
+(* With no cache line, writes are write-through and only [contents] is
+   maintained, so the durable copy IS the volatile one; [persisted]
+   would be the stale initial value. *)
+let peek_persisted c = match c.line with None -> c.contents | Some _ -> c.persisted
 
 let poke c v =
   match c.line with

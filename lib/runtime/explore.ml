@@ -206,10 +206,23 @@ let checkpoint_of_json j =
   }
 
 let save_checkpoint ~file cp =
-  let oc = open_out file in
-  output_string oc (Json.to_string (checkpoint_to_json cp));
-  output_char oc '\n';
-  close_out oc
+  (* Write-temp-then-rename (the [Cert_cache] convention): a crash --
+     of the host process this time, not a simulated one -- while the
+     checkpoint is being written must never leave a truncated file
+     where [--resume] expects a valid one.  The rename is atomic on
+     POSIX, so the file is either the complete old checkpoint or the
+     complete new one. *)
+  let tmp = file ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (Json.to_string (checkpoint_to_json cp));
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp file
 
 let load_checkpoint ~file =
   let ic = open_in_bin file in

@@ -68,17 +68,45 @@ let aliases =
     ("consensus", "consensus-object");
   ]
 
+(* Every name [of_name] accepts: the aliases, the canonical catalogue
+   names, and the parametric families.  CLI error messages print this
+   list, so it must stay derived from the tables above rather than
+   hand-maintained. *)
+let names () =
+  List.map fst aliases @ List.map (fun e -> Object_type.name e.ot) all @ [ "S<n>"; "T<n>" ]
+
 let of_name name =
-  let canonical = match List.assoc_opt name aliases with Some c -> c | None -> name in
+  (* Case-insensitive and whitespace-tolerant: artifact files and CLI
+     flags (the log workloads route every --type through here) should
+     resolve "STICKY" or " sticky " like "sticky".  Canonical catalogue
+     names are all lowercase, so folding the input is lossless. *)
+  let folded = String.lowercase_ascii (String.trim name) in
+  let canonical = match List.assoc_opt folded aliases with Some c -> c | None -> folded in
+  let unknown () =
+    Error (Printf.sprintf "unknown type %S (valid: %s)" name (String.concat ", " (names ())))
+  in
   match find canonical with
   | e -> Ok e.ot
   | exception Not_found -> (
+      (* Parametric families: only claim the name once the suffix is
+         numeric -- "Sfoo" gets the full unknown-name listing, "S0" the
+         out-of-range diagnosis. *)
       let parametric mk rest =
+        (* accept both the short "S3" and the canonical "S_3" spellings *)
+        let rest =
+          if String.length rest > 1 && rest.[0] = '_' then
+            String.sub rest 1 (String.length rest - 1)
+          else rest
+        in
         match int_of_string_opt rest with
         | Some n when n >= 2 -> Ok (mk n)
-        | Some _ | None -> Error (Printf.sprintf "bad parameter in %S" name)
+        | Some _ ->
+            Error
+              (Printf.sprintf "bad parameter in %S (want %c<n>, n >= 2)" name
+                 (Char.uppercase_ascii folded.[0]))
+        | None -> unknown ()
       in
-      match name.[0] with
-      | 'S' -> parametric Sn.make (String.sub name 1 (String.length name - 1))
-      | 'T' -> parametric Tn.make (String.sub name 1 (String.length name - 1))
-      | _ | (exception Invalid_argument _) -> Error (Printf.sprintf "unknown type %S" name))
+      match folded.[0] with
+      | 's' -> parametric Sn.make (String.sub folded 1 (String.length folded - 1))
+      | 't' -> parametric Tn.make (String.sub folded 1 (String.length folded - 1))
+      | _ | (exception Invalid_argument _) -> unknown ())

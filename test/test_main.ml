@@ -41,6 +41,7 @@ let suites =
     ("parallel", Test_parallel.suite, true);
     ("dedup", Test_dedup.suite, true);
     ("reduction", Test_reduction.suite, true);
+    ("log", Test_log.suite, false);
   ]
 
 let () =
