@@ -34,6 +34,7 @@ let experiments ~domains =
     ("E12", E12_persistency.run);
     ("E13", E13_reduction.run);
     ("E14", fun () -> E14_log.run ());
+    ("E15", fun () -> E15_service.run ());
   ]
 
 let canonical name =

@@ -796,7 +796,166 @@ let critical_cmd =
           (experiment E11)")
     Term.(const run $ ot)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let module Service = Rcons.Service in
+  let module Instance = Service.Instance in
+  let module Soak = Service.Soak in
+  let run instances seed adversary crash_prob max_crashes burst persist flush_cost domains
+      sessions ops queue_cap bare max_ticks =
+    match
+      Rcons.Runtime.Adversary.policy_of_string ~crash_prob ~max_crashes ~burst adversary
+    with
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        2
+    | Ok adv -> (
+        (* every 4th instance hosts the replicated log, the rest the
+           universal counter -- the same mixed fleet as bench E15 *)
+        let cert = lazy (Rcons.Check.Recording.witness Rcons.Spec.Sticky_bit.t 2) in
+        let cfgs =
+          List.init instances (fun id ->
+              let base = Soak.default ~id ~seed in
+              let base =
+                {
+                  base with
+                  Instance.adversary = adv;
+                  persist;
+                  flush_cost;
+                  annotated = not bare;
+                  sessions;
+                  ops_per_session = ops;
+                  queue_cap;
+                  max_ticks;
+                }
+              in
+              match (id mod 4, Lazy.force cert) with
+              | 3, Some c ->
+                  {
+                    base with
+                    Instance.kind = Instance.Log;
+                    cert = Some c;
+                    sessions = max 1 (sessions / 2);
+                    open_ops = 4;
+                    open_rate = 0.2;
+                  }
+              | _ -> base)
+        in
+        match Soak.run ~domains cfgs with
+        | o ->
+            List.iter
+              (fun (r : Instance.report) ->
+                Format.printf
+                  "instance %2d %-9s ticks %6d acked %4d/%-4d retries %4d shed %4d crashes %3d \
+                   recoveries %3d checks %3d%s@."
+                  r.Instance.r_id r.Instance.r_kind r.Instance.r_ticks r.Instance.r_acked
+                  r.Instance.r_submitted r.Instance.r_retries r.Instance.r_shed
+                  r.Instance.r_crashes_delivered r.Instance.r_recoveries r.Instance.r_checks_run
+                  (if r.Instance.r_stuck then "  STUCK" else ""))
+              o.Soak.reports;
+            let s = o.Soak.summary in
+            Format.printf
+              "soak: %d instances, %d acked / %d submitted, %d gave up, %d shed, %d crashes \
+               delivered, %d recoveries, 0 violations@."
+              s.Soak.s_instances s.Soak.s_acked s.Soak.s_submitted s.Soak.s_gave_up s.Soak.s_shed
+              s.Soak.s_crashes_delivered s.Soak.s_recoveries;
+            Format.printf "latency p50/p99 = %d/%d ticks, recovery p99 = %d ticks@."
+              (Service.Metrics.percentile s.Soak.s_latency 0.50)
+              (Service.Metrics.percentile s.Soak.s_latency 0.99)
+              (Service.Metrics.percentile s.Soak.s_recovery 0.99);
+            Format.printf "commit digest %s (independent of --domains)@." s.Soak.s_commit_digest;
+            if s.Soak.s_stuck > 0 then begin
+              Format.eprintf "%d instances stuck at the tick budget@." s.Soak.s_stuck;
+              1
+            end
+            else 0
+        | exception Instance.Violation v ->
+            Format.eprintf "VIOLATION: instance %d, tick %d: %s@." v.instance v.tick v.msg;
+            1)
+  in
+  let instances =
+    Arg.(value & opt int 8 & info [ "instances" ] ~doc:"Number of hosted instances (default 8).")
+  in
+  let seed = Arg.(value & opt int 1500 & info [ "seed" ] ~doc:"Fleet seed (default 1500).") in
+  let adversary =
+    Arg.(
+      value & opt string "storm"
+      & info [ "adversary" ] ~docv:"POLICY"
+          ~doc:
+            "Crash adversary injecting churn into live workers: $(b,uniform), $(b,storm), \
+             $(b,targeted), $(b,simultaneous) or $(b,quiescent) (default storm).")
+  in
+  let crash_prob =
+    Arg.(
+      value & opt float 0.05
+      & info [ "crash-prob" ] ~doc:"Per-opportunity crash probability (default 0.05).")
+  in
+  let max_crashes =
+    Arg.(
+      value & opt int 12
+      & info [ "crashes" ] ~doc:"Crash budget per instance (default 12; finitely many).")
+  in
+  let burst =
+    Arg.(value & opt int 2 & info [ "burst" ] ~doc:"Storm burst size (default 2).")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 16
+      & info [ "sessions" ] ~doc:"Closed-loop client sessions per instance (default 16).")
+  in
+  let ops =
+    Arg.(value & opt int 4 & info [ "ops" ] ~doc:"Operations per session (default 4).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "queue-cap" ] ~doc:"Admission bound; submissions beyond it shed (default 32).")
+  in
+  let bare =
+    Arg.(
+      value & flag
+      & info [ "bare" ]
+          ~doc:
+            "Drop the persist barriers (negative control: under $(b,--persist lossy) the online \
+             checkers must abort the soak).")
+  in
+  let max_ticks =
+    Arg.(
+      value & opt int 50_000
+      & info [ "max-ticks" ] ~doc:"Per-instance tick budget (default 50000).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Soak a fleet of recoverable-service instances under crash churn with online \
+          durability checking (experiment E15)")
+    Term.(
+      const run $ instances $ seed $ adversary $ crash_prob $ max_crashes $ burst $ persist_arg
+      $ flush_cost_arg $ domains_arg $ sessions $ ops $ queue_cap $ bare $ max_ticks)
+
+let subcommand_names =
+  [ "classify"; "solve"; "impossible"; "explore"; "log"; "certs"; "critical"; "serve" ]
+
 let () =
+  (* Unknown-subcommand diagnosis before cmdliner's own parse: one line
+     naming every valid subcommand, exit 2 (usage error), instead of the
+     default usage dump.  Prefix matches fall through to cmdliner, which
+     accepts unambiguous prefixes. *)
+  (if Array.length Sys.argv > 1 then
+     let cmd = Sys.argv.(1) in
+     let is_prefix c s =
+       String.length c <= String.length s && String.sub s 0 (String.length c) = c
+     in
+     if
+       String.length cmd > 0
+       && cmd.[0] <> '-'
+       && not (List.exists (is_prefix cmd) ("help" :: subcommand_names))
+     then begin
+       Format.eprintf "rcons: unknown subcommand %S@." cmd;
+       Format.eprintf "valid subcommands: %s@." (String.concat ", " subcommand_names);
+       exit 2
+     end);
   let info =
     Cmd.info "rcons" ~version:"1.0.0"
       ~doc:"Recoverable consensus vs consensus: executable PODC 2022 reproduction"
@@ -804,4 +963,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ classify_cmd; solve_cmd; impossible_cmd; explore_cmd; log_cmd; certs_cmd; critical_cmd ]))
+          [
+            classify_cmd;
+            solve_cmd;
+            impossible_cmd;
+            explore_cmd;
+            log_cmd;
+            certs_cmd;
+            critical_cmd;
+            serve_cmd;
+          ]))

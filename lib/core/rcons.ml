@@ -33,6 +33,11 @@ module Par = Rcons_par
    its quorum-counter committed prefix (PR 8). *)
 module Log = Rcons_log
 
+(* The crash-churn soak service (PR 9): many hosted instances, client
+   sessions as effect fibers, bounded admission, retry/backoff, online
+   durability checking. *)
+module Service = Rcons_service
+
 (* Replayable counterexample artifacts (workload + violating schedule +
    provenance), shared by the CLI's replay command, the bench negative
    controls, and CI. *)

@@ -35,6 +35,12 @@ module Log = Rcons_log
     recoverable-consensus instances chained under a quorum-counter
     committed prefix, with crash-recovery replay. *)
 
+module Service = Rcons_service
+(** The crash-churn soak service ({!Rcons_service}): many hosted
+    instances, client sessions as effect fibers, bounded admission with
+    load shedding, retry/timeout/backoff, and online durability
+    checking under injected crash churn. *)
+
 module Counterexample = Counterexample
 (** Replayable counterexample artifacts: a violating schedule packaged
     with a self-describing workload and provenance, as diffable JSON

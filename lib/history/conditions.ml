@@ -98,6 +98,18 @@ let durable_operations history =
 let durably_linearizable spec history =
   Linearizability.check spec (durable_operations history)
 
+(* One window of the durable transformation, for online checkers that
+   cut a long-running history into <= 62-operation slices (the Wing &
+   Gong bitmask bound): operations with tags <= [after] are the already
+   checked prefix whose effects the caller bakes into the window's
+   initial state. *)
+let durable_window ~after history =
+  durable_operations history
+  |> List.filter (fun (op : _ History.operation) -> op.op_tag > after)
+
+let durably_linearizable_window spec ~after ~init history =
+  Linearizability.check { spec with Linearizability.init } (durable_window ~after history)
+
 (* Classification of one history against the three conditions; strict
    implies recoverable (tighter intervals only restrict the search). *)
 type verdict = { recoverable : bool; strict : bool; durable : bool }

@@ -33,6 +33,22 @@ val durably_linearizable : ('s, 'o, 'r) Linearizability.spec -> ('o, 'r) History
     persisted before a crash must appear in the linearization,
     un-persisted completed operations may vanish. *)
 
+val durable_window :
+  after:int -> ('o, 'r) History.t -> ('o, 'r) History.operation list
+(** {!durable_operations} restricted to operations with tags [> after]:
+    one window of a long-running history, for online checkers that must
+    respect {!Linearizability.check}'s 62-operation bound.  The caller
+    owns the watermark and the window's initial state (the abstract
+    state after the already-checked prefix). *)
+
+val durably_linearizable_window :
+  ('s, 'o, 'r) Linearizability.spec -> after:int -> init:'s -> ('o, 'r) History.t -> bool
+(** {!durably_linearizable} of one {!durable_window}, started from
+    [init] instead of the specification's initial state.  Sound online
+    checking with one-window detection lag: an acknowledged effect
+    reverted by a {e later} crash makes the {e next} window's responses
+    inconsistent with its peeked initial state. *)
+
 type verdict = { recoverable : bool; strict : bool; durable : bool }
 
 val classify : ('s, 'o, 'r) Linearizability.spec -> ('o, 'r) History.t -> verdict

@@ -227,6 +227,10 @@ let committed t =
   let rec go li = if li < t.slots && reached (li + 1) then go (li + 1) else li in
   go 0
 
+let decided_value t ~slot =
+  if slot < 0 || slot >= t.slots then invalid_arg "Rlog.decided_value: slot out of range";
+  Cell.peek t.decided.(slot)
+
 let recovery_steps t = Array.copy t.recovery_steps
 let recoveries t = Array.copy t.recoveries
 let history t = t.history

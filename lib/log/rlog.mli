@@ -96,6 +96,13 @@ val check_exn : fail:(string -> unit) -> t -> unit
     diagnosis on the first violated property
     (e.g. {!Rcons_runtime.Explore.fail}). *)
 
+val decided_value : t -> slot:int -> int option
+(** The slot's decided value if any -- a volatile out-of-simulation peek
+    of the chain register.  The service layer acknowledges an append
+    with it once the slot is inside the committed prefix.
+
+    @raise Invalid_argument on an out-of-range slot. *)
+
 val recovery_steps : t -> int array
 (** Per-process count of slots replayed from the chain during
     recoveries (a copy; meta-observation for the harness/bench). *)

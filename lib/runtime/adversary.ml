@@ -88,12 +88,36 @@ let policy_params = function
         ("max_crashes", string_of_int max_crashes);
       ]
 
-type t = { pol : policy; rng : Random.State.t; seed_used : int option }
+type t = {
+  pol : policy;
+  rng : Random.State.t;
+  seed_used : int option;
+  mutable injected : int; (* crashes delivered over the adversary's lifetime *)
+  mutable sim_remaining : int list option; (* [Simultaneous] thresholds left for [decide] *)
+}
 
-let create ?(seed = 42) pol = { pol; rng = Random.State.make [| seed |]; seed_used = Some seed }
-let of_rng ~rng pol = { pol; rng; seed_used = None }
+let create ?(seed = 42) pol =
+  {
+    pol;
+    rng = Random.State.make [| seed |];
+    seed_used = Some seed;
+    injected = 0;
+    sim_remaining = None;
+  }
+
+let of_rng ~rng pol = { pol; rng; seed_used = None; injected = 0; sim_remaining = None }
 let policy a = a.pol
 let seed a = a.seed_used
+let crashes_injected a = a.injected
+
+let crashes_requested a =
+  match a.pol with
+  | Uniform { max_crashes; _ }
+  | Storm { max_crashes; _ }
+  | Targeted { max_crashes; _ }
+  | Quiescent { max_crashes; _ } ->
+      max_crashes
+  | Simultaneous { crash_at } -> List.length (List.sort_uniq compare crash_at)
 
 let provenance ?fingerprint a =
   {
@@ -122,6 +146,7 @@ let run ?(max_steps = 1_000_000) ?(record = true) ?(on_crash = fun _ -> ()) a t 
   let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
   let do_crash i =
     incr crashes;
+    a.injected <- a.injected + 1;
     note (Schedule.Crash_choice i);
     Sim.crash t i;
     on_crash i
@@ -188,6 +213,7 @@ let run ?(max_steps = 1_000_000) ?(record = true) ?(on_crash = fun _ -> ()) a t 
             remaining := rest;
             for i = 0 to n - 1 do
               incr crashes;
+              a.injected <- a.injected + 1;
               note (Schedule.Crash_choice i);
               on_crash i
             done;
@@ -207,3 +233,75 @@ let run ?(max_steps = 1_000_000) ?(record = true) ?(on_crash = fun _ -> ()) a t 
         end
       done);
   { crashes = !crashes; steps = !steps; schedule = List.rev !sched }
+
+(* --- Incremental interface (tick-driven engines: lib/service) ---
+
+   [decide] exposes one crash opportunity of the policy without the
+   stepping side of [run]: the caller owns the scheduler and merely asks
+   "whom do I crash now?".  The budget is the adversary's *lifetime*
+   budget ([injected]), not per-run, so a long soak spends one
+   [max_crashes] allowance total.  RNG consumption mirrors [run]'s
+   opportunity shape (one [float] only when a crash is possible, one
+   [int] per victim pick) but is a separate stream contract: a [t] must
+   be dedicated either to [run] or to [decide], never interleaved. *)
+
+let sim_thresholds a crash_at =
+  match a.sim_remaining with
+  | Some r -> r
+  | None ->
+      let r = List.sort_uniq compare crash_at in
+      a.sim_remaining <- Some r;
+      r
+
+let decide a ~eligible ~total_steps =
+  let pick_victims ~crash_prob ~max_crashes ~burst pool ~window =
+    if a.injected >= max_crashes || pool = [] || not window then []
+    else if Random.State.float a.rng 1.0 < crash_prob then begin
+      let n_victims = min burst (min (List.length pool) (max_crashes - a.injected)) in
+      let rec storm k pool acc =
+        if k = 0 || pool = [] then List.rev acc
+        else begin
+          let v = List.nth pool (Random.State.int a.rng (List.length pool)) in
+          storm (k - 1) (List.filter (fun i -> i <> v) pool) (v :: acc)
+        end
+      in
+      let victims = storm n_victims pool [] in
+      a.injected <- a.injected + List.length victims;
+      victims
+    end
+    else []
+  in
+  match a.pol with
+  | Uniform { crash_prob; max_crashes } ->
+      pick_victims ~crash_prob ~max_crashes ~burst:1 eligible ~window:true
+  | Storm { crash_prob; burst; max_crashes } ->
+      pick_victims ~crash_prob ~max_crashes ~burst eligible ~window:true
+  | Targeted { victims; crash_prob; max_crashes } ->
+      pick_victims ~crash_prob ~max_crashes ~burst:1
+        (List.filter (fun i -> List.mem i victims) eligible)
+        ~window:true
+  | Quiescent { period; active; crash_prob; max_crashes } ->
+      if period <= 0 then invalid_arg "Adversary: Quiescent period must be positive";
+      pick_victims ~crash_prob ~max_crashes ~burst:1 eligible
+        ~window:(total_steps mod period < active)
+  | Simultaneous { crash_at } -> (
+      match sim_thresholds a crash_at with
+      | at :: rest when total_steps >= at ->
+          a.sim_remaining <- Some rest;
+          a.injected <- a.injected + List.length eligible;
+          eligible
+      | _ -> [])
+
+let next_crash_hint a ~total_steps =
+  match a.pol with
+  | Uniform { max_crashes; _ } | Storm { max_crashes; _ } | Targeted { max_crashes; _ } ->
+      if a.injected >= max_crashes then None else Some 0
+  | Quiescent { period; active; max_crashes; _ } ->
+      if a.injected >= max_crashes then None
+      else if period <= 0 then invalid_arg "Adversary: Quiescent period must be positive"
+      else if total_steps mod period < active then Some 0
+      else Some (period - (total_steps mod period))
+  | Simultaneous { crash_at } -> (
+      match sim_thresholds a crash_at with
+      | [] -> None
+      | at :: _ -> Some (max 0 (at - total_steps)))

@@ -100,6 +100,38 @@ val of_rng : rng:Random.State.t -> policy -> t
 val policy : t -> policy
 val seed : t -> int option
 
+val crashes_injected : t -> int
+(** Crashes actually delivered over the adversary's lifetime, across
+    every {!run} and {!decide} call — churn {e delivered}, as opposed to
+    the churn {!crashes_requested}.  Soak harnesses assert on it so
+    "survived the storm" is never vacuously true of a storm that never
+    broke. *)
+
+val crashes_requested : t -> int
+(** The policy's crash allowance: [max_crashes] for the probabilistic
+    policies; for [Simultaneous], the number of crash-all {e firings}
+    (each firing crashes every process, so delivered may exceed it). *)
+
+val decide : t -> eligible:int list -> total_steps:int -> int list
+(** One crash opportunity of the policy for a caller that owns its own
+    scheduler (the service engine), instead of handing the whole run to
+    {!run}: given the processes currently {e eligible} to crash (started
+    and alive — the caller's responsibility) and the system's cumulative
+    step count, return the victims to crash now ([[]] most of the time).
+    The returned victims are counted as injected; the caller must
+    actually crash them.  Unlike {!run}'s per-call budget, the
+    [max_crashes] budget here is spent over the adversary's lifetime.
+    RNG draws mirror {!run}'s opportunity shape, but the streams are not
+    interchangeable: dedicate a [t] to either {!run} or {!decide}. *)
+
+val next_crash_hint : t -> total_steps:int -> int option
+(** A peek at the soonest possible next crash: [None] when the budget
+    (or, for [Simultaneous], the threshold list) is spent — no further
+    churn can arrive, so a quiescence-dependent caller may stop waiting;
+    [Some d] when a crash may fire once [d] more total steps elapse
+    ([Some 0] = possible right now).  Purely informational: consumes no
+    randomness and moves no state. *)
+
 val provenance : ?fingerprint:string -> t -> Schedule.provenance
 (** Self-description of this adversary for violation records and
     artifacts. *)

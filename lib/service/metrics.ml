@@ -1,0 +1,56 @@
+(* Dense integer histograms; see the interface. *)
+
+type hist = {
+  cap : int;
+  counts : int array;
+  mutable overflow : int;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_seen : int;
+}
+
+let hist ?(cap = 2048) () =
+  if cap < 1 then invalid_arg "Metrics.hist: cap must be positive";
+  { cap; counts = Array.make cap 0; overflow = 0; total = 0; sum = 0; max_seen = 0 }
+
+let add h v =
+  let v = max 0 v in
+  if v >= h.cap then h.overflow <- h.overflow + 1 else h.counts.(v) <- h.counts.(v) + 1;
+  h.total <- h.total + 1;
+  h.sum <- h.sum + v;
+  if v > h.max_seen then h.max_seen <- v
+
+let percentile h p =
+  if h.total = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (p *. float_of_int h.total))) in
+    let acc = ref 0 and result = ref h.cap in
+    (try
+       for v = 0 to h.cap - 1 do
+         acc := !acc + h.counts.(v);
+         if !acc >= target then begin
+           result := v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let mean h = if h.total = 0 then 0.0 else float_of_int h.sum /. float_of_int h.total
+
+let merge_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "Metrics.merge_into: cap mismatch";
+  Array.iteri (fun v c -> dst.counts.(v) <- dst.counts.(v) + c) src.counts;
+  dst.overflow <- dst.overflow + src.overflow;
+  dst.total <- dst.total + src.total;
+  dst.sum <- dst.sum + src.sum;
+  if src.max_seen > dst.max_seen then dst.max_seen <- src.max_seen
+
+let sparse h =
+  let acc = ref [] in
+  if h.overflow > 0 then acc := [ (h.cap, h.overflow) ];
+  for v = h.cap - 1 downto 0 do
+    if h.counts.(v) > 0 then acc := (v, h.counts.(v)) :: !acc
+  done;
+  !acc

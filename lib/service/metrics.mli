@@ -1,0 +1,38 @@
+(** Integer-valued histograms for the service soak: latency in ticks,
+    recovery times, replayed slots.  Dense counts up to a cap with an
+    overflow bucket, so adds are O(1), merges are element-wise, and two
+    histograms with the same observations are structurally equal -- the
+    cross-domain determinism tests compare whole reports with [(=)].
+
+    Everything here is plain data and per-instance; no locks, no
+    global state. *)
+
+type hist = {
+  cap : int;  (** values [>= cap] land in the overflow bucket *)
+  counts : int array;  (** [counts.(v)] = observations of value [v] *)
+  mutable overflow : int;
+  mutable total : int;
+  mutable sum : int;
+  mutable max_seen : int;
+}
+
+val hist : ?cap:int -> unit -> hist
+(** Fresh empty histogram (default cap 2048). *)
+
+val add : hist -> int -> unit
+(** Record one observation (negative values clamp to 0). *)
+
+val percentile : hist -> float -> int
+(** [percentile h p] (p in [0,1]): smallest value whose cumulative count
+    reaches [ceil (p *. total)]; overflow observations report as [cap].
+    0 on an empty histogram. *)
+
+val mean : hist -> float
+
+val merge_into : dst:hist -> hist -> unit
+(** Element-wise add; the caps must agree. *)
+
+val sparse : hist -> (int * int) list
+(** Non-empty buckets as [(value, count)] pairs in ascending value
+    order, the overflow bucket (if any) last under value [cap] -- the
+    compact JSON rendering. *)

@@ -1,0 +1,77 @@
+(* Client-session fibers over OCaml 5 effects; see the interface. *)
+
+type call_result = Done of int | Overloaded | Timeout
+type ctx = { call : idx:int -> call_result; sleep : int -> unit }
+
+type _ Effect.t += Call : int -> call_result Effect.t | Sleep : int -> unit Effect.t
+
+exception Aborted
+
+type suspension =
+  | S_none
+  | S_call of int * (call_result, unit) Effect.Deep.continuation
+  | S_sleep of int * (unit, unit) Effect.Deep.continuation
+
+type t = { mutable susp : suspension; mutable fin : bool; mutable run : unit -> unit }
+
+type poised = Calling of int | Sleeping of int | Finished
+
+let ctx = { call = (fun ~idx -> Effect.perform (Call idx)); sleep = (fun d -> if d > 0 then Effect.perform (Sleep d)) }
+
+let spawn body =
+  let s = { susp = S_none; fin = false; run = (fun () -> ()) } in
+  s.run <-
+    (fun () ->
+      Effect.Deep.match_with body ctx
+        {
+          retc = (fun () -> s.fin <- true);
+          exnc =
+            (fun e ->
+              s.fin <- true;
+              match e with Aborted -> () | e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Call idx ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) -> s.susp <- S_call (idx, k))
+              | Sleep d -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> s.susp <- S_sleep (d, k))
+              | _ -> None);
+        });
+  s
+
+let start s = s.run ()
+
+let poised s =
+  if s.fin then Finished
+  else
+    match s.susp with
+    | S_call (idx, _) -> Calling idx
+    | S_sleep (d, _) -> Sleeping d
+    | S_none -> invalid_arg "Session.poised: session not suspended"
+
+let answer s r =
+  match s.susp with
+  | S_call (_, k) ->
+      s.susp <- S_none;
+      Effect.Deep.continue k r
+  | _ -> invalid_arg "Session.answer: session is not awaiting a call"
+
+let wake s =
+  match s.susp with
+  | S_sleep (_, k) ->
+      s.susp <- S_none;
+      Effect.Deep.continue k ()
+  | _ -> invalid_arg "Session.wake: session is not sleeping"
+
+let abort s =
+  if not s.fin then begin
+    match s.susp with
+    | S_call (_, k) ->
+        s.susp <- S_none;
+        Effect.Deep.discontinue k Aborted
+    | S_sleep (_, k) ->
+        s.susp <- S_none;
+        Effect.Deep.discontinue k Aborted
+    | S_none -> s.fin <- true
+  end

@@ -1,0 +1,57 @@
+(** Simulated client sessions as OCaml 5 effect-handler fibers.
+
+    A session body is direct-style client code -- submit, await, retry
+    with backoff, move on -- written against the tiny {!ctx} interface;
+    [call] and [sleep] perform effects, suspending the fiber until the
+    hosting instance engine answers or wakes it.  Thousands of sessions
+    multiplex over one engine this way with no threads and no
+    scheduler fairness questions: the engine resumes exactly the fibers
+    whose events fired, in deterministic (session-index) order.
+
+    Continuations are one-shot; the engine must answer each suspension
+    exactly once.  {!abort} discontinues an unfinished fiber so its
+    stack is reclaimed (the same obligation {!Rcons_runtime.Sim.abandon}
+    discharges for process continuations). *)
+
+(** What an awaited operation came back with.  [Overloaded] = shed by
+    admission control; [Timeout] = the per-attempt deadline passed with
+    the op still in flight (the op itself remains queued or in flight --
+    retries of it are deduplicated by op id). *)
+type call_result = Done of int | Overloaded | Timeout
+
+type ctx = {
+  call : idx:int -> call_result;
+      (** Submit (or re-submit) the session's [idx]-th operation and
+          await its outcome. *)
+  sleep : int -> unit;  (** Yield for at least the given number of ticks. *)
+}
+
+type t
+
+(** What a session is suspended on, observed by the engine after every
+    {!start}/{!answer}/{!wake}. *)
+type poised =
+  | Calling of int  (** performing [call ~idx]; answer with {!answer} *)
+  | Sleeping of int  (** performing [sleep d]; {!wake} once [d] ticks pass *)
+  | Finished
+
+val spawn : (ctx -> unit) -> t
+(** Package a body; nothing runs until {!start}. *)
+
+val start : t -> unit
+(** Run the body until its first suspension (or completion). *)
+
+val poised : t -> poised
+
+val answer : t -> call_result -> unit
+(** Resume a [Calling] session with the outcome; runs it to its next
+    suspension.  @raise Invalid_argument if not [Calling]. *)
+
+val wake : t -> unit
+(** Resume a [Sleeping] session.  @raise Invalid_argument if not
+    [Sleeping]. *)
+
+val abort : t -> unit
+(** Discontinue an unfinished session (its pending [call]/[sleep]
+    raises an internal exception the body must not catch); a no-op on a
+    [Finished] one.  After [abort] the session is [Finished]. *)

@@ -66,6 +66,31 @@ let wr t c v =
   Cell.write c v;
   if t.annotated then Cell.flush c
 
+(* Crash-robust write for the multi-writer winner fields (new_state,
+   response, seq).  The helping races on these cells are value-benign --
+   every helper writes the agreed value -- but under a per-owner
+   write-back cache they are NOT crash-benign: a concurrent same-value
+   helper write steals the line's ownership, and if that helper then
+   crashes before flushing, the policy reverts the line to its durable
+   copy -- silently undoing our write -- after which our own flush hits a
+   clean line and persists nothing.  (Found by the E15 service soak: a
+   node with a durable seq but a reverted new_state, i.e. "predecessor
+   state missing" in a fully annotated run.)  So in annotated mode,
+   write, flush, and read back, retrying until the written value
+   actually stuck; crashes are finitely many, so the loop terminates.
+   The single-writer cells (announce.(i), head.(i)) keep the plain
+   write-and-flush. *)
+let wr_confirm t c v =
+  if not t.annotated then Cell.write c v
+  else begin
+    let rec go () =
+      Cell.write c v;
+      Cell.flush c;
+      if Cell.read c <> v then go ()
+    in
+    go ()
+  end
+
 let fresh_node t ~tag ~hist_tag op =
   {
     tag;
@@ -132,9 +157,9 @@ let apply_operation t i =
       | None -> invalid_arg "RUniversal: dummy node won consensus"
     in
     let state', resp = t.spec.apply prev_state op in
-    wr t winner.new_state (Some state');
-    wr t winner.response (Some resp);
-    wr t winner.seq (head_seq + 1);
+    wr_confirm t winner.new_state (Some state');
+    wr_confirm t winner.response (Some resp);
+    wr_confirm t winner.seq (head_seq + 1);
     wr t t.head.(i) winner
   done;
   match rd t announced.response with
@@ -187,3 +212,15 @@ let linearization t =
   |> List.sort (fun a b -> compare (Cell.peek a.seq) (Cell.peek b.seq))
 
 let applied_count t = List.length (linearization t)
+
+(* The object's current (volatile) abstract state: the last appended
+   node's new_state, [init] before any append.  An appended node always
+   has its state filled in -- the seq write follows the new_state write --
+   so the [None] arm is the dummy head only. *)
+let current_state t =
+  match List.rev (linearization t) with
+  | [] -> t.spec.init
+  | last :: _ -> (
+      match Cell.peek last.new_state with
+      | Some s -> s
+      | None -> invalid_arg "RUniversal: appended node has no state")

@@ -73,3 +73,9 @@ val linearization : ('s, 'o, 'r) t -> ('s, 'o, 'r) node list
 (** Appended nodes in list order (out-of-simulation inspection). *)
 
 val applied_count : ('s, 'o, 'r) t -> int
+
+val current_state : ('s, 'o, 'r) t -> 's
+(** The abstract state after the last appended operation (the
+    specification's [init] when nothing is appended yet) -- a volatile
+    out-of-simulation peek.  The service layer's windowed online checker
+    uses it as the initial state of the next history window. *)

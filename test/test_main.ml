@@ -42,6 +42,7 @@ let suites =
     ("dedup", Test_dedup.suite, true);
     ("reduction", Test_reduction.suite, true);
     ("log", Test_log.suite, false);
+    ("service", Test_service.suite, false);
   ]
 
 let () =
