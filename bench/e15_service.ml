@@ -311,6 +311,14 @@ let run ?(out = "BENCH_service.json") () =
     | exception Instance.Violation v ->
         Util.row "@.[negative control] caught at tick %d: %s@." v.tick v.msg;
         true
+    | exception e ->
+        (* any other escape is a distinct failure, not a catch: classify
+           it and keep going so the artifact still gets written *)
+        Util.row
+          "@.NEGATIVE-CONTROL FAILURE: barrier-free lossy soak died with %s instead of a \
+           checker violation@."
+          (Printexc.to_string e);
+        false
   in
   if not negative_caught then fail := true;
 

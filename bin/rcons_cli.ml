@@ -830,8 +830,19 @@ let serve_cmd =
                   max_ticks;
                 }
               in
-              match (id mod 4, Lazy.force cert) with
-              | 3, Some c ->
+              match id mod 4 with
+              | 3 ->
+                  (* fail loudly rather than silently hosting a counter
+                     where a log instance was intended *)
+                  let c =
+                    match Lazy.force cert with
+                    | Some c -> c
+                    | None ->
+                        Format.eprintf
+                          "serve: cannot build the sticky-bit recording certificate (n=2) \
+                           needed for log instances@.";
+                        exit 2
+                  in
                   {
                     base with
                     Instance.kind = Instance.Log;

@@ -100,6 +100,29 @@ let rec read_persist ?(equal = ( = )) c =
   in
   if clean && equal v v' then v' else read_persist ~equal c
 
+(* Write a value until it is guaranteed durable: write, flush, and
+   confirm -- in one atomic step, like [read_persist]'s confirm -- that
+   the contents still match AND the line is clean.  Value equality alone
+   is not enough on the confirm: a concurrent helper writing a
+   structurally-equal but physically-distinct value between our flush
+   and our read-back re-dirties the line (silent-store elision is
+   physical), so the read-back matches while the durable copy may still
+   be the pre-write state; a crash of that helper would then revert the
+   cell.  A clean line means contents = persisted, so on success the
+   written value is durable no matter whose allocation persisted it.
+   On failure we re-write and retry; interfering writes (helpers,
+   crash-replayed recoveries) are finitely many, so the loop
+   terminates.  Exactly write + flush + confirm steps per attempt under
+   every policy. *)
+let rec write_persist ?(equal = ( = )) c v =
+  write c v;
+  flush c;
+  let v', clean =
+    Sim.step ~label:"register" ~fp:(footprint c Footprint.Sync) (fun () ->
+        (c.contents, match c.line with None -> true | Some l -> Persist.owner l = None))
+  in
+  if not (clean && equal v v') then write_persist ~equal c v
+
 (* Direct access for set-up and checking code running outside the
    simulation (not a process step).  A [poke] from set-up code is
    durable; a [poke] from inside a step (the read-modify-write of

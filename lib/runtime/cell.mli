@@ -34,6 +34,17 @@ val read_persist : ?equal:('a -> 'a -> bool) -> 'a t -> 'a
     defaults to structural equality; pass [( == )] for values that
     cannot be structurally compared (e.g. closures). *)
 
+val write_persist : ?equal:('a -> 'a -> bool) -> 'a t -> 'a -> unit
+(** Write a value that is guaranteed durable on return: write, {!flush},
+    then confirm atomically that the contents still compare [equal] to
+    the written value {e and} the cache line is clean, re-writing and
+    retrying otherwise.  The clean-line check is what makes this
+    crash-robust: a structurally-equal helper write between the flush
+    and the confirm re-dirties the line without failing a value
+    comparison, and its crash could revert the cell.  Exactly
+    write + flush + confirm steps per attempt under every policy.
+    [equal] defaults to structural equality. *)
+
 val line : 'a t -> Persist.line option
 (** The cell's cache line, if it has one. *)
 

@@ -20,11 +20,15 @@ let add h v =
   h.sum <- h.sum + v;
   if v > h.max_seen then h.max_seen <- v
 
+(* When the target rank falls into the overflow bucket the dense counts
+   cannot resolve it; report [max_seen] (>= cap there) rather than
+   saturating at [cap], so gates comparing percentiles against floors
+   still see regressions that push the tail beyond the histogram cap. *)
 let percentile h p =
   if h.total = 0 then 0
   else begin
     let target = max 1 (int_of_float (ceil (p *. float_of_int h.total))) in
-    let acc = ref 0 and result = ref h.cap in
+    let acc = ref 0 and result = ref h.max_seen in
     (try
        for v = 0 to h.cap - 1 do
          acc := !acc + h.counts.(v);

@@ -24,8 +24,10 @@ val add : hist -> int -> unit
 
 val percentile : hist -> float -> int
 (** [percentile h p] (p in [0,1]): smallest value whose cumulative count
-    reaches [ceil (p *. total)]; overflow observations report as [cap].
-    0 on an empty histogram. *)
+    reaches [ceil (p *. total)].  When the rank falls into the overflow
+    bucket, reports [max_seen] (which is [>= cap] in that case) so the
+    result stays comparable against floors instead of saturating at
+    [cap].  0 on an empty histogram. *)
 
 val mean : hist -> float
 

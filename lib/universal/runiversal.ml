@@ -75,21 +75,17 @@ let wr t c v =
    copy -- silently undoing our write -- after which our own flush hits a
    clean line and persists nothing.  (Found by the E15 service soak: a
    node with a durable seq but a reverted new_state, i.e. "predecessor
-   state missing" in a fully annotated run.)  So in annotated mode,
-   write, flush, and read back, retrying until the written value
-   actually stuck; crashes are finitely many, so the loop terminates.
-   The single-writer cells (announce.(i), head.(i)) keep the plain
-   write-and-flush. *)
-let wr_confirm t c v =
-  if not t.annotated then Cell.write c v
-  else begin
-    let rec go () =
-      Cell.write c v;
-      Cell.flush c;
-      if Cell.read c <> v then go ()
-    in
-    go ()
-  end
+   state missing" in a fully annotated run.)  So in annotated mode use
+   [Cell.write_persist]: write, flush, and confirm atomically that the
+   value matches AND the line is clean, re-writing otherwise.  A value
+   read-back alone would not do -- a helper writing a structurally-equal
+   fresh allocation between our flush and the read-back re-dirties the
+   line while matching the comparison, leaving the durable copy stale
+   (the same hazard [Cell.read_persist] guards against on the read
+   side).  Helper writes and crashes are finitely many, so the loop
+   terminates.  The single-writer cells (announce.(i), head.(i)) keep
+   the plain write-and-flush. *)
+let wr_confirm t c v = if t.annotated then Cell.write_persist c v else Cell.write c v
 
 let fresh_node t ~tag ~hist_tag op =
   {
