@@ -52,6 +52,11 @@ type dedup_stats = {
   rp_pruned : int;
   pd_nodes : int;
   pd_pruned : int;
+  (* Incremental-fingerprint split of the sequential dedup run: slots
+     re-digested because a mutation dirtied them vs served from cache.
+     Saved >> full is the O(delta)-hashing contract being visible. *)
+  dd_rehashes_full : int;
+  dd_rehashes_saved : int;
 }
 
 (* A workload runs at a given domain count and yields (seconds, canonical
@@ -102,7 +107,9 @@ let explore_workload name ot ~max_crashes =
     w_dedup =
       Some
         (fun raw_nodes domains ->
+          let t0 = Rcons.Par.Pool.Telemetry.snapshot () in
           let dd_seq = Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~mk () in
+          let dt = Rcons.Par.Pool.Telemetry.(diff (snapshot ()) t0) in
           let dd_par =
             Rcons.Runtime.Explore.explore ~max_crashes ~dedup:true ~domains ~mk ()
           in
@@ -119,6 +126,8 @@ let explore_workload name ot ~max_crashes =
             rp_pruned = rp.por_pruned;
             pd_nodes = pd.nodes;
             pd_pruned = pd.por_pruned;
+            dd_rehashes_full = dt.Rcons.Par.Pool.Telemetry.rehashes_full;
+            dd_rehashes_saved = dt.Rcons.Par.Pool.Telemetry.rehashes_saved;
           });
   }
 
@@ -241,6 +250,63 @@ let reduction_factor r =
     /. float_of_int r.red_por_sym.Rcons.Runtime.Explore.nodes
   else 0.
 
+(* Exploration-engine comparison: the same raw 2-crash Figure 2 / S_2
+   workload walked sequentially by the checkpoint/restore engine
+   (default) and by the replay oracle ([~undo:false]).  The two must
+   render byte-identical statistics -- that's the correctness half --
+   and the restore engine must beat replay by the recorded floor
+   (default 2x): rolling a journal back to the fork point costs the
+   steps since the fork, replay costs the whole prefix.  The floor is a
+   sequential wall-clock ratio on one process, so unlike the scaling
+   floors it is enforced regardless of core count
+   (RCONS_BENCH_NO_FLOOR still escapes).  Each engine is timed
+   best-of-2 to damp scheduler noise. *)
+type engine_row = {
+  eng_name : string;
+  eng_undo : float;
+  eng_replay : float;
+  eng_identical : bool;
+  eng_floor : float;
+  eng_undo_t : Rcons.Par.Pool.Telemetry.snapshot; (* journal counters, undo run *)
+}
+
+let engine_bench ~floor () =
+  let mk = team_mk (Rcons.Spec.Sn.make 2) in
+  let time_engine undo =
+    let best = ref infinity and render = ref "" in
+    for _ = 1 to 2 do
+      let s, t =
+        Util.time_it (fun () -> Rcons.Runtime.Explore.explore ~max_crashes:2 ~undo ~mk ())
+      in
+      if t < !best then best := t;
+      render := render_stats s
+    done;
+    (!best, !render)
+  in
+  let before = Rcons.Par.Pool.Telemetry.snapshot () in
+  let undo_t, undo_render = time_engine true in
+  let undo_tele = Rcons.Par.Pool.Telemetry.(diff (snapshot ()) before) in
+  let replay_t, replay_render = time_engine false in
+  {
+    eng_name = "explore Figure 2 on S_2 (2 crashes, sequential)";
+    eng_undo = undo_t;
+    eng_replay = replay_t;
+    eng_identical = undo_render = replay_render;
+    eng_floor = floor;
+    eng_undo_t = undo_tele;
+  }
+
+let engine_speedup e = if e.eng_undo > 0. then e.eng_replay /. e.eng_undo else 0.
+
+let recorded_engine_floor path =
+  if not (Sys.file_exists path) then None
+  else
+    let module J = Rcons.Runtime.Json in
+    match J.parse (In_channel.with_open_text path In_channel.input_all) with
+    | Error _ -> None
+    | Ok j -> (
+        try Option.map J.to_float (J.member "floor" (J.field "engine" j)) with _ -> None)
+
 (* Speedup floors (enforced at the headline domain count on machines
    with at least that many cores).  The committed BENCH_parallel.json is
    the source of truth: a floor recorded there is read back and enforced
@@ -342,6 +408,10 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
         Util.row "    stages(par %d): %d jobs, %d chunks, %d steals, %d seq-cutoffs; floor %.2fx@."
           domains stages.Rcons.Par.Pool.Telemetry.jobs stages.chunks stages.steals
           stages.seq_cutoffs floor;
+        Util.row
+          "    undo(par %d): %d restores, %d entries, %d bytes peak; rehashes %d full / %d saved, %d canon bytes saved@."
+          domains stages.restores stages.undo_entries stages.undo_bytes_peak
+          stages.rehashes_full stages.rehashes_saved stages.canon_saved_bytes;
         (match dedup with
         | None -> ()
         | Some dd ->
@@ -350,6 +420,8 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
               (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
                else 0.)
               dd.dd_hits dd.dd_states dd.dd_identical;
+            Util.row "    incremental hashing (seq dedup): %d slots re-digested, %d served from cache@."
+              dd.dd_rehashes_full dd.dd_rehashes_saved;
             Util.row
               "    por: %d of %d raw interleavings explored (%d pruned); dedup+por %d nodes (%d pruned)@."
               dd.rp_schedules
@@ -385,6 +457,14 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
     red.red_por_sym.Rcons.Runtime.Explore.nodes red_factor red.red_floor
     red.red_por_sym.Rcons.Runtime.Explore.por_pruned
     red.red_por_sym.Rcons.Runtime.Explore.symmetry_hits;
+  let eng = engine_bench ~floor:(Option.value (recorded_engine_floor out) ~default:2.0) () in
+  let eng_ratio = engine_speedup eng in
+  Util.row "@.exploration engine: %s@." eng.eng_name;
+  Util.row "    restore %8.3fs   replay %8.3fs   speedup %8.2fx (floor %.1fx), identical=%b@."
+    eng.eng_undo eng.eng_replay eng_ratio eng.eng_floor eng.eng_identical;
+  Util.row "    journal: %d restores, %d entries, %d bytes peak@."
+    eng.eng_undo_t.Rcons.Par.Pool.Telemetry.restores eng.eng_undo_t.undo_entries
+    eng.eng_undo_t.undo_bytes_peak;
   let oc = open_out out in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -402,6 +482,13 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
     red.red_por.Rcons.Runtime.Explore.nodes red.red_por_sym.Rcons.Runtime.Explore.nodes
     red.red_por_sym.Rcons.Runtime.Explore.por_pruned
     red.red_por_sym.Rcons.Runtime.Explore.symmetry_hits red_factor red.red_floor;
+  p
+    "  \"engine\": {\"name\": %S, \"restore_s\": %.4f, \"replay_s\": %.4f, \"speedup\": %.2f, \
+     \"floor\": %.1f, \"identical\": %b, \"restores\": %d, \"undo_entries\": %d, \
+     \"undo_bytes_peak\": %d},\n"
+    eng.eng_name eng.eng_undo eng.eng_replay eng_ratio eng.eng_floor eng.eng_identical
+    eng.eng_undo_t.Rcons.Par.Pool.Telemetry.restores eng.eng_undo_t.undo_entries
+    eng.eng_undo_t.undo_bytes_peak;
   p "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
@@ -410,9 +497,14 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
         "    {\"name\": %S, \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f, \"floor\": %.2f, \
          \"identical\": %b,\n"
         r.r_name r.r_seq r.r_par speedup r.r_floor r.r_identical;
-      p "     \"stages\": {\"jobs\": %d, \"chunks\": %d, \"steals\": %d, \"seq_cutoffs\": %d%s},\n"
+      p
+        "     \"stages\": {\"jobs\": %d, \"chunks\": %d, \"steals\": %d, \"seq_cutoffs\": %d, \
+         \"restores\": %d, \"undo_entries\": %d, \"undo_bytes_peak\": %d, \"rehashes_full\": %d, \
+         \"rehashes_saved\": %d, \"canon_saved_bytes\": %d%s},\n"
         r.r_stages.Rcons.Par.Pool.Telemetry.jobs r.r_stages.chunks r.r_stages.steals
-        r.r_stages.seq_cutoffs
+        r.r_stages.seq_cutoffs r.r_stages.restores r.r_stages.undo_entries
+        r.r_stages.undo_bytes_peak r.r_stages.rehashes_full r.r_stages.rehashes_saved
+        r.r_stages.canon_saved_bytes
         (match r.r_dedup with
         | None -> ""
         | Some dd ->
@@ -431,12 +523,14 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
             "     \"dedup\": {\"raw_nodes\": %d, \"dedup_nodes\": %d, \"dedup_hits\": %d, \
              \"distinct_states\": %d, \"hit_rate\": %.4f, \"node_reduction\": %.1f, \
              \"identical\": %b,\n      \"raw_por_nodes\": %d, \"raw_por_schedules\": %d, \
-             \"por_pruned\": %d, \"dedup_por_nodes\": %d, \"dedup_por_pruned\": %d}\n"
+             \"por_pruned\": %d, \"dedup_por_nodes\": %d, \"dedup_por_pruned\": %d, \
+             \"rehashes_full\": %d, \"rehashes_saved\": %d}\n"
             dd.raw_nodes dd.dd_nodes dd.dd_hits dd.dd_states
             (if dd.dd_nodes > 0 then float_of_int dd.dd_hits /. float_of_int dd.dd_nodes else 0.)
             (if dd.dd_nodes > 0 then float_of_int dd.raw_nodes /. float_of_int dd.dd_nodes
              else 0.)
-            dd.dd_identical dd.rp_nodes dd.rp_schedules dd.rp_pruned dd.pd_nodes dd.pd_pruned);
+            dd.dd_identical dd.rp_nodes dd.rp_schedules dd.rp_pruned dd.pd_nodes dd.pd_pruned
+            dd.dd_rehashes_full dd.dd_rehashes_saved);
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n}\n";
@@ -457,6 +551,18 @@ let run ?(domains = 4) ?(out = "BENCH_parallel.json") () =
   if Sys.getenv_opt "RCONS_BENCH_NO_FLOOR" = None && red_factor < red.red_floor then begin
     Util.row "REDUCTION FLOOR VIOLATION: %s at %.1fx, floor %.1fx@." red.red_name red_factor
       red.red_floor;
+    exit 1
+  end;
+  (* The engine comparison is correctness first, speed second: differing
+     stats are a bug whatever the environment, while the wall-clock
+     floor gets the usual escape hatch. *)
+  if not eng.eng_identical then begin
+    Util.row "ENGINE VIOLATION: restore and replay engines rendered different statistics@.";
+    exit 1
+  end;
+  if Sys.getenv_opt "RCONS_BENCH_NO_FLOOR" = None && eng_ratio < eng.eng_floor then begin
+    Util.row "ENGINE FLOOR VIOLATION: %s at %.2fx, floor %.1fx@." eng.eng_name eng_ratio
+      eng.eng_floor;
     exit 1
   end;
   (* Speedup floors are only meaningful with real cores behind the

@@ -72,6 +72,15 @@ let domains_arg =
           "Number of OCaml 5 domains for the witness searches / the schedule explorer (1 = \
            sequential; results are identical either way).")
 
+let no_undo_arg =
+  Arg.(
+    value & flag
+    & info [ "no-undo" ]
+        ~doc:
+          "Explore with the from-root replay engine instead of the default journaled \
+           checkpoint/restore engine.  Slower, kept as the correctness oracle: statistics, \
+           violations and checkpoints are byte-identical either way (also: RCONS_NO_UNDO=1).")
+
 (* Shared certificate-cache flags: where the persisted per-level scan
    results live, and an off switch.  Entries are revalidated against the
    live module before being trusted, so a cache can never change an
@@ -202,7 +211,7 @@ module Cex = Rcons.Counterexample
    build, 2 bad input (corrupt checkpoint, invalid combination), 3
    interrupted with a checkpoint saved. *)
 let run_exhaustive ~resume_hint w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget
-    ~time_budget ~checkpoint ~resume ~save_cex ~persist ~flush_cost =
+    ~time_budget ~checkpoint ~resume ~save_cex ~persist ~flush_cost ~no_undo =
   if por && resume <> None then begin
     (* A reduced run prunes a different frontier than the checkpointed
        one walked; silently resuming would under-count.  Refuse. *)
@@ -233,7 +242,9 @@ let run_exhaustive ~resume_hint w ~max_crashes ~domains ~dedup ~por ~symmetry ~n
                  fresh cache (from the workload builder). *)
               with_persist persist flush_cost @@ fun () ->
               E.explore ~max_crashes ~domains ~dedup ~por ?symmetry:classes ?node_budget
-                ?time_budget ?resume_from ~fingerprint:(Cex.fingerprint w) ~mk ()
+                ?time_budget ?resume_from ~fingerprint:(Cex.fingerprint w)
+                ?undo:(if no_undo then Some false else None)
+                ~mk ()
             with
             | stats ->
                 Format.printf "exhaustive: %d schedules, %d nodes, max depth %d -- no violation@."
@@ -323,7 +334,7 @@ let explore_cmd =
             2)
   in
   let run name max_crashes domains dedup por symmetry broken level node_budget time_budget
-      checkpoint resume save_cex replay_file persist annotated flush_cost =
+      checkpoint resume save_cex replay_file persist annotated flush_cost no_undo =
     match (replay_file, name) with
     | Some file, _ -> replay_artifact file
     | None, None ->
@@ -334,7 +345,7 @@ let explore_cmd =
         run_exhaustive
           ~resume_hint:(Printf.sprintf "rcons explore --type %s" name)
           w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget ~time_budget ~checkpoint
-          ~resume ~save_cex ~persist ~flush_cost
+          ~resume ~save_cex ~persist ~flush_cost ~no_undo
   in
   let type_name =
     Arg.(
@@ -451,7 +462,7 @@ let explore_cmd =
     Term.(
       const run $ type_name $ max_crashes $ domains_arg $ dedup $ por $ symmetry $ broken
       $ level $ node_budget $ time_budget $ checkpoint $ resume $ save_cex $ replay_file
-      $ persist_arg $ annotated $ flush_cost_arg)
+      $ persist_arg $ annotated $ flush_cost_arg $ no_undo_arg)
 
 (* --- log --- *)
 
@@ -461,7 +472,7 @@ let log_cmd =
   let module Conditions = Rcons.History.Conditions in
   let run name slots procs adversary seed crash_prob adv_crashes persist annotated vote_first
       broken no_certs certs_dir exhaustive max_crashes domains dedup por symmetry node_budget
-      time_budget checkpoint resume save_cex flush_cost =
+      time_budget checkpoint resume save_cex flush_cost no_undo =
     if slots < 1 then begin
       Format.eprintf "rcons log: --slots must be >= 1 (got %d)@." slots;
       2
@@ -484,7 +495,7 @@ let log_cmd =
             (Printf.sprintf "rcons log --type %s --slots %d --procs %d --exhaustive" name slots
                procs)
           w ~max_crashes ~domains ~dedup ~por ~symmetry ~node_budget ~time_budget ~checkpoint
-          ~resume ~save_cex ~persist ~flush_cost
+          ~resume ~save_cex ~persist ~flush_cost ~no_undo
     end
     else
       (* Randomized mode: drive the log to completion under a seeded
@@ -683,7 +694,7 @@ let log_cmd =
       const run $ type_name $ slots $ procs $ adversary $ seed $ crash_prob $ adv_crashes
       $ persist_arg $ annotated $ vote_first $ broken $ no_certs_arg $ certs_dir_arg
       $ exhaustive $ max_crashes $ domains_arg $ dedup $ por $ symmetry $ node_budget
-      $ time_budget $ checkpoint $ resume $ save_cex $ flush_cost_arg)
+      $ time_budget $ checkpoint $ resume $ save_cex $ flush_cost_arg $ no_undo_arg)
 
 (* --- certs --- *)
 

@@ -3,7 +3,11 @@
    cycles -- agreement must hold over all of them).  Recording an output
    is a meta-observation of the simulation, not a shared-memory step. *)
 
-type 'v t = { inputs : 'v array; outputs : 'v list array }
+type 'v t = {
+  inputs : 'v array;
+  outputs : 'v list array;
+  mutable slot : Rcons_runtime.Heap.slot option;
+}
 
 (* The log is part of the state the explorer's invariants read, so it
    registers with the active Heap arena (if any): two executions only
@@ -11,16 +15,31 @@ type 'v t = { inputs : 'v array; outputs : 'v list array }
    is indexed by pid, so a symmetry snapshot relabels it: process i's
    history moves to slot perm.(i). *)
 let make ~inputs =
-  let t = { inputs; outputs = Array.map (fun _ -> []) inputs } in
-  Rcons_runtime.Heap.register_sym (fun perm ->
-      match perm with
-      | None -> Rcons_runtime.Heap.digest t.outputs
-      | Some perm ->
-          let a = Array.make (Array.length t.outputs) [] in
-          Array.iteri (fun i l -> a.(perm.(i)) <- l) t.outputs;
-          Rcons_runtime.Heap.digest a);
+  let t = { inputs; outputs = Array.map (fun _ -> []) inputs; slot = None } in
+  t.slot <-
+    Rcons_runtime.Heap.register_sym_c (fun perm ->
+        match perm with
+        | None -> Rcons_runtime.Heap.digest t.outputs
+        | Some perm ->
+            let a = Array.make (Array.length t.outputs) [] in
+            Array.iteri (fun i l -> a.(perm.(i)) <- l) t.outputs;
+            Rcons_runtime.Heap.digest a);
   t
-let record t i v = t.outputs.(i) <- v :: t.outputs.(i)
+
+(* Recording happens in the process body after its last step, so the
+   rollback feed re-runs it: skip the append then (the journal already
+   restored the log), journal it otherwise. *)
+let record t i v =
+  if not (Rcons_runtime.Undo.feeding ()) then begin
+    if Rcons_runtime.Undo.recording () then begin
+      let old = t.outputs.(i) in
+      Rcons_runtime.Undo.log (fun () ->
+          t.outputs.(i) <- old;
+          Rcons_runtime.Heap.touch t.slot)
+    end;
+    t.outputs.(i) <- v :: t.outputs.(i);
+    Rcons_runtime.Heap.touch t.slot
+  end
 let all t = Array.to_list t.outputs |> List.concat
 let decided t i = t.outputs.(i) <> []
 

@@ -3,7 +3,12 @@
     crash/recovery cycles, and agreement must hold over {e all} outputs.
     Recording is a meta-observation, not a shared-memory step. *)
 
-type 'v t = { inputs : 'v array; outputs : 'v list array }
+type 'v t = {
+  inputs : 'v array;
+  outputs : 'v list array;
+  mutable slot : Rcons_runtime.Heap.slot option;
+      (** fingerprint cache slot; [record] touches it *)
+}
 
 val make : inputs:'v array -> 'v t
 val record : 'v t -> int -> 'v -> unit

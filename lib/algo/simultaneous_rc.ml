@@ -32,7 +32,13 @@ let create ~n ~make_consensus =
     match Hashtbl.find_opt instances r with
     | Some c -> c
     | None ->
+        (* Journal the materialization: a rolled-back execution must not
+           leave a consensus instance behind (a later branch would find
+           a pre-decided object).  The rollback feed takes the find path
+           for instances created at-or-before the mark. *)
         let c = make_consensus () in
+        if Undo.recording () then
+          Undo.log (fun () -> Hashtbl.remove instances r);
         Hashtbl.add instances r c;
         c
   in

@@ -33,6 +33,18 @@ let crash t ~pid = t.events_rev <- Crash { pid } :: t.events_rev
 let persist t ~pid ~tag = t.events_rev <- Persist { pid; tag } :: t.events_rev
 let events t = List.rev t.events_rev
 
+(* Cheap structural save/restore, for undo-journaling call sites (this
+   library stays runtime-agnostic; the simulation layers that append to
+   a history journal it themselves).  The event list is immutable, so a
+   save is two words. *)
+type ('o, 'r) saved = ('o, 'r) event list * int
+
+let save t = (t.events_rev, t.next_tag)
+
+let restore t (events_rev, next_tag) =
+  t.events_rev <- events_rev;
+  t.next_tag <- next_tag
+
 (* One operation extracted from a history: [res] is the index of its
    response event in the event sequence, or [max_int] when pending. *)
 type ('o, 'r) operation = {

@@ -29,6 +29,14 @@ val crash : ('o, 'r) t -> pid:int -> unit
 val persist : ('o, 'r) t -> pid:int -> tag:int -> unit
 val events : ('o, 'r) t -> ('o, 'r) event list
 
+type ('o, 'r) saved
+(** An O(1) structural snapshot of a history (the event list is
+    immutable).  Lets simulation layers undo-journal their history
+    appends while this library stays runtime-agnostic. *)
+
+val save : ('o, 'r) t -> ('o, 'r) saved
+val restore : ('o, 'r) t -> ('o, 'r) saved -> unit
+
 (** One operation extracted from a history; [res = max_int] and
     [resp = None] when pending (cut off by a final crash). *)
 type ('o, 'r) operation = {

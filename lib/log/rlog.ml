@@ -52,6 +52,8 @@ type t = {
   obs : int option array array; (* obs.(pid).(slot): last value observed *)
   obs_conflict : bool ref;
   watermark : int ref; (* highest committed prefix the checker has seen *)
+  obs_slot : Heap.slot option; (* fingerprint-cache slot of [obs] *)
+  wm_slot : Heap.slot option; (* ... of [(obs_conflict, watermark)] *)
   (* Unregistered instrumentation, consumed only by the random harness
      and the bench (never by explorer invariants). *)
   history : (int Conditions.log_op, int) History.t;
@@ -81,18 +83,20 @@ let create ?(faithful = true) ?(annotated = false) ?(vote_first = false) ~slots 
   let watermark = ref 0 in
   (* [obs] is pid-indexed, so a symmetry snapshot relabels its rows,
      exactly like the [Outputs] log. *)
-  Heap.register_sym (fun perm ->
-      match perm with
-      | None -> Heap.digest obs
-      | Some perm ->
-          let a = Array.make n [||] in
-          Array.iteri (fun i row -> a.(perm.(i)) <- row) obs;
-          Heap.digest a);
+  let obs_slot =
+    Heap.register_sym_c (fun perm ->
+        match perm with
+        | None -> Heap.digest obs
+        | Some perm ->
+            let a = Array.make n [||] in
+            Array.iteri (fun i row -> a.(perm.(i)) <- row) obs;
+            Heap.digest a)
+  in
   (* The conflict flag and the checker's watermark are part of the state
      the invariants read; registering them keeps deduplication sound
      (the watermark is redundant with the durable votes on correct runs,
      so it does not grow the state space there). *)
-  Heap.register (fun () -> Heap.digest (!obs_conflict, !watermark));
+  let wm_slot = Heap.register_c (fun () -> Heap.digest (!obs_conflict, !watermark)) in
   {
     slots;
     size_a;
@@ -107,6 +111,8 @@ let create ?(faithful = true) ?(annotated = false) ?(vote_first = false) ~slots 
     obs;
     obs_conflict;
     watermark;
+    obs_slot;
+    wm_slot;
     history = History.create ();
     tags = Array.init n (fun _ -> Array.make slots None);
     responded = Array.init n (fun _ -> Array.make slots false);
@@ -121,9 +127,39 @@ let teams t = (t.size_a, t.size_b)
 
 (* --- instrumentation (meta-observations, not shared-memory steps) --- *)
 
+(* Undo discipline: the meta-observations run in process bodies between
+   steps, so the rollback feed re-executes them.  [observe] is
+   idempotent under the feed (the fed value equals the restored one);
+   the append-style helpers are guarded by their once-flags, which the
+   journal restored, except [persist_marker] (unguarded by design: a
+   durable operation may persist again after recovery) and the body's
+   entry counters, which take an explicit feeding guard.  Every mutation
+   journals its old value while recording, and mutations of
+   heap-registered state re-dirty their cache slots. *)
+
+let journal_history t =
+  if Undo.recording () then begin
+    let s = History.save t.history in
+    Undo.log (fun () -> History.restore t.history s)
+  end
+
 let observe t pid slot v =
-  (match t.obs.(pid).(slot) with Some w when w <> v -> t.obs_conflict := true | _ -> ());
-  t.obs.(pid).(slot) <- Some v
+  if Undo.recording () then begin
+    let old = t.obs.(pid).(slot) in
+    let oldc = !(t.obs_conflict) in
+    Undo.log (fun () ->
+        t.obs.(pid).(slot) <- old;
+        t.obs_conflict := oldc;
+        Heap.touch t.obs_slot;
+        Heap.touch t.wm_slot)
+  end;
+  (match t.obs.(pid).(slot) with
+  | Some w when w <> v ->
+      t.obs_conflict := true;
+      Heap.touch t.wm_slot
+  | _ -> ());
+  t.obs.(pid).(slot) <- Some v;
+  Heap.touch t.obs_slot
 
 (* An APPEND interrupted by a crash and completed by recovery is ONE
    operation whose response arrives late, so the tag is allocated once
@@ -132,22 +168,31 @@ let invoke_once t pid slot prop =
   match t.tags.(pid).(slot) with
   | Some _ -> ()
   | None ->
+      journal_history t;
+      if Undo.recording () then Undo.log (fun () -> t.tags.(pid).(slot) <- None);
       t.tags.(pid).(slot) <-
         Some (History.invoke t.history ~pid (Conditions.Append { slot; value = prop }))
 
 let respond_once t pid slot v =
   if not t.responded.(pid).(slot) then (
+    journal_history t;
+    if Undo.recording () then Undo.log (fun () -> t.responded.(pid).(slot) <- false);
     (match t.tags.(pid).(slot) with
     | Some tag -> History.respond t.history ~pid ~tag v
     | None -> ());
     t.responded.(pid).(slot) <- true)
 
 let persist_marker t pid slot =
-  match t.tags.(pid).(slot) with
-  | Some tag -> History.persist t.history ~pid ~tag
-  | None -> ()
+  if not (Undo.feeding ()) then
+    match t.tags.(pid).(slot) with
+    | Some tag ->
+        journal_history t;
+        History.persist t.history ~pid ~tag
+    | None -> ()
 
-let note_crash t ~pid = History.crash t.history ~pid
+let note_crash t ~pid =
+  journal_history t;
+  History.crash t.history ~pid
 
 (* --- the process body --- *)
 
@@ -190,8 +235,18 @@ let append t pid slot =
   if t.annotated then persist_marker t pid slot
 
 let body t pid () =
-  if t.entered.(pid) then t.recoveries.(pid) <- t.recoveries.(pid) + 1
-  else t.entered.(pid) <- true;
+  (* Entry bookkeeping is not once-guarded, so the rollback feed (which
+     re-runs the body prologue) must skip it explicitly. *)
+  if not (Undo.feeding ()) then begin
+    if Undo.recording () then begin
+      let e = t.entered.(pid) and r = t.recoveries.(pid) in
+      Undo.log (fun () ->
+          t.entered.(pid) <- e;
+          t.recoveries.(pid) <- r)
+    end;
+    if t.entered.(pid) then t.recoveries.(pid) <- t.recoveries.(pid) + 1
+    else t.entered.(pid) <- true
+  end;
   (* Recovery: my durable vote bounds the prefix I completed; replay
      those slots from the chain instead of re-running consensus.  A slot
      inside the prefix whose decision is unreadable (the [vote_first]
@@ -203,7 +258,13 @@ let body t pid () =
       &&
       match read_decided t slot with
       | Some v ->
-          t.recovery_steps.(pid) <- t.recovery_steps.(pid) + 1;
+          if not (Undo.feeding ()) then begin
+            if Undo.recording () then begin
+              let r = t.recovery_steps.(pid) in
+              Undo.log (fun () -> t.recovery_steps.(pid) <- r)
+            end;
+            t.recovery_steps.(pid) <- t.recovery_steps.(pid) + 1
+          end;
           observe t pid slot v;
           respond_once t pid slot v;
           if t.annotated then persist_marker t pid slot;
@@ -257,7 +318,18 @@ let check_exn ~fail t =
   let c = committed t in
   if c < !(t.watermark) then
     fail (Printf.sprintf "committed prefix regressed: %d after %d" c !(t.watermark));
-  t.watermark := c;
+  if c <> !(t.watermark) then begin
+    (* Checker state is fingerprinted (see [create]), so it rolls back
+       with the rest of the simulation. *)
+    if Undo.recording () then begin
+      let old = !(t.watermark) in
+      Undo.log (fun () ->
+          t.watermark := old;
+          Heap.touch t.wm_slot)
+    end;
+    t.watermark := c;
+    Heap.touch t.wm_slot
+  end;
   for slot = 0 to c - 1 do
     if Cell.peek_persisted t.decided.(slot) = None then
       fail (Printf.sprintf "slot %d is committed but its decision is not durable" slot)

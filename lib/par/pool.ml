@@ -61,12 +61,45 @@ module Telemetry = struct
     chunks : int;  (* chunk claims off a range deque *)
     steals : int;  (* successful steal-half operations *)
     seq_cutoffs : int;  (* calls completed inside the grace period *)
+    restores : int;  (* explorer rollbacks to a journal mark *)
+    undo_entries : int;  (* undo-journal entries pushed *)
+    undo_bytes_peak : int;  (* high-water estimate of journal footprint *)
+    rehashes_full : int;  (* fingerprint components recomputed *)
+    rehashes_saved : int;  (* fingerprint components served from cache *)
+    canon_saved_bytes : int;  (* bytes reused across the canonical perm loop *)
   }
 
   let jobs = Atomic.make 0
   let chunks = Atomic.make 0
   let steals = Atomic.make 0
   let seq_cutoffs = Atomic.make 0
+  let restores = Atomic.make 0
+  let undo_entries = Atomic.make 0
+  let undo_bytes_peak = Atomic.make 0
+  let rehashes_full = Atomic.make 0
+  let rehashes_saved = Atomic.make 0
+  let canon_saved_bytes = Atomic.make 0
+
+  (* The peak is a high-water mark, not a sum: raise-only CAS merge. *)
+  let note_bytes_peak b =
+    let rec go () =
+      let cur = Atomic.get undo_bytes_peak in
+      if b > cur && not (Atomic.compare_and_set undo_bytes_peak cur b) then go ()
+    in
+    go ()
+
+  (* Batched contributions from the runtime layer (undo journal,
+     fingerprint cache): one atomic op per batch, not per event. *)
+  let note_undo ~restores:r ~entries ~bytes_peak =
+    ignore (Atomic.fetch_and_add restores r);
+    ignore (Atomic.fetch_and_add undo_entries entries);
+    note_bytes_peak bytes_peak
+
+  let note_rehashes ~full ~saved =
+    ignore (Atomic.fetch_and_add rehashes_full full);
+    ignore (Atomic.fetch_and_add rehashes_saved saved)
+
+  let note_canon_saved_bytes b = ignore (Atomic.fetch_and_add canon_saved_bytes b)
 
   let snapshot () =
     {
@@ -74,6 +107,12 @@ module Telemetry = struct
       chunks = Atomic.get chunks;
       steals = Atomic.get steals;
       seq_cutoffs = Atomic.get seq_cutoffs;
+      restores = Atomic.get restores;
+      undo_entries = Atomic.get undo_entries;
+      undo_bytes_peak = Atomic.get undo_bytes_peak;
+      rehashes_full = Atomic.get rehashes_full;
+      rehashes_saved = Atomic.get rehashes_saved;
+      canon_saved_bytes = Atomic.get canon_saved_bytes;
     }
 
   let diff a b =
@@ -82,6 +121,14 @@ module Telemetry = struct
       chunks = a.chunks - b.chunks;
       steals = a.steals - b.steals;
       seq_cutoffs = a.seq_cutoffs - b.seq_cutoffs;
+      restores = a.restores - b.restores;
+      undo_entries = a.undo_entries - b.undo_entries;
+      (* A high-water mark does not subtract; report the bracket's end
+         value (the global peak at the end of the workload). *)
+      undo_bytes_peak = a.undo_bytes_peak;
+      rehashes_full = a.rehashes_full - b.rehashes_full;
+      rehashes_saved = a.rehashes_saved - b.rehashes_saved;
+      canon_saved_bytes = a.canon_saved_bytes - b.canon_saved_bytes;
     }
 end
 

@@ -106,6 +106,22 @@ module Telemetry : sig
     chunks : int;  (** chunk claims off a range deque *)
     steals : int;  (** successful steal-half operations *)
     seq_cutoffs : int;  (** calls completed inside the grace period *)
+    restores : int;
+        (** explorer rollbacks to a journal mark ({!Rcons_runtime.Sim.rollback}) *)
+    undo_entries : int;  (** undo-journal entries pushed *)
+    undo_bytes_peak : int;
+        (** high-water estimate of a journal's in-memory footprint
+            (entries at the deepest point x an approximate closure size);
+            raise-only across domains, so [diff] reports the bracket's
+            end value rather than a subtraction *)
+    rehashes_full : int;
+        (** fingerprint components whose digest thunk actually ran *)
+    rehashes_saved : int;
+        (** fingerprint components served from an undo-maintained cache
+            slot without recomputing *)
+    canon_saved_bytes : int;
+        (** snapshot bytes reused across the relabeling loop of
+            [Sim.fingerprint_digest_canonical] instead of re-serialized *)
   }
 
   val snapshot : unit -> snapshot
@@ -113,5 +129,18 @@ module Telemetry : sig
 
   val diff : snapshot -> snapshot -> snapshot
   (** [diff after before]: per-field subtraction, for bracketing a
-      workload. *)
+      workload ([undo_bytes_peak] excepted — see its doc). *)
+
+  val note_undo : restores:int -> entries:int -> bytes_peak:int -> unit
+  (** Batched contribution from an undo journal being retired: add
+      [restores]/[entries] to the global counters and raise the global
+      byte peak to at least [bytes_peak]. *)
+
+  val note_rehashes : full:int -> saved:int -> unit
+  (** Batched contribution from one fingerprint snapshot: how many
+      component digests were recomputed vs served from cache. *)
+
+  val note_canon_saved_bytes : int -> unit
+  (** Bytes the canonical-relabeling loop reused instead of
+      re-serializing. *)
 end

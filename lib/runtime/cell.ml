@@ -20,41 +20,77 @@ type 'a t = {
   mutable contents : 'a; (* volatile copy: what reads see *)
   mutable persisted : 'a; (* durable copy: what crashes revert to *)
   mutable line : Persist.line option;
+  mutable hslot : Heap.slot option; (* fingerprint-cache slot, if registered *)
   oid : int; (* per-execution object id, for step footprints *)
 }
 
+(* Undo journaling: every mutation of [contents]/[persisted] pushes a
+   restore closure while a journal is recording, and every restore also
+   re-dirties the fingerprint-cache slot -- a clean slot must always
+   mean "cached digest = current state", including after a rollback.
+   The oid allocation is journaled too, so a rolled-back branch hands
+   out the same ids on re-execution (footprint-based POR keys on
+   them). *)
 let alloc v =
-  let c = { contents = v; persisted = v; line = None; oid = Footprint.fresh_oid () } in
+  let c = { contents = v; persisted = v; line = None; hslot = None; oid = Footprint.fresh_oid () } in
+  if Undo.recording () then begin
+    let oid = c.oid in
+    Undo.log (fun () -> Footprint.set_next_oid oid)
+  end;
   c.line <-
     Persist.attach
-      ~persist:(fun () -> c.persisted <- c.contents)
-      ~revert:(fun () -> c.contents <- c.persisted);
+      ~touch:(fun () -> Heap.touch c.hslot)
+      ~persist:(fun () ->
+        if Undo.recording () then begin
+          let old = c.persisted in
+          Undo.log (fun () ->
+              c.persisted <- old;
+              Heap.touch c.hslot)
+        end;
+        c.persisted <- c.contents;
+        Heap.touch c.hslot)
+      ~revert:(fun () ->
+        if Undo.recording () then begin
+          let old = c.contents in
+          Undo.log (fun () ->
+              c.contents <- old;
+              Heap.touch c.hslot)
+        end;
+        c.contents <- c.persisted;
+        Heap.touch c.hslot)
+      ();
   c
 
 (* A cell whose state is digested through some enclosing container's
-   registration (Growable) rather than its own. *)
-let make_unregistered v = alloc v
+   registration (Growable) rather than its own; [?slot] is the
+   container's cache slot, so entry mutations invalidate the container
+   digest.  Still acquires a cache line. *)
+let make_unregistered ?slot v =
+  let c = alloc v in
+  c.hslot <- slot;
+  c
 
 let footprint c kind = Footprint.Obj { oid = c.oid; kind }
 
 let make v =
   let c = alloc v in
   (match c.line with
-  | None -> Heap.register (fun () -> Heap.digest c.contents)
+  | None -> c.hslot <- Heap.register_c (fun () -> Heap.digest c.contents)
   | Some l ->
       (* The durable copy and the line owner are part of the global
          state: two executions in which the same value was written but
          only one flushed it have different futures.  The owner is a
          pid, so it is relabeled when the snapshot carries a process
          permutation (symmetry canonicalization). *)
-      Heap.register_sym (fun perm ->
-          let owner =
-            match (Persist.owner l, perm) with
-            | None, _ -> None
-            | Some p, None -> Some p
-            | Some p, Some perm -> Some perm.(p)
-          in
-          Heap.digest (c.contents, c.persisted, owner)));
+      c.hslot <-
+        Heap.register_sym_c (fun perm ->
+            let owner =
+              match (Persist.owner l, perm) with
+              | None, _ -> None
+              | Some p, None -> Some p
+              | Some p, Some perm -> Some perm.(p)
+            in
+            Heap.digest (c.contents, c.persisted, owner)));
   c
 
 let read c = Sim.step ~label:"register" ~fp:(footprint c Footprint.Read) (fun () -> c.contents)
@@ -67,14 +103,25 @@ let read c = Sim.step ~label:"register" ~fp:(footprint c Footprint.Read) (fun ()
    equality is the only safe generic test (cell values may contain
    closures); it is conservative -- structurally equal but distinct
    values still dirty the line, which costs nothing but precision. *)
+let set_contents c v =
+  if not (v == c.contents) then begin
+    if Undo.recording () then begin
+      let old = c.contents in
+      Undo.log (fun () ->
+          c.contents <- old;
+          Heap.touch c.hslot)
+    end;
+    c.contents <- v;
+    Heap.touch c.hslot;
+    true
+  end
+  else false
+
 let write c v =
   Sim.step ~label:"register" ~fp:(footprint c Footprint.Write) (fun () ->
       match c.line with
-      | None -> c.contents <- v
-      | Some l ->
-          let changed = not (v == c.contents) in
-          c.contents <- v;
-          if changed then Persist.dirty l)
+      | None -> ignore (set_contents c v)
+      | Some l -> if set_contents c v then Persist.dirty l)
 
 let flush c = Sim.flush ~fp:(footprint c Footprint.Flush) c.line
 let line c = c.line
@@ -136,8 +183,5 @@ let peek_persisted c = match c.line with None -> c.contents | Some _ -> c.persis
 
 let poke c v =
   match c.line with
-  | None -> c.contents <- v
-  | Some l ->
-      let changed = not (v == c.contents) in
-      c.contents <- v;
-      if changed then Persist.dirty l
+  | None -> ignore (set_contents c v)
+  | Some l -> if set_contents c v then Persist.dirty l

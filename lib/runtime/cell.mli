@@ -14,10 +14,12 @@ type 'a t
 
 val make : 'a -> 'a t
 
-val make_unregistered : 'a -> 'a t
+val make_unregistered : ?slot:Heap.slot -> 'a -> 'a t
 (** A cell that does {e not} register with the active {!Heap} arena;
     for containers (e.g. {!Growable}) that register one canonical digest
-    for all their entries instead.  Still acquires a cache line. *)
+    for all their entries instead.  [?slot] is the container's
+    fingerprint-cache slot: entry mutations then invalidate the
+    container's cached digest.  Still acquires a cache line. *)
 
 val read : 'a t -> 'a
 val write : 'a t -> 'a -> unit

@@ -12,6 +12,19 @@
    descent of each subtree is free and only backtracking (later siblings)
    pays the O(depth) replay.
 
+   Undo engine (default): instead of replaying, the walker keeps ONE
+   persistent system and snapshots it logically -- every mutation the
+   simulator performs while an {!Undo} journal is installed pushes an
+   inverse closure, [Sim.mark] records the journal length at a fork
+   point, and [Sim.rollback] pops back to it and rebuilds the one-shot
+   continuations by value-feeding (see sim.ml).  A sibling then costs
+   O(steps since the fork point) instead of O(depth), and the heap
+   fingerprint on the dedup path is recomputed only for containers
+   written since the last hash (see heap.ml).  The replay walker above
+   is kept verbatim as the correctness oracle ([RCONS_NO_UNDO=1],
+   [--no-undo], or [?undo:false]); both engines produce byte-identical
+   statistics, violations, and checkpoints in every mode.
+
    Pruning: crashing a process that has not taken a step since its last
    (re)start is a no-op in the model (it would restart at the beginning,
    where it already is), so such choices are skipped; this also prevents
@@ -146,6 +159,7 @@ type checkpoint = {
   cp_max_steps : int;
   cp_dedup : bool;
   cp_por : bool; (* recorded so a resume attempt fails loudly *)
+  cp_engine : string; (* "undo" | "replay": which engine took the cut *)
 }
 
 exception Interrupted of checkpoint
@@ -162,6 +176,7 @@ let checkpoint_to_json cp =
       ("max_steps", Json.Int cp.cp_max_steps);
       ("dedup", Json.Bool cp.cp_dedup);
       ("por", Json.Bool cp.cp_por);
+      ("engine", Json.String cp.cp_engine);
       ( "stats",
         Json.Obj
           [
@@ -203,6 +218,17 @@ let checkpoint_of_json j =
     cp_max_steps = int "max_steps" j;
     cp_dedup = Json.to_bool (Json.field "dedup" j);
     cp_por = (match Json.member "por" j with Some b -> Json.to_bool b | None -> false);
+    cp_engine =
+      (* Either engine may resume either cut -- the cursor format is
+         engine-independent -- but a checkpoint claiming an engine this
+         build does not know is from the future, and its cursor may
+         mean something else: refuse it rather than misresume. *)
+      (match Json.member "engine" j with
+      | None -> "replay" (* pre-undo checkpoints *)
+      | Some (Json.String ("undo" as e)) | Some (Json.String ("replay" as e)) -> e
+      | Some (Json.String e) ->
+          invalid_arg ("Explore.checkpoint_of_json: unknown exploration engine " ^ e)
+      | Some _ -> invalid_arg "Explore.checkpoint_of_json: engine must be a string");
   }
 
 let save_checkpoint ~file cp =
@@ -283,9 +309,18 @@ exception Interrupt_at of choice list
 (* Internal: a budget tripped at this (forward) cursor prefix; the
    explore entry point converts it into [Interrupted] with a checkpoint. *)
 
+(* The checkpoint/restore engine is the default; [RCONS_NO_UNDO] (any
+   non-empty value other than "0") or [?undo:false] falls back to the
+   replay walker, kept verbatim as the correctness oracle. *)
+let undo_default () =
+  match Sys.getenv_opt "RCONS_NO_UNDO" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
 let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?domains
     ?(frontier_depth = 4) ?(dedup = false) ?(por = false) ?symmetry ?node_budget ?time_budget
-    ?resume_from ?fingerprint ~mk () =
+    ?resume_from ?fingerprint ?undo ~mk () =
+  let use_undo = match undo with Some b -> b | None -> undo_default () in
   let workers = Rcons_par.Pool.resolve_domains domains in
   let frontier_depth = max 1 frontier_depth in
   let budgeted = node_budget <> None || time_budget <> None in
@@ -679,6 +714,186 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         let sys = match sys with Some s -> s | None -> replay prefix0 in
         expand sys prefix0 depth0 crashes0 resume sleep0
   in
+  (* The checkpoint/restore walker: ONE persistent system serves the
+     whole (sub)tree.  Entering a child marks the undo journal, applies
+     the choice in place and recurses; returning rolls the system back
+     to the mark ([Sim.rollback]), so a later sibling costs O(steps
+     since the fork point) instead of the O(depth) from-root replay the
+     walker above pays.  Counting, budget checks, pruning and
+     visited-claim order mirror [walk] operation for operation: the two
+     engines must produce byte-identical statistics in every mode (the
+     replay walker is kept verbatim above as the correctness oracle;
+     test_search.ml pins the equivalence).  Exceptions unwind WITHOUT
+     rolling back -- the system is dead to this walk either way, and
+     the owner who installed the journal abandons it ([with_undo]). *)
+  let walk_undo ?stop_depth ?(emit = fun _ _ _ -> ()) ?(cancelled = fun () -> false) ?store ~sys
+      ?(resume = []) ?(sleep0 = []) cnt prefix0 depth0 crashes0 =
+    let budget_stats total =
+      {
+        schedules = cnt.c_schedules;
+        nodes = total;
+        max_depth = cnt.c_max_depth;
+        dedup_hits = cnt.c_dedup_hits;
+        distinct_states = (match store with Some st -> st.st_distinct () | None -> 0);
+        por_pruned = cnt.c_por_pruned;
+        symmetry_hits = cnt.c_symmetry_hits;
+      }
+    in
+    let over_budget () =
+      (match node_budget with Some b -> cnt.c_nodes - base_nodes > b | None -> false)
+      ||
+      match time_budget with
+      | Some tb -> cnt.c_nodes land 255 = 0 && Unix.gettimeofday () -. start_time > tb
+      | None -> false
+    in
+    let t, check = sys in
+    (* Apply [c] to the persistent system and run the invariant; the
+       replay walker's [position]. *)
+    let descend c prefix' =
+      guarded_apply t c prefix';
+      match check () with
+      | () -> ()
+      | exception Violation_found msg ->
+          Sim.abandon t;
+          raise (violation msg prefix')
+    in
+    let rec expand prefix depth crashes_used resume sleep_in =
+      let cs = choices t crashes_used in
+      match cs with
+      | [] -> cnt.c_schedules <- cnt.c_schedules + 1 (* leaf; the system lives on *)
+      | cs ->
+          let fps =
+            if por then begin
+              let n = Sim.num_procs t in
+              if n > 30 then invalid_arg "Explore.explore: por supports at most 30 processes";
+              Array.init n (fun i ->
+                  match Sim.pending_footprint t i with
+                  | Some f -> f
+                  | None -> Rcons_spec.Footprint.Global)
+            end
+            else [||]
+          in
+          let indep u c =
+            match (u, c) with
+            | Step_choice p, Step_choice q ->
+                p <> q && Rcons_spec.Footprint.independent fps.(p) fps.(q)
+            | Crash_choice p, Crash_choice q -> p <> q && max_crashes - crashes_used >= 2
+            | Crash_choice p, Step_choice q | Step_choice q, Crash_choice p ->
+                p <> q && eager_model
+          in
+          let resume_idx, resume_rest =
+            match resume with
+            | [] -> (-1, [])
+            | c0 :: rest ->
+                let rec find k = function
+                  | [] ->
+                      invalid_arg
+                        "Explore.explore: resume cursor does not match this workload (different \
+                         mk or parameters?)"
+                  | c :: tl -> if c = c0 then k else find (k + 1) tl
+                in
+                (find 0 cs, rest)
+          in
+          let sleep = ref sleep_in in
+          (* Last-child elision: nothing reads the system between the
+             final child's return and the enclosing rollback (the
+             parent's own, or the walk's end), so the last child skips
+             its mark/rollback and lets that enclosing rollback restore
+             both levels in one journal pop.  A chain of returns out of
+             a deep leftmost subtree then costs ONE continuation rebuild
+             instead of one per level -- the dominant saving, since a
+             rebuild's fixed cost (discard + fresh fiber) dwarfs the
+             journal pops.  Observable order is untouched: elision only
+             moves WHEN state is restored, never what is walked. *)
+          let last = List.length cs - 1 in
+          List.iteri
+            (fun k c ->
+              if k < resume_idx then () (* left of the cursor: already explored *)
+              else if por && List.mem c !sleep then
+                cnt.c_por_pruned <- cnt.c_por_pruned + 1
+              else begin
+                let on_path = k = resume_idx && resume_rest <> [] in
+                let depth' = depth + 1 in
+                let prefix' = c :: prefix in
+                let crashes' =
+                  match c with
+                  | Crash_choice _ -> crashes_used + 1
+                  | Step_choice _ -> crashes_used
+                in
+                let child_sleep =
+                  if por then List.filter (fun u -> indep u c) !sleep else []
+                in
+                let m = if k = last then None else Some (Sim.mark t) in
+                let restore () = match m with Some m -> Sim.rollback t m | None -> () in
+                (if on_path then begin
+                   (* Re-descend the checkpoint spine: counted and (in
+                      dedup mode) claimed before the interrupt. *)
+                   descend c prefix';
+                   expand prefix' depth' crashes' resume_rest [];
+                   restore ()
+                 end
+                 else begin
+                   cnt.c_nodes <- cnt.c_nodes + 1;
+                   let total = Atomic.fetch_and_add nodes_total 1 + 1 in
+                   if total > max_nodes then raise (Budget_exceeded (budget_stats total));
+                   if budgeted && over_budget () then begin
+                     cnt.c_nodes <- cnt.c_nodes - 1;
+                     raise (Interrupt_at (List.rev prefix'))
+                   end;
+                   if cancelled () then raise Cancelled;
+                   if depth' > max_steps then
+                     raise (violation "step bound exceeded (wait-freedom?)" prefix');
+                   if depth' > cnt.c_max_depth then cnt.c_max_depth <- depth';
+                   let frontier =
+                     match stop_depth with Some d -> depth' >= d | None -> false
+                   in
+                   match store with
+                   | None ->
+                       if frontier then emit prefix' crashes' child_sleep
+                       else begin
+                         descend c prefix';
+                         expand prefix' depth' crashes' [] child_sleep;
+                         restore ()
+                       end
+                   | Some st ->
+                       (* Dedup mode: position the child even at the
+                          frontier (its fingerprint must be claimed
+                          before emission, exactly as in [walk]). *)
+                       descend c prefix';
+                       if st.st_claim cnt t ~mask:(mask_of child_sleep) ~depth:depth' then begin
+                         if frontier then emit prefix' crashes' child_sleep
+                         else expand prefix' depth' crashes' [] child_sleep;
+                         restore ()
+                       end
+                       else begin
+                         cnt.c_dedup_hits <- cnt.c_dedup_hits + 1;
+                         restore ()
+                       end
+                 end);
+                if por then sleep := c :: !sleep
+              end)
+            cs
+    in
+    if cancelled () then raise Cancelled;
+    if depth0 > max_steps then raise (violation "step bound exceeded (wait-freedom?)" prefix0);
+    if depth0 > cnt.c_max_depth then cnt.c_max_depth <- depth0;
+    match stop_depth with
+    | Some d when depth0 >= d -> emit prefix0 crashes0 sleep0
+    | _ -> expand prefix0 depth0 crashes0 resume sleep0
+  in
+  (* Journal ownership for undo-mode walks: the journal is installed
+     BEFORE the system is built, so every step value from the root on
+     lands in the per-process vlogs (rollback rebuilds continuations by
+     feeding them back); it is uninstalled -- flushing its telemetry --
+     when the walk ends, and the walk's single persistent system is
+     abandoned however the walk exits (normally, [Violation],
+     [Interrupt_at], [Cancelled], ...). *)
+  let with_undo mk_sys f =
+    Undo.install ();
+    Fun.protect ~finally:Undo.uninstall @@ fun () ->
+    let sys = mk_sys () in
+    Fun.protect ~finally:(fun () -> Sim.abandon (fst sys)) @@ fun () -> f sys
+  in
   (* Claim the root state in the visited store and hand its live system
      to the walker (the root is expanded, never reached through an edge).
      On a resumed run the root is already claimed; the claim is then a
@@ -703,11 +918,20 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
      self-describing checkpoint. *)
   let run_seq ?store cnt resume =
     match
-      match store with
-      | Some st ->
-          let sys = claim_root st cnt in
-          walk ~store:st ~sys ~resume cnt [] 0 0
-      | None -> walk ~resume cnt [] 0 0
+      if use_undo then
+        match store with
+        | Some st ->
+            with_undo
+              (fun () -> claim_root st cnt)
+              (fun sys -> walk_undo ~store:st ~sys ~resume cnt [] 0 0)
+        | None -> with_undo (fun () -> replay []) (fun sys -> walk_undo ~sys ~resume cnt [] 0 0)
+      else begin
+        match store with
+        | Some st ->
+            let sys = claim_root st cnt in
+            walk ~store:st ~sys ~resume cnt [] 0 0
+        | None -> walk ~resume cnt [] 0 0
+      end
     with
     | () -> stats_of ?store cnt
     | exception Interrupt_at cursor ->
@@ -721,6 +945,7 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                cp_max_steps = max_steps;
                cp_dedup = dedup;
                cp_por = por;
+               cp_engine = (if use_undo then "undo" else "replay");
              })
   in
   let run_seq_dedup () =
@@ -809,13 +1034,25 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
         let frontier_rev = ref [] in
         let cnt0 = fresh_counter () in
         let violated = Atomic.make false in
+        (* A frontier item (prefix, crashes, sleep) is the compact
+           journal-delta token of the handoff: undo journals (and the
+           continuations they rebuild) are domain-local, so a subtree
+           cannot ship its live system across domains -- the receiving
+           walker replays the prefix once to re-materialize the fork
+           point, then explores its whole subtree by rollback. *)
+        let emit_frontier prefix crashes sleep =
+          frontier_rev := (prefix, crashes, sleep) :: !frontier_rev
+        in
         let phase1 =
           match
-            let sys = claim_root store cnt0 in
-            walk ~stop_depth:frontier_depth
-              ~emit:(fun prefix crashes sleep ->
-                frontier_rev := (prefix, crashes, sleep) :: !frontier_rev)
-              ~store ~sys cnt0 [] 0 0
+            if use_undo then
+              with_undo
+                (fun () -> claim_root store cnt0)
+                (fun sys ->
+                  walk_undo ~stop_depth:frontier_depth ~emit:emit_frontier ~store ~sys cnt0 [] 0 0)
+            else
+              let sys = claim_root store cnt0 in
+              walk ~stop_depth:frontier_depth ~emit:emit_frontier ~store ~sys cnt0 [] 0 0
           with
           | () -> Ok ()
           | exception Violation _ -> Error ()
@@ -831,10 +1068,15 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
                   else
                     let prefix, crashes, sleep = frontier.(i) in
                     let cnt = fresh_counter () in
+                    let cancelled () = Atomic.get violated in
                     match
-                      walk
-                        ~cancelled:(fun () -> Atomic.get violated)
-                        ~store ~sleep0:sleep cnt prefix frontier_depth crashes
+                      if use_undo then
+                        with_undo
+                          (fun () -> replay prefix)
+                          (fun sys ->
+                            walk_undo ~cancelled ~store ~sys ~sleep0:sleep cnt prefix
+                              frontier_depth crashes)
+                      else walk ~cancelled ~store ~sleep0:sleep cnt prefix frontier_depth crashes
                     with
                     | () -> Some (Ok cnt)
                     | exception Cancelled -> None
@@ -875,12 +1117,19 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
            reported first. *)
         let frontier_rev = ref [] in
         let cnt0 = fresh_counter () in
+        (* See the dedup branch: the (prefix, crashes, sleep) triple is
+           the cross-domain handoff token; phase 2 replays it once. *)
+        let emit_frontier prefix crashes sleep =
+          frontier_rev := (prefix, crashes, sleep) :: !frontier_rev
+        in
         let phase1_violation =
           match
-            walk ~stop_depth:frontier_depth
-              ~emit:(fun prefix crashes sleep ->
-                frontier_rev := (prefix, crashes, sleep) :: !frontier_rev)
-              cnt0 [] 0 0
+            if use_undo then
+              with_undo
+                (fun () -> replay [])
+                (fun sys ->
+                  walk_undo ~stop_depth:frontier_depth ~emit:emit_frontier ~sys cnt0 [] 0 0)
+            else walk ~stop_depth:frontier_depth ~emit:emit_frontier cnt0 [] 0 0
           with
           | () -> None
           | exception Violation v -> Some v
@@ -901,10 +1150,14 @@ let explore ?(max_crashes = 1) ?(max_steps = 10_000) ?(max_nodes = 20_000_000) ?
               else
                 let prefix, crashes, sleep = frontier.(i) in
                 let cnt = fresh_counter () in
+                let cancelled () = Atomic.get best < i in
                 match
-                  walk
-                    ~cancelled:(fun () -> Atomic.get best < i)
-                    ~sleep0:sleep cnt prefix frontier_depth crashes
+                  if use_undo then
+                    with_undo
+                      (fun () -> replay prefix)
+                      (fun sys ->
+                        walk_undo ~cancelled ~sys ~sleep0:sleep cnt prefix frontier_depth crashes)
+                  else walk ~cancelled ~sleep0:sleep cnt prefix frontier_depth crashes
                 with
                 | () -> Some (Ok (stats_of cnt))
                 | exception Cancelled -> None

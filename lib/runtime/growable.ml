@@ -12,11 +12,16 @@
    always-existing) array but wrote the same values therefore digest
    identically. *)
 
-type 'a t = { default : int -> 'a; table : (int, 'a Cell.t) Hashtbl.t }
+type 'a t = {
+  default : int -> 'a;
+  table : (int, 'a Cell.t) Hashtbl.t;
+  mutable gslot : Heap.slot option; (* the container's fingerprint-cache slot *)
+}
 
 let make default =
-  let t = { default; table = Hashtbl.create 16 } in
-  Heap.register_sym (fun perm ->
+  let t = { default; table = Hashtbl.create 16; gslot = None } in
+  t.gslot <-
+    Heap.register_sym_c (fun perm ->
       Hashtbl.fold
         (fun i c acc ->
           let d = Heap.digest (Cell.peek c) in
@@ -51,12 +56,24 @@ let make default =
       |> String.concat ";");
   t
 
+(* Lazy materialization is idempotent across an undo rollback and the
+   value-feeding rebuild of [Sim.rollback]: a fed re-execution takes the
+   [find_opt] hit path, and a rolled-back materialization removes the
+   entry again (and rewinds the entry's oid via [Cell] journaling), so
+   re-descending re-creates it identically.  Entry cells carry the
+   container's cache slot: their writes and line transitions invalidate
+   the container digest. *)
 let cell t i =
   match Hashtbl.find_opt t.table i with
   | Some c -> c
   | None ->
-      let c = Cell.make_unregistered (t.default i) in
+      let c = Cell.make_unregistered ?slot:t.gslot (t.default i) in
+      if Undo.recording () then
+        Undo.log (fun () ->
+            Hashtbl.remove t.table i;
+            Heap.touch t.gslot);
       Hashtbl.add t.table i c;
+      Heap.touch t.gslot;
       c
 
 let read t i = Cell.read (cell t i)

@@ -13,7 +13,20 @@
    The arena is domain-local: each parallel explorer walker builds and
    runs one system at a time on its own domain, and lazily created
    objects (Growable entries, the consensus instances of Figure 4) must
-   keep registering into the arena of the system currently executing. *)
+   keep registering into the arena of the system currently executing.
+
+   Incremental fingerprinting: the runtime's own containers register
+   through [register_c]/[register_sym_c], which return a cache slot.
+   The container marks the slot dirty ([touch]) on every mutation of the
+   digested state; [snapshot_into] recomputes only dirty slots and
+   serves the rest from cache, so the per-state hashing cost on the
+   explorer's dedup path is O(mutations since the last snapshot), not
+   O(arena).  The emitted bytes are identical to recomputing everything,
+   so fingerprints, visited sets and checkpoints are unaffected.  The
+   plain [register]/[register_sym] (used by external instrumentation,
+   e.g. bench harnesses digesting a History) keep their
+   always-recompute semantics — no touch discipline is demanded of
+   arbitrary thunks. *)
 
 (* Digest thunks take an optional process relabeling [perm]
    ([perm.(old_pid) = new_pid], None = identity): the explorer's
@@ -22,22 +35,50 @@
    (cache-line owners, the per-process output logs) must relabel them.
    Pid-free digests ignore the argument ([register] wraps them), so a
    [None] snapshot is byte-identical to the pre-symmetry format. *)
+type slot = {
+  thunk : int array option -> string;
+  sym : bool; (* digest mentions pids: perm snapshots must recompute *)
+  cacheable : bool; (* mutations promise to [touch]; cache is sound *)
+  mutable cached : string;
+  mutable dirty : bool;
+}
+
 type t = {
-  mutable digests : (int array option -> string) list; (* reverse registration order *)
+  mutable slots : slot list; (* reverse registration order *)
 }
 
 let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let create () = { digests = [] }
+let create () = { slots = [] }
 let activate a = Domain.DLS.set key (Some a)
 let deactivate () = Domain.DLS.set key None
 let current () = Domain.DLS.get key
 let active () = Domain.DLS.get key <> None
 
-let register_sym f =
-  match Domain.DLS.get key with None -> () | Some a -> a.digests <- f :: a.digests
+(* Registrations during an undo-engine walk (lazily created objects:
+   Growable entries trigger container re-digests, Figure 4 creates
+   consensus instances on demand) must unwind with the rollback, or a
+   rolled-back branch would leave phantom digests in the arena. *)
+let add a s =
+  if Undo.recording () then begin
+    let old = a.slots in
+    Undo.log (fun () -> a.slots <- old)
+  end;
+  a.slots <- s :: a.slots
 
+let register_slot ~sym ~cacheable f =
+  match Domain.DLS.get key with
+  | None -> None
+  | Some a ->
+      let s = { thunk = f; sym; cacheable; cached = ""; dirty = true } in
+      add a s;
+      Some s
+
+let register_sym f = ignore (register_slot ~sym:true ~cacheable:false f)
 let register f = register_sym (fun _ -> f ())
+let register_sym_c f = register_slot ~sym:true ~cacheable:true f
+let register_c f = register_slot ~sym:false ~cacheable:true (fun _ -> f ())
+let touch = function None -> () | Some s -> s.dirty <- true
 
 (* Canonical digest of a plain-data value: with sharing expanded
    ([No_sharing]) the marshalled bytes coincide with structural equality;
@@ -49,15 +90,45 @@ let digest v = Marshal.to_string v [ Marshal.No_sharing; Marshal.Closures ]
    [_into] form appends to a caller-owned buffer so the explorer's batch
    fingerprinting can reuse one scratch buffer across a whole chunk of
    states instead of allocating a fresh buffer (and an intermediate
-   string) per expanded node. *)
+   string) per expanded node.
+
+   Cache policy per slot: a cacheable slot is recomputed only while
+   dirty; under a [perm] relabeling, pid-bearing ([sym]) slots are
+   always recomputed (their bytes depend on the perm), while pid-free
+   cacheable slots still serve the cache (their bytes cannot).  A
+   refresh always digests under [None], which for a pid-free thunk is
+   the same value.  Rehash counters batch into one telemetry note per
+   snapshot. *)
 let snapshot_into ?perm b a =
+  let full = ref 0 and saved = ref 0 in
+  let refresh s =
+    if s.dirty then begin
+      s.cached <- s.thunk None;
+      s.dirty <- false;
+      incr full
+    end
+    else incr saved;
+    s.cached
+  in
   List.iter
-    (fun f ->
-      let d = f perm in
+    (fun s ->
+      let d =
+        if not s.cacheable then begin
+          incr full;
+          s.thunk perm
+        end
+        else
+          match perm with
+          | Some _ when s.sym ->
+              incr full;
+              s.thunk perm
+          | _ -> refresh s
+      in
       Buffer.add_string b (string_of_int (String.length d));
       Buffer.add_char b ':';
       Buffer.add_string b d)
-    a.digests
+    a.slots;
+  Rcons_par.Pool.Telemetry.note_rehashes ~full:!full ~saved:!saved
 
 let snapshot ?perm a =
   let b = Buffer.create 256 in

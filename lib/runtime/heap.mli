@@ -52,6 +52,30 @@ val register_sym : (int array option -> string) -> unit
     With [None] the digest must be byte-identical to what {!register}
     of the plain thunk would produce. *)
 
+type slot
+(** A cache slot for one registered digest: {!snapshot} recomputes the
+    digest only while the slot is dirty and serves the cached bytes
+    otherwise, making per-state hashing O(mutations since the last
+    snapshot).  The emitted bytes are identical either way. *)
+
+val register_c : (unit -> string) -> slot option
+(** Cached variant of {!register}: returns the slot ([None] when no
+    arena is active).  The caller {e must} {!touch} the slot on every
+    mutation of the digested state — including from undo-journal restore
+    closures — or snapshots go stale.  Reserved for the runtime's own
+    containers; arbitrary instrumentation should keep using
+    {!register}. *)
+
+val register_sym_c : (int array option -> string) -> slot option
+(** Cached variant of {!register_sym}.  Relabeled ([?perm]) snapshots
+    always recompute sym slots (their bytes depend on the perm); the
+    cache serves identity snapshots only. *)
+
+val touch : slot option -> unit
+(** Mark the slot dirty: the next snapshot recomputes its digest.
+    [None] is a no-op, so call sites pass their stored [slot option]
+    directly. *)
+
 val digest : 'a -> string
 (** Canonical digest of a plain-data value (Marshal with sharing
     expanded): byte equality coincides with structural equality.  Values

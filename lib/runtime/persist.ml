@@ -70,6 +70,7 @@ and line = {
   mutable owner : int option; (* pid of the latest writer; None = clean *)
   persist_now : unit -> unit; (* durable copy <- volatile copy *)
   revert_now : unit -> unit; (* volatile copy <- durable copy *)
+  touch : unit -> unit; (* owner's fingerprint-cache invalidation hook *)
 }
 
 let create ?(flush_cost = 1) policy =
@@ -100,12 +101,23 @@ let in_step c pid f =
   Domain.DLS.set ctx (Some (c, pid));
   Fun.protect ~finally:(fun () -> Domain.DLS.set ctx None) f
 
-let attach ~persist ~revert =
+let no_touch () = ()
+
+let attach ?(touch = no_touch) ~persist ~revert () =
   match Domain.DLS.get key with
   | None -> None
   | Some c when c.policy = Eager -> None (* write-through: no shadow copy needed *)
   | Some c ->
-      let l = { id = c.next_id; cache = c; owner = None; persist_now = persist; revert_now = revert } in
+      let l =
+        { id = c.next_id; cache = c; owner = None; persist_now = persist; revert_now = revert; touch }
+      in
+      (* Journal the id allocation: a rolled-back branch must hand out
+         the same line ids on re-execution (the Torn crash rule keys on
+         them), exactly like [Footprint] oids. *)
+      if Undo.recording () then begin
+        let id = l.id in
+        Undo.log (fun () -> c.next_id <- id)
+      end;
       c.next_id <- c.next_id + 1;
       Some l
 
@@ -115,23 +127,51 @@ let unlist l = l.cache.dirty_lines <- List.filter (fun l' -> l' != l) l.cache.di
 let dirty l =
   match Domain.DLS.get ctx with
   | Some (_, pid) ->
+      if Undo.recording () then begin
+        let ow = l.owner in
+        if ow = None then
+          Undo.log (fun () ->
+              l.owner <- None;
+              unlist l;
+              l.touch ())
+        else Undo.log (fun () -> l.owner <- ow; l.touch ())
+      end;
       if l.owner = None then l.cache.dirty_lines <- l :: l.cache.dirty_lines;
-      l.owner <- Some pid
+      l.owner <- Some pid;
+      l.touch ()
   | None ->
       (* outside any simulated step: set-up / checker writes are durable *)
       l.persist_now ();
       if l.owner <> None then begin
+        if Undo.recording () then begin
+          let ow = l.owner in
+          let old = l.cache.dirty_lines in
+          Undo.log (fun () ->
+              l.owner <- ow;
+              l.cache.dirty_lines <- old;
+              l.touch ())
+        end;
         l.owner <- None;
-        unlist l
+        unlist l;
+        l.touch ()
       end
 
 (* Write-back one line (the body of a flush barrier step).  Any process
    may flush any line, as on real hardware. *)
 let flush_line l =
   if l.owner <> None then begin
+    if Undo.recording () then begin
+      let ow = l.owner in
+      let old = l.cache.dirty_lines in
+      Undo.log (fun () ->
+          l.owner <- ow;
+          l.cache.dirty_lines <- old;
+          l.touch ())
+    end;
     l.persist_now ();
     l.owner <- None;
-    unlist l
+    unlist l;
+    l.touch ()
   end
 
 (* Write-back every line last written by the process executing the
@@ -141,10 +181,22 @@ let fence_here () =
   | None -> ()
   | Some (c, pid) ->
       let mine, rest = List.partition (fun l -> l.owner = Some pid) c.dirty_lines in
+      if mine <> [] && Undo.recording () then begin
+        let owners = List.map (fun l -> (l, l.owner)) mine in
+        let old = c.dirty_lines in
+        Undo.log (fun () ->
+            List.iter
+              (fun (l, ow) ->
+                l.owner <- ow;
+                l.touch ())
+              owners;
+            c.dirty_lines <- old)
+      end;
       List.iter
         (fun l ->
           l.persist_now ();
-          l.owner <- None)
+          l.owner <- None;
+          l.touch ())
         mine;
       c.dirty_lines <- rest
 
@@ -152,13 +204,25 @@ let fence_here () =
    suffered before this one (= [Sim.crash_count] at the call). *)
 let on_crash c ~pid ~crashes =
   let mine, rest = List.partition (fun l -> l.owner = Some pid) c.dirty_lines in
+  if mine <> [] && Undo.recording () then begin
+    let owners = List.map (fun l -> (l, l.owner)) mine in
+    let old = c.dirty_lines in
+    Undo.log (fun () ->
+        List.iter
+          (fun (l, ow) ->
+            l.owner <- ow;
+            l.touch ())
+          owners;
+        c.dirty_lines <- old)
+  end;
   List.iter
     (fun l ->
       (match c.policy with
       | Eager -> () (* unreachable: eager caches create no lines *)
       | Lossy -> l.revert_now ()
       | Torn -> if (l.id + crashes) mod 2 = 0 then l.persist_now () else l.revert_now ());
-      l.owner <- None)
+      l.owner <- None;
+      l.touch ())
     mine;
   c.dirty_lines <- rest
 

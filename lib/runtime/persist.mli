@@ -62,11 +62,17 @@ val in_step : cache -> int -> (unit -> 'a) -> 'a
     establishes the (cache, pid) step context that [dirty] and
     [fence_here] consult. *)
 
-val attach : persist:(unit -> unit) -> revert:(unit -> unit) -> line option
+val attach :
+  ?touch:(unit -> unit) -> persist:(unit -> unit) -> revert:(unit -> unit) -> unit -> line option
 (** Attach a line for a freshly created shared location to the ambient
     cache.  [persist] copies volatile -> durable, [revert] the reverse.
-    Returns [None] (and the location behaves write-through) when no
-    cache is ambient or the ambient cache is [Eager]. *)
+    [touch] (default no-op) is called after every line-state mutation
+    (ownership change, write-back, crash handling) so the owning
+    object can invalidate its {!Heap} fingerprint-cache slot.  Returns
+    [None] (and the location behaves write-through) when no cache is
+    ambient or the ambient cache is [Eager].  Line-state mutations are
+    undo-journaled while a {!Undo} journal is recording, including the
+    line-id allocation (the [Torn] crash rule keys on ids). *)
 
 val dirty : line -> unit
 (** Record a write to the line's volatile copy.  Inside a step, marks

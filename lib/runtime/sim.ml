@@ -20,6 +20,18 @@ type _ Effect.t +=
 exception Crashed
 (* Raised inside a discarded continuation to unwind it cleanly. *)
 
+(* The rollback rebuild's feed source ([Sim.rollback]): while a rebuild
+   is re-running a process body, [step] consumes the recorded value of
+   each completed step directly -- no effect, no suspension -- and only
+   performs (suspending the body where the original run was suspended)
+   once the source is exhausted.  [no_feed] is the distinguished "not
+   rebuilding" state, so the normal path pays one domain-local load and
+   a physical-equality test. *)
+let no_feed : unit -> Obj.t option = fun () -> None
+
+let feed_key : (unit -> Obj.t option) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref no_feed)
+
 (* [label] optionally names the shared object the access touches; the
    critical-execution explorer reads it off suspended processes to
    reproduce the "all processes are poised on the same object O" step of
@@ -27,7 +39,19 @@ exception Crashed
    unknown, treated as conflicting with everything); the partial-order
    reduction reads it off suspended processes to decide which pending
    steps commute. *)
-let step ?label ?fp f = Effect.perform (Step (label, fp, f))
+let step ?label ?fp f =
+  let r = Domain.DLS.get feed_key in
+  if !r == no_feed then Effect.perform (Step (label, fp, f))
+  else
+    match !r () with
+    | Some v ->
+        (* Feeding: the cast is safe because the body is deterministic,
+           so the k-th step of a given run has one type and the recorded
+           value came from that very position.  The step thunk is
+           skipped: its heap effects were rolled back and must not
+           re-apply.  Trace and vlog were journal-restored. *)
+        Obj.obj v
+    | None -> Effect.perform (Step (label, fp, f))
 
 type proc = {
   id : int;
@@ -46,6 +70,21 @@ type proc = {
          -- continuation, program counter included -- is a function of
          this sequence, which is what makes [fingerprint] a sound basis
          for deduplication. *)
+  (* Undo-engine state.  One-shot continuations cannot be snapshotted,
+     so [rollback] rebuilds a process's continuation by re-running its
+     body and feeding back the values its completed steps returned this
+     run ([vlog], recorded while an undo journal is installed): the step
+     thunks themselves are skipped, so the rebuild costs
+     O(steps since last restart) closure resumptions and no
+     shared-memory re-execution.  After [s] step_procs since a
+     (re)start the run has completed [s - 1] step thunks (the first
+     step_proc only advances the body to its first suspension), so
+     [vlen = s - 1]. *)
+  mutable vlog : Obj.t array; (* values returned by this run's steps *)
+  mutable vlen : int;
+  mutable fin : bool; (* this run returned (retc); cleared by [arm] *)
+  mutable stale : bool; (* journal rewound past this proc's continuation *)
+  uh : Undo.handle; (* the creating domain's journal slot, captured once *)
 }
 
 type event = Stepped of int | Crash_event of int
@@ -59,6 +98,16 @@ type t = {
   mutable dead : bool; (* abandoned: stepping or crashing it is a bug *)
 }
 
+let push_vlog p v =
+  let n = Array.length p.vlog in
+  if p.vlen = n then begin
+    let bigger = Array.make (max 8 (2 * n)) (Obj.repr ()) in
+    Array.blit p.vlog 0 bigger 0 n;
+    p.vlog <- bigger
+  end;
+  p.vlog.(p.vlen) <- v;
+  p.vlen <- p.vlen + 1
+
 let run_body p =
   let open Effect.Deep in
   match_with p.body ()
@@ -66,7 +115,8 @@ let run_body p =
       retc =
         (fun () ->
           p.resume <- None;
-          p.discard <- None);
+          p.discard <- None;
+          p.fin <- true);
       exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
@@ -80,6 +130,7 @@ let run_body p =
                     Some
                       (fun () ->
                         let v = f () in
+                        if Undo.h_installed p.uh then push_vlog p (Obj.repr v);
                         if p.tracing then p.trace <- Heap.digest v :: p.trace;
                         continue k v);
                   p.discard <-
@@ -97,6 +148,9 @@ let arm p =
   p.pending_label <- None;
   p.pending_fp <- None;
   p.trace <- [];
+  p.vlen <- 0;
+  p.fin <- false;
+  p.stale <- false; (* a fresh starter needs no rebuild *)
   p.resume <- Some (fun () -> run_body p)
 
 let create ~n body_of =
@@ -117,6 +171,11 @@ let create ~n body_of =
             crash_count = 0;
             step_count = 0;
             trace = [];
+            vlog = [||];
+            vlen = 0;
+            fin = false;
+            stale = false;
+            uh = Undo.handle ();
           }
         in
         arm p;
@@ -125,8 +184,13 @@ let create ~n body_of =
   { procs; heap; cache; total_steps = 0; events = []; dead = false }
 
 let num_procs t = Array.length t.procs
-let finished t i = t.procs.(i).resume = None
-let all_finished t = Array.for_all (fun p -> p.resume = None) t.procs
+
+(* The LOGICAL run state.  A [stale] process (rolled back, continuation
+   not yet rebuilt -- see [rebuild]) answers from its journal-restored
+   [fin] flag: its [resume] still belongs to the abandoned branch. *)
+let proc_finished p = if p.stale then p.fin else p.resume = None
+let finished t i = proc_finished t.procs.(i)
+let all_finished t = Array.for_all proc_finished t.procs
 let started t i = t.procs.(i).started
 
 (* The label of the shared access process [i] is suspended on, if its
@@ -150,6 +214,48 @@ let check_pid t i fn =
     invalid_arg
       (Printf.sprintf "Sim.%s: pid %d out of range [0,%d)" fn i (Array.length t.procs))
 
+(* Rebuild a process whose continuation a rollback invalidated.  The
+   journal already restored every plain field to the mark's state; what
+   cannot be restored is the one-shot continuation, so it is re-created
+   by re-running the body with [feed_key] pointing at the restored value
+   log: [step] hands each recorded value straight back without
+   suspending (no effect, no thunk -- the heap effects were rolled back
+   and must not re-apply), so the body runs in one stretch to exactly
+   where the original run was suspended and performs one real effect
+   there.  The rebuild runs with [Undo.feeding] set: journal recording
+   is off, and non-idempotent instrumentation around steps checks the
+   flag and skips itself. *)
+let rebuild p =
+  (match p.discard with Some d -> d () | None -> ());
+  p.discard <- None;
+  p.resume <- None;
+  if p.fin then () (* the run had returned: nothing is suspended *)
+  else if (not p.started) && p.vlen = 0 then
+    (* freshly (re)armed and never stepped: recreate the starter *)
+    p.resume <- Some (fun () -> run_body p)
+  else begin
+    let r = Domain.DLS.get feed_key in
+    let idx = ref 0 in
+    let take () =
+      if !idx < p.vlen then begin
+        let v = p.vlog.(!idx) in
+        incr idx;
+        Some v
+      end
+      else None
+    in
+    let saved = !r in
+    r := take;
+    Fun.protect
+      ~finally:(fun () -> r := saved)
+      (fun () -> Undo.with_feeding (fun () -> run_body p));
+    if !idx < p.vlen then
+      invalid_arg "Sim.rollback: rebuild desynchronized (body finished early)";
+    if p.resume = None && not p.fin then
+      invalid_arg "Sim.rollback: rebuild desynchronized (body did not re-suspend)"
+  end;
+  p.stale <- false
+
 (* Run process [i] for one step (up to and including its next shared-memory
    access, or to completion).  Always returns true; stepping a finished
    process (check [finished] first) or an out-of-range pid raises
@@ -157,6 +263,11 @@ let check_pid t i fn =
 let step_proc t i =
   check_pid t i "step_proc";
   let p = t.procs.(i) in
+  (* Rollback is lazy: it restores fields and marks procs stale but only
+     rebuilds a continuation when the proc is actually stepped again --
+     procs that are next crashed, or never touched before the enclosing
+     rollback, never pay for a rebuild. *)
+  if p.stale then rebuild p;
   match p.resume with
   | None ->
       invalid_arg
@@ -165,6 +276,33 @@ let step_proc t i =
             consult [finished] before stepping)"
            i)
   | Some r ->
+      (* One journal entry per step covers every plain field the step
+         (and the continuation machinery it triggers) may change.  The
+         continuation itself cannot be restored -- popping this entry
+         marks the proc [stale] and [rollback] rebuilds it by feeding
+         the restored [vlen] prefix of the value log. *)
+      if Undo.h_recording p.uh then begin
+        let started = p.started
+        and sc = p.step_count
+        and ts = t.total_steps
+        and evs = t.events
+        and lab = p.pending_label
+        and fp = p.pending_fp
+        and tr = p.trace
+        and vl = p.vlen
+        and fin = p.fin in
+        Undo.h_log p.uh (fun () ->
+            p.started <- started;
+            p.step_count <- sc;
+            t.total_steps <- ts;
+            t.events <- evs;
+            p.pending_label <- lab;
+            p.pending_fp <- fp;
+            p.trace <- tr;
+            p.vlen <- vl;
+            p.fin <- fin;
+            p.stale <- true)
+      end;
       p.resume <- None;
       p.discard <- None;
       p.started <- true;
@@ -186,6 +324,33 @@ let step_proc t i =
 let crash t i =
   check_pid t i "crash";
   let p = t.procs.(i) in
+  (* [arm] resets the run-local fields and the value log, and the
+     re-armed run overwrites vlog slots from index 0 -- so a crash entry
+     must snapshot the pre-crash vlog contents, not just its length.
+     Popped after the re-armed run's own step entries (LIFO), it puts
+     the pre-crash run back for re-feeding. *)
+  if Undo.h_recording p.uh then begin
+    let cc = p.crash_count
+    and evs = t.events
+    and started = p.started
+    and lab = p.pending_label
+    and fp = p.pending_fp
+    and tr = p.trace
+    and vl = p.vlen
+    and vlog_saved = Array.sub p.vlog 0 p.vlen
+    and fin = p.fin in
+    Undo.h_log p.uh (fun () ->
+        p.crash_count <- cc;
+        t.events <- evs;
+        p.started <- started;
+        p.pending_label <- lab;
+        p.pending_fp <- fp;
+        p.trace <- tr;
+        Array.blit vlog_saved 0 p.vlog 0 vl;
+        p.vlen <- vl;
+        p.fin <- fin;
+        p.stale <- true)
+  end;
   (match p.discard with Some d -> d () | None -> ());
   (match t.cache with
   | None -> ()
@@ -244,6 +409,24 @@ let abandon t =
     t.dead <- true
   end
 
+(* --- checkpoint/restore (the undo engine) --- *)
+
+type mark = int
+
+let mark t =
+  if t.dead then invalid_arg "Sim.mark: system has been abandoned";
+  Undo.mark ()
+
+(* Popping the journal restores every plain field and marks the procs
+   whose entries were popped [stale]; their continuations are rebuilt
+   lazily ([rebuild], from [step_proc]) because most rolled-back procs
+   are next crashed, rolled back further, or never touched again --
+   eager rebuilding here would pay a fiber discard+create per proc per
+   rollback for work that is usually thrown away. *)
+let rollback t m =
+  if t.dead then invalid_arg "Sim.rollback: system has been abandoned";
+  Undo.rollback_to m
+
 (* Canonical fingerprint of the global state: per-process control state
    plus the non-volatile heap snapshot.
 
@@ -277,14 +460,51 @@ let abandon t =
    pid-bearing digest.  The symmetry-canonicalizing explorer takes the
    minimum over a group of relabelings; [None] is the identity and is
    byte-identical to the historical format. *)
+let arena_of t =
+  match t.heap with
+  | Some a -> a
+  | None -> invalid_arg "Sim.fingerprint: system was not created under an active Heap arena"
+
+(* One process's section, starting with its '|' separator.  The bytes
+   depend only on the process -- a relabeling changes the order sections
+   are emitted in, never their contents -- which is what lets the
+   canonical loop serialize each section once and reuse the string
+   across the whole relabeling group. *)
+let add_proc_section ~graded b p =
+  Buffer.add_char b '|';
+  if graded then begin
+    Buffer.add_string b (string_of_int p.step_count);
+    Buffer.add_char b ',';
+    Buffer.add_string b (string_of_int p.crash_count)
+  end;
+  (* [proc_finished], not [p.resume]: a stale proc's [resume] belongs to
+     the abandoned branch, but [fin]/[started]/[pending_label]/[trace]
+     are journal-restored, so the section stays byte-identical to a
+     rebuilt (or replayed) proc's. *)
+  if proc_finished p then Buffer.add_char b 'F'
+  else begin
+    Buffer.add_char b (if p.started then 'R' else 'I');
+      (match p.pending_label with
+      | None -> ()
+      | Some l ->
+          Buffer.add_char b '#';
+          Buffer.add_string b l);
+      List.iter
+        (fun d ->
+          Buffer.add_char b '.';
+          Buffer.add_string b (string_of_int (String.length d));
+          Buffer.add_char b ':';
+          Buffer.add_string b d)
+        p.trace
+  end
+
+let add_ungraded_prefix b t =
+  Buffer.add_char b 'U';
+  Buffer.add_string b
+    (string_of_int (Array.fold_left (fun acc p -> acc + p.crash_count) 0 t.procs))
+
 let fingerprint_into ?(graded = true) ?perm b t =
-  let arena =
-    match t.heap with
-    | Some a -> a
-    | None ->
-        invalid_arg
-          "Sim.fingerprint: system was not created under an active Heap arena"
-  in
+  let arena = arena_of t in
   let n = Array.length t.procs in
   (* [inv.(new_pid) = old_pid]: section [j] of the relabeled fingerprint
      describes the process relabeled to [j]. *)
@@ -296,35 +516,9 @@ let fingerprint_into ?(graded = true) ?perm b t =
         Array.iteri (fun old_pid new_pid -> inv.(new_pid) <- old_pid) p;
         fun j -> t.procs.(inv.(j))
   in
-  if not graded then begin
-    Buffer.add_char b 'U';
-    Buffer.add_string b
-      (string_of_int (Array.fold_left (fun acc p -> acc + p.crash_count) 0 t.procs))
-  end;
+  if not graded then add_ungraded_prefix b t;
   for j = 0 to n - 1 do
-    let p = proc_at j in
-    Buffer.add_char b '|';
-    if graded then begin
-      Buffer.add_string b (string_of_int p.step_count);
-      Buffer.add_char b ',';
-      Buffer.add_string b (string_of_int p.crash_count)
-    end;
-    match p.resume with
-    | None -> Buffer.add_char b 'F'
-    | Some _ ->
-        Buffer.add_char b (if p.started then 'R' else 'I');
-        (match p.pending_label with
-        | None -> ()
-        | Some l ->
-            Buffer.add_char b '#';
-            Buffer.add_string b l);
-        List.iter
-          (fun d ->
-            Buffer.add_char b '.';
-            Buffer.add_string b (string_of_int (String.length d));
-            Buffer.add_char b ':';
-            Buffer.add_string b d)
-          p.trace
+    add_proc_section ~graded b (proc_at j)
   done;
   Buffer.add_char b '@';
   Heap.snapshot_into ?perm b arena
@@ -398,18 +592,66 @@ let fingerprint_digest ?graded ?perm t =
    the given relabelings (identity included by {!relabelings}).  Two
    states that are relabelings of one another under the group share the
    canonical digest.  Also reports whether the minimum beat the identity
-   digest — the explorer's [symmetry_hits] counter. *)
-let fingerprint_digest_canonical ?graded ~perms t =
+   digest — the explorer's [symmetry_hits] counter.
+
+   The relabeling loop reuses the one domain-local scratch buffer and,
+   since section bytes are perm-independent (only their order changes),
+   serializes each process section once and re-emits the strings per
+   perm; pid-free heap slots likewise serve their cached bytes.  The
+   bytes assembled per perm are identical to [fingerprint_digest ~perm],
+   so canonical digests (and thus visited sets, stats, checkpoints) are
+   unchanged.  Saved serialization work is reported to telemetry as
+   [canon_saved_bytes]. *)
+let fingerprint_digest_canonical ?(graded = true) ~perms t =
   match perms with
   | [] -> invalid_arg "Sim.fingerprint_digest_canonical: empty relabeling group"
   | p0 :: rest ->
-      let d0 = fingerprint_digest ?graded ~perm:p0 t in
+      let arena = arena_of t in
+      let n = Array.length t.procs in
+      let sections =
+        Array.map
+          (fun p ->
+            let sb = Buffer.create 64 in
+            add_proc_section ~graded sb p;
+            Buffer.contents sb)
+          t.procs
+      in
+      let prefix =
+        if graded then ""
+        else begin
+          let pb = Buffer.create 8 in
+          add_ungraded_prefix pb t;
+          Buffer.contents pb
+        end
+      in
+      let b = Domain.DLS.get scratch in
+      let inv = Array.make n 0 in
+      let digest_with perm =
+        Buffer.clear b;
+        Buffer.add_string b prefix;
+        Array.iteri (fun old_pid new_pid -> inv.(new_pid) <- old_pid) perm;
+        for j = 0 to n - 1 do
+          Buffer.add_string b sections.(inv.(j))
+        done;
+        Buffer.add_char b '@';
+        Heap.snapshot_into ~perm b arena;
+        Digest.bytes (Buffer.to_bytes b)
+      in
+      let d0 = digest_with p0 in
       let min_d =
         List.fold_left
           (fun acc p ->
-            let d = fingerprint_digest ?graded ~perm:p t in
+            let d = digest_with p in
             if String.compare d acc < 0 then d else acc)
           d0 rest
       in
+      (match rest with
+      | [] -> ()
+      | _ ->
+          let section_bytes =
+            Array.fold_left (fun acc s -> acc + String.length s) (String.length prefix) sections
+          in
+          Rcons_par.Pool.Telemetry.note_canon_saved_bytes
+            (List.length rest * section_bytes));
       (min_d, String.compare min_d d0 < 0)
 

@@ -116,6 +116,38 @@ val abandon : t -> unit
     before dropping a system.  Idempotent; stepping or crashing an
     abandoned system raises [Invalid_argument]. *)
 
+(** {2 Checkpoint/restore (the undo engine)}
+
+    While an {!Undo} journal is installed on the current domain, every
+    mutation of simulated state journals a restore entry, so the
+    explorer can return to any earlier point of the current schedule in
+    O(mutations since that point) instead of replaying the prefix from
+    the root.  One-shot effect continuations cannot be snapshotted;
+    {!rollback} rebuilds each affected process by re-running its body
+    and feeding back the values its completed steps returned (recorded
+    while the journal is installed), skipping the step thunks — the
+    heap effects were already rolled back.  The rebuilt process is
+    poised on exactly the step it was poised on at the mark, and step
+    results keep their physical identity. *)
+
+type mark
+(** A point in the current schedule, valid while the journal that
+    produced it is installed and not yet rolled back past it. *)
+
+val mark : t -> mark
+(** Take a checkpoint of the system's current state.  Cheap: records
+    the journal extent only. *)
+
+val rollback : t -> mark -> unit
+(** Restore the system (shared heap, cache lines, process control
+    state, allocator counters, event log) to the state at [mark].
+    Call it only between steps, on the domain that took the mark, with
+    the same journal still installed.  Marks taken after [mark] are
+    invalidated.  Without an installed journal this is a no-op.
+    @raise Invalid_argument on an {!abandon}ed system, a mark beyond
+    the journal tip, or if a process body turns out not to be
+    deterministic (the rebuild desynchronizes). *)
+
 val fingerprint : t -> string
 (** Canonical fingerprint of the global state, for the deduplicating
     explorer: the non-volatile heap snapshot of the {!Heap} arena the

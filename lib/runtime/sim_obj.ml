@@ -13,6 +13,7 @@ type ('s, 'o, 'r) t = {
   mutable state : 's;
   mutable persisted : 's;
   mutable line : Persist.line option;
+  mutable hslot : Heap.slot option; (* fingerprint-cache slot, if registered *)
   apply_spec : 's -> 'o -> 's * 'r;
   equal_state : 's -> 's -> bool;
   obj_name : string;
@@ -20,12 +21,17 @@ type ('s, 'o, 'r) t = {
   op_kind : 'o -> Footprint.kind; (* footprint classification of updates *)
 }
 
+(* Undo journaling mirrors [Cell]: state mutations push restore closures
+   while a journal is recording, every restore re-dirties the
+   fingerprint-cache slot, and the oid allocation rewinds with the
+   journal so re-executed branches hand out identical ids. *)
 let alloc ~equal_state ~apply ~name ?(op_kind = fun _ -> Footprint.Update) init =
   let t =
     {
       state = init;
       persisted = init;
       line = None;
+      hslot = None;
       apply_spec = apply;
       equal_state;
       obj_name = name;
@@ -33,25 +39,48 @@ let alloc ~equal_state ~apply ~name ?(op_kind = fun _ -> Footprint.Update) init 
       op_kind;
     }
   in
+  if Undo.recording () then begin
+    let oid = t.oid in
+    Undo.log (fun () -> Footprint.set_next_oid oid)
+  end;
   t.line <-
     Persist.attach
-      ~persist:(fun () -> t.persisted <- t.state)
-      ~revert:(fun () -> t.state <- t.persisted);
+      ~touch:(fun () -> Heap.touch t.hslot)
+      ~persist:(fun () ->
+        if Undo.recording () then begin
+          let old = t.persisted in
+          Undo.log (fun () ->
+              t.persisted <- old;
+              Heap.touch t.hslot)
+        end;
+        t.persisted <- t.state;
+        Heap.touch t.hslot)
+      ~revert:(fun () ->
+        if Undo.recording () then begin
+          let old = t.state in
+          Undo.log (fun () ->
+              t.state <- old;
+              Heap.touch t.hslot)
+        end;
+        t.state <- t.persisted;
+        Heap.touch t.hslot)
+      ();
   t
 
 let register t digest =
   match t.line with
-  | None -> Heap.register (fun () -> digest t.state)
+  | None -> t.hslot <- Heap.register_c (fun () -> digest t.state)
   | Some l ->
       (* The line owner is a pid: relabel it when the snapshot carries a
          process permutation (symmetry canonicalization). *)
-      Heap.register_sym (fun perm ->
-          let d = digest t.state and dp = digest t.persisted in
-          Printf.sprintf "%d:%s%d:%s%s" (String.length d) d (String.length dp) dp
-            (match (Persist.owner l, perm) with
-            | None, _ -> "c"
-            | Some p, None -> "p" ^ string_of_int p
-            | Some p, Some perm -> "p" ^ string_of_int perm.(p)))
+      t.hslot <-
+        Heap.register_sym_c (fun perm ->
+            let d = digest t.state and dp = digest t.persisted in
+            Printf.sprintf "%d:%s%d:%s%s" (String.length d) d (String.length dp) dp
+              (match (Persist.owner l, perm) with
+              | None, _ -> "c"
+              | Some p, None -> "p" ^ string_of_int p
+              | Some p, Some perm -> "p" ^ string_of_int perm.(p)))
 
 let make (type s o r)
     (module T : Rcons_spec.Object_type.S with type state = s and type op = o and type resp = r)
@@ -78,16 +107,27 @@ let of_apply ?(name = "object") ~apply init =
    and q's crash would silently destroy p's write. *)
 let footprint t kind = Footprint.Obj { oid = t.oid; kind }
 
+let set_state t state =
+  if Undo.recording () then begin
+    let old = t.state in
+    Undo.log (fun () ->
+        t.state <- old;
+        Heap.touch t.hslot)
+  end;
+  t.state <- state;
+  Heap.touch t.hslot
+
 let apply t op =
   Sim.step ~label:t.obj_name ~fp:(footprint t (t.op_kind op)) (fun () ->
       let state, resp = t.apply_spec t.state op in
       match t.line with
-      | None -> (* eager: no comparison, identical to the seed behaviour *)
-          t.state <- state;
+      | None ->
+          (* eager: no comparison, identical to the seed behaviour *)
+          set_state t state;
           resp
       | Some l ->
           let changed = not (t.equal_state state t.state) in
-          t.state <- state;
+          set_state t state;
           if changed then Persist.dirty l;
           resp)
 

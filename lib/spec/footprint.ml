@@ -74,3 +74,4 @@ let fresh_oid () =
   v
 
 let reset_oids () = Domain.DLS.get next := 0
+let set_next_oid v = Domain.DLS.get next := v

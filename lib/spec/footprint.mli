@@ -49,3 +49,9 @@ val fresh_oid : unit -> int
 val reset_oids : unit -> unit
 (** Restart the allocator; the explorer calls this before building each
     system so oids are deterministic per schedule prefix. *)
+
+val set_next_oid : int -> unit
+(** Rewind (or advance) the allocator to a specific next id.  Undo
+    journaling uses this to make allocations revertible: rolling a
+    schedule back to a fork point restores the counter so the replayed
+    branch allocates the same ids the original run did. *)

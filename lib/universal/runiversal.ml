@@ -171,6 +171,21 @@ let invoke t ~pid ~index op =
     match Hashtbl.find_opt t.registry (pid, index) with
     | Some nd -> nd
     | None ->
+        (* Undo: journal the history append and the registry growth so a
+           rolled-back invocation disappears entirely.  The rollback
+           feed never reaches this branch — a node invoked before the
+           mark is still registered, so the lookup hits. *)
+        if Undo.recording () then begin
+          let saved = Option.map Rcons_history.History.save t.history in
+          Undo.log (fun () ->
+              Option.iter
+                (fun s ->
+                  match t.history with
+                  | Some h -> Rcons_history.History.restore h s
+                  | None -> ())
+                saved;
+              Hashtbl.remove t.registry (pid, index))
+        end;
         let hist_tag =
           match t.history with
           | Some h -> Rcons_history.History.invoke h ~pid op
@@ -189,10 +204,17 @@ let invoke t ~pid ~index op =
   done;
   let r = apply_operation t pid in
   (match t.history with
-  | Some h when nd.hist_tag >= 0 ->
+  | Some h when nd.hist_tag >= 0 && not (Undo.feeding ()) ->
       (* Annotated runs certify durability: by the time ApplyOperation
          returned, the node's fields were read through link-and-persist
-         barriers, so its effect can no longer be lost to a crash. *)
+         barriers, so its effect can no longer be lost to a crash.
+         These appends are not once-guarded (a recovered operation may
+         legitimately persist/respond again), so the rollback feed must
+         skip them — the journal already restored the history. *)
+      if Undo.recording () then begin
+        let s = Rcons_history.History.save h in
+        Undo.log (fun () -> Rcons_history.History.restore h s)
+      end;
       if t.annotated then Rcons_history.History.persist h ~pid ~tag:nd.hist_tag;
       Rcons_history.History.respond h ~pid ~tag:nd.hist_tag r
   | Some _ | None -> ());

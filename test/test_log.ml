@@ -296,6 +296,25 @@ let test_corrupt_checkpoint_diagnosis () =
   | exception Invalid_argument msg ->
       Alcotest.(check bool) ("names the problem: " ^ msg) true (String.length msg > 0));
   Sys.remove wrong;
+  (* A checkpoint claiming an exploration engine this build does not
+     know is from the future; its cursor may mean something else, so the
+     loader must refuse it (CLI exit 2), not misresume it. *)
+  let alien_engine =
+    write_tmp
+      {|{"version": 1, "kind": "explore-checkpoint", "max_crashes": 1, "max_steps": 100,
+         "dedup": false, "por": false, "engine": "snapshot-v2",
+         "stats": {"schedules": 0, "nodes": 1, "max_depth": 0, "dedup_hits": 0,
+                   "distinct_states": 0, "por_pruned": 0, "symmetry_hits": 0},
+         "cursor": ["s0"], "visited": []}|}
+  in
+  (match Explore.load_checkpoint ~file:alien_engine with
+  | _ -> Alcotest.fail "unknown-engine checkpoint should not load"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        ("names the engine: " ^ msg)
+        true
+        (contains ~sub:"unknown exploration engine" msg && contains ~sub:"snapshot-v2" msg));
+  Sys.remove alien_engine;
   (* Unreadable path: Sys_error, same exit-2 mapping in the CLI. *)
   match Explore.load_checkpoint ~file:"/nonexistent/nowhere.json" with
   | _ -> Alcotest.fail "missing checkpoint should not load"

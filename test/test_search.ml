@@ -141,6 +141,159 @@ let test_q_prefix_closed () =
   (* q0 itself is never in Q_X unless re-reached by updates *)
   Alcotest.(check bool) "q0 = [] not reachable with pushes only" false (S.State_set.mem [] q_a)
 
+(* --- undo-engine mark/rollback (checkpoint/restore foundation) ------
+   The explorer's undo engine rests on one contract, checked here
+   directly against [Sim.mark]/[Sim.rollback] without the explorer in
+   the way: rolling back to a mark restores the fingerprint (heap
+   snapshot + per-process control state) byte-identically, across
+   crash/recover cycles and flush/fence persist boundaries, under every
+   persistency policy -- and the rolled-back system is live, not a
+   corpse: it can be driven to completion again. *)
+
+module USim = Rcons_runtime.Sim
+module UCell = Rcons_runtime.Cell
+module UHeap = Rcons_runtime.Heap
+module UUndo = Rcons_runtime.Undo
+module UPersist = Rcons_runtime.Persist
+
+let with_undo_arena f =
+  let saved = UHeap.current () in
+  UHeap.activate (UHeap.create ());
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with Some a -> UHeap.activate a | None -> UHeap.deactivate ())
+    (fun () ->
+      UUndo.install ();
+      Fun.protect ~finally:UUndo.uninstall f)
+
+(* Two processes over a shared cell plus a private cell each; every body
+   crosses a plain write, an explicit flush, a shared read-modify-write
+   and a full fence, so marks taken anywhere straddle each kind of
+   persist boundary. *)
+let undo_sys () =
+  let shared = UCell.make 0 in
+  let privs = [| UCell.make 0; UCell.make 0 |] in
+  USim.create ~n:2 (fun pid () ->
+      UCell.write privs.(pid) (100 + pid);
+      UCell.flush privs.(pid);
+      UCell.write shared (1 + pid + UCell.read shared);
+      USim.fence ();
+      ignore (UCell.read shared))
+
+let snap t =
+  ( USim.fingerprint t,
+    USim.total_steps t,
+    List.init (USim.num_procs t) (fun i ->
+        (USim.step_count t i, USim.crash_count t i, USim.finished t i, USim.started t i)) )
+
+let drive_to_completion t =
+  while not (USim.all_finished t) do
+    for pid = 0 to USim.num_procs t - 1 do
+      if not (USim.finished t pid) then ignore (USim.step_proc t pid)
+    done
+  done
+
+let test_rollback_boundaries policy () =
+  UPersist.scoped policy (fun () ->
+      with_undo_arena (fun () ->
+          let t = undo_sys () in
+          Fun.protect
+            ~finally:(fun () -> USim.abandon t)
+            (fun () ->
+              let s0 = snap t in
+              let m0 = USim.mark t in
+              (* p0 across its private write + flush step, p1 armed *)
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 1);
+              let s1 = snap t in
+              let m1 = USim.mark t in
+              (* cross a crash/recover cycle and the fence *)
+              USim.crash t 0;
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 1);
+              ignore (USim.step_proc t 1);
+              USim.crash t 1;
+              ignore (USim.step_proc t 1);
+              USim.rollback t m1;
+              Alcotest.(check bool) "state restored at inner mark" true (snap t = s1);
+              (* the rebuilt continuations are live: finish the run *)
+              drive_to_completion t;
+              Alcotest.(check bool) "resumed run completes" true (USim.all_finished t);
+              (* rollback below an earlier mark, past the whole run *)
+              USim.rollback t m0;
+              Alcotest.(check bool) "state restored at initial mark" true (snap t = s0))))
+
+(* Rollback to a mark taken inside a recovered run: the journal must
+   restore the post-crash continuation (including the value log the
+   recovery re-accumulated), not the pre-crash one. *)
+let test_rollback_recovered_run policy () =
+  UPersist.scoped policy (fun () ->
+      with_undo_arena (fun () ->
+          let t = undo_sys () in
+          Fun.protect
+            ~finally:(fun () -> USim.abandon t)
+            (fun () ->
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 0);
+              USim.crash t 0;
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 0);
+              let s = snap t in
+              let m = USim.mark t in
+              ignore (USim.step_proc t 0);
+              ignore (USim.step_proc t 0);
+              USim.crash t 0;
+              ignore (USim.step_proc t 1);
+              USim.rollback t m;
+              Alcotest.(check bool) "recovered-run state restored" true (snap t = s);
+              Alcotest.(check int) "crash count preserved at mark" 1 (USim.crash_count t 0);
+              drive_to_completion t)))
+
+(* qcheck: a random schedule prefix, a mark, a random continuation
+   (steps and crashes), a rollback -- the fingerprint at the mark comes
+   back byte-identical, for a random persistency policy. *)
+let undo_apply_codes t codes =
+  List.iter
+    (fun x ->
+      let pid = x mod 2 in
+      if x mod 7 = 0 then (if USim.started t pid || USim.finished t pid then USim.crash t pid)
+      else if not (USim.finished t pid) then ignore (USim.step_proc t pid))
+    codes
+
+let qcheck_rollback_fingerprint =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_bound 2)
+        (list_size (int_range 0 12) (int_bound 999))
+        (list_size (int_range 0 12) (int_bound 999)))
+  in
+  let print (pol, pre, post) =
+    Printf.sprintf "policy=%d pre=[%s] post=[%s]" pol
+      (String.concat ";" (List.map string_of_int pre))
+      (String.concat ";" (List.map string_of_int post))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"rollback restores fingerprint (random schedules)" ~print
+       gen
+       (fun (pol, pre, post) ->
+         let policy =
+           match pol with 0 -> UPersist.Eager | 1 -> UPersist.Lossy | _ -> UPersist.Torn
+         in
+         UPersist.scoped policy (fun () ->
+             with_undo_arena (fun () ->
+                 let t = undo_sys () in
+                 Fun.protect
+                   ~finally:(fun () -> USim.abandon t)
+                   (fun () ->
+                     undo_apply_codes t pre;
+                     let fp = USim.fingerprint t in
+                     let m = USim.mark t in
+                     undo_apply_codes t post;
+                     USim.rollback t m;
+                     USim.fingerprint t = fp)))))
+
 let suite =
   [
     Alcotest.test_case "Q sets for S_3 (hand-computed)" `Quick test_q_sets_s3;
@@ -152,4 +305,17 @@ let suite =
     Alcotest.test_case "responses rejects missing tracked op" `Quick
       test_responses_rejects_missing_tracked;
     Alcotest.test_case "Q sets are prefix-closed" `Quick test_q_prefix_closed;
+    Alcotest.test_case "rollback across flush/fence boundaries (eager)" `Quick
+      (test_rollback_boundaries UPersist.Eager);
+    Alcotest.test_case "rollback across flush/fence boundaries (lossy)" `Quick
+      (test_rollback_boundaries UPersist.Lossy);
+    Alcotest.test_case "rollback across flush/fence boundaries (torn)" `Quick
+      (test_rollback_boundaries UPersist.Torn);
+    Alcotest.test_case "rollback into a recovered run (eager)" `Quick
+      (test_rollback_recovered_run UPersist.Eager);
+    Alcotest.test_case "rollback into a recovered run (lossy)" `Quick
+      (test_rollback_recovered_run UPersist.Lossy);
+    Alcotest.test_case "rollback into a recovered run (torn)" `Quick
+      (test_rollback_recovered_run UPersist.Torn);
+    qcheck_rollback_fingerprint;
   ]
